@@ -1,0 +1,336 @@
+(* The horse command-line interface: build topologies and run the
+   paper's experiments without writing OCaml — the ergonomic
+   equivalent of the original implementation's Python API. *)
+
+open Cmdliner
+open Horse_engine
+open Horse_topo
+open Horse_core
+
+(* --- shared arguments -------------------------------------------------- *)
+
+let pods_arg =
+  let doc = "Fat-Tree pods (even, >= 2)." in
+  Arg.(value & opt int 4 & info [ "p"; "pods" ] ~docv:"PODS" ~doc)
+
+let duration_arg =
+  let doc = "Virtual experiment duration in seconds." in
+  Arg.(value & opt float 30.0 & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (traffic permutation etc.)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let quiet_timeout_arg =
+  let doc = "Control-plane quiet timeout before returning to DES, seconds." in
+  Arg.(value & opt float 1.0 & info [ "quiet-timeout" ] ~docv:"SECONDS" ~doc)
+
+let increment_arg =
+  let doc = "FTI increment, milliseconds." in
+  Arg.(value & opt float 1.0 & info [ "fti-increment" ] ~docv:"MS" ~doc)
+
+let sched_config quiet_timeout increment_ms =
+  {
+    Sched.default_config with
+    Sched.quiet_timeout = Time.of_sec quiet_timeout;
+    fti_increment = Time.of_sec (increment_ms /. 1000.0);
+  }
+
+(* --- te ----------------------------------------------------------------- *)
+
+let te_conv =
+  let parse s =
+    match s with
+    | "bgp" | "bgp-ecmp" -> Ok Scenario.Bgp_ecmp
+    | "sdn" | "sdn-ecmp" -> Ok Scenario.Sdn_ecmp
+    | "hedera" | "hedera-gff" -> Ok Scenario.Hedera_gff
+    | "hedera-sa" -> Ok Scenario.Hedera_annealing
+    | "p4" | "p4-ecmp" -> Ok Scenario.P4_ecmp
+    | _ -> Error (`Msg (Printf.sprintf "unknown TE approach %S" s))
+  in
+  Arg.conv (parse, fun fmt te -> Format.pp_print_string fmt (Scenario.te_name te))
+
+let te_cmd =
+  let te_arg =
+    let doc = "TE approach: bgp, sdn, hedera, hedera-sa, p4." in
+    Arg.(value & opt te_conv Scenario.Bgp_ecmp & info [ "t"; "te" ] ~docv:"TE" ~doc)
+  in
+  let csv_arg =
+    let doc = "Write the aggregate-rate series to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let run pods te duration seed quiet_timeout increment csv =
+    let result =
+      Scenario.run_fat_tree_te ~seed
+        ~config:(sched_config quiet_timeout increment)
+        ~pods ~te
+        ~duration:(Time.of_sec duration)
+        ()
+    in
+    Format.printf "%a@." Scenario.pp_result result;
+    Format.printf "@.%a@." Sched.pp_stats result.Scenario.sched_stats;
+    Option.iter
+      (fun path ->
+        Horse_stats.Csv.save_series ~path
+          [ (Scenario.te_name te, result.Scenario.aggregate) ];
+        Format.printf "series written to %s@." path)
+      csv
+  in
+  let doc = "Run one fat-tree traffic-engineering experiment on Horse." in
+  Cmd.v
+    (Cmd.info "te" ~doc)
+    Term.(
+      const run $ pods_arg $ te_arg $ duration_arg $ seed_arg
+      $ quiet_timeout_arg $ increment_arg $ csv_arg)
+
+(* --- fig1 ---------------------------------------------------------------- *)
+
+let fig1_cmd =
+  let prefixes_arg =
+    let doc = "Prefixes originated by each router." in
+    Arg.(value & opt int 10 & info [ "prefixes" ] ~docv:"N" ~doc)
+  in
+  let run duration quiet_timeout increment prefixes =
+    let wan = Wan.linear 2 in
+    let exp =
+      Experiment.create ~config:(sched_config quiet_timeout increment) wan.Wan.topo
+    in
+    let originate node =
+      List.init prefixes (fun i ->
+          Horse_net.Prefix.make (Horse_net.Ipv4.of_octets 20 node i 0) 24)
+    in
+    let fabric =
+      Routed_fabric.build ~cm:(Experiment.cm exp)
+        ~hold_time:(Time.of_sec 90.0) ~originate wan.Wan.topo
+    in
+    Experiment.at exp Time.zero (fun () -> Routed_fabric.start fabric);
+    let stats = Experiment.run ~until:(Time.of_sec duration) exp in
+    Format.printf "mode timeline:@.";
+    List.iter
+      (fun (tr : Sched.transition) ->
+        Format.printf "  [%a] %a -> %a (%s)@." Time.pp tr.Sched.at Sched.pp_mode
+          tr.Sched.from_mode Sched.pp_mode tr.Sched.to_mode tr.Sched.reason)
+      stats.Sched.transitions;
+    Format.printf "@.%a@." Sched.pp_stats stats
+  in
+  let doc = "Two-router BGP mode-transition demo (the paper's Figure 1)." in
+  Cmd.v
+    (Cmd.info "fig1" ~doc)
+    Term.(const run $ duration_arg $ quiet_timeout_arg $ increment_arg $ prefixes_arg)
+
+(* --- baseline ------------------------------------------------------------- *)
+
+let baseline_cmd =
+  let rate_arg =
+    let doc = "Per-flow rate, bits per second." in
+    Arg.(value & opt float 1e9 & info [ "rate" ] ~docv:"BPS" ~doc)
+  in
+  let pkt_arg =
+    let doc = "Packet size in bytes." in
+    Arg.(value & opt int 1500 & info [ "pkt-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let stack_arg =
+    let doc = "Disable the per-hop frame encode/decode work." in
+    Arg.(value & flag & info [ "no-stack-work" ] ~doc)
+  in
+  let run pods duration seed rate pkt_bytes no_stack =
+    let r =
+      Horse_baseline.Mininet_model.run_fat_tree ~pods ~seed ~rate
+        ~pkt_bytes ~stack_work:(not no_stack)
+        ~duration:(Time.of_sec duration)
+        ()
+    in
+    Format.printf "%a@." Horse_baseline.Mininet_model.pp_result r
+  in
+  let doc = "Run the Mininet-like per-packet baseline (Figure 3 comparator)." in
+  Cmd.v
+    (Cmd.info "baseline" ~doc)
+    Term.(
+      const run $ pods_arg $ duration_arg $ seed_arg $ rate_arg $ pkt_arg
+      $ stack_arg)
+
+(* --- wan --------------------------------------------------------------------- *)
+
+let wan_cmd =
+  let topo_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "abilene" ] -> Ok `Abilene
+      | [ "ring"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 3 -> Ok (`Ring n)
+          | Some _ | None -> Error (`Msg "ring needs n >= 3"))
+      | [ "random"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 2 -> Ok (`Random n)
+          | Some _ | None -> Error (`Msg "random needs n >= 2"))
+      | _ -> Error (`Msg "expected abilene, ring:N or random:N")
+    in
+    let print fmt = function
+      | `Abilene -> Format.pp_print_string fmt "abilene"
+      | `Ring n -> Format.fprintf fmt "ring:%d" n
+      | `Random n -> Format.fprintf fmt "random:%d" n
+    in
+    Arg.conv (parse, print)
+  in
+  let topo_arg =
+    let doc = "WAN topology: abilene, ring:N or random:N." in
+    Arg.(value & opt topo_conv `Abilene & info [ "w"; "wan" ] ~docv:"TOPO" ~doc)
+  in
+  let fail_arg =
+    let doc =
+      "Kill router $(docv) at one third of the run (hold-timer detection and \
+       reconvergence follow)."
+    in
+    Arg.(value & opt (some int) None & info [ "kill" ] ~docv:"ROUTER" ~doc)
+  in
+  let run wan_kind duration seed quiet_timeout increment kill =
+    let wan =
+      match wan_kind with
+      | `Abilene -> Wan.abilene ()
+      | `Ring n -> Wan.ring n
+      | `Random n -> Wan.random_gnp ~seed ~n ~p:0.3 ()
+    in
+    let hosts = Wan.attach_hosts wan in
+    let exp =
+      Experiment.create ~seed
+        ~config:(sched_config quiet_timeout increment)
+        wan.Wan.topo
+    in
+    (* Each router originates its PoP prefix (its host lives in it). *)
+    let router_index = Hashtbl.create 16 in
+    Array.iteri
+      (fun i (r : Horse_topo.Topology.node) ->
+        Hashtbl.replace router_index r.Horse_topo.Topology.id i)
+      wan.Wan.routers;
+    let fabric =
+      Routed_fabric.build ~cm:(Experiment.cm exp)
+        ~hold_time:(Time.of_sec 30.0)
+        ~originate:(fun node ->
+          match Hashtbl.find_opt router_index node with
+          | Some i -> [ Wan.router_prefix wan i ]
+          | None -> [])
+        wan.Wan.topo
+    in
+    Experiment.at exp Time.zero (fun () -> Routed_fabric.start fabric);
+    let fluid = Experiment.fluid exp in
+    Horse_dataplane.Fluid.start_sampling fluid ~every:(Time.of_sec 1.0);
+    (* Track flows so FIB changes re-path them (or stop them when the
+       destination becomes unreachable). *)
+    let flows :
+        (Horse_net.Flow_key.t * Horse_dataplane.Flow.t * int ref) list ref =
+      ref []
+    in
+    let dirty = ref true in
+    Routed_fabric.on_fib_change fabric (fun _ _ -> dirty := true);
+    (* Re-path flows when the FIBs change. Transient unreachability
+       during reconvergence is tolerated; a flow is stopped only after
+       its destination has stayed unroutable for 10 consecutive sweeps
+       (2 s). *)
+    ignore
+      (Sched.every (Experiment.scheduler exp) (Time.of_ms 200) (fun () ->
+           let retry_all = !dirty in
+           dirty := false;
+           List.iter
+             (fun (key, flow, misses) ->
+               if
+                 flow.Horse_dataplane.Flow.active && (retry_all || !misses > 0)
+               then
+                 match Routed_fabric.path_for fabric key with
+                 | Ok path ->
+                     misses := 0;
+                     Horse_dataplane.Fluid.set_path fluid flow path
+                 | Error _ ->
+                     incr misses;
+                     if !misses >= 10 then begin
+                       Format.printf
+                         "[%a] flow %a unroutable for 2s; stopping@." Time.pp
+                         (Sched.now (Experiment.scheduler exp))
+                         Horse_net.Flow_key.pp key;
+                       Horse_dataplane.Fluid.stop_flow fluid flow
+                     end)
+             !flows));
+    Routed_fabric.when_converged fabric (fun () ->
+        Format.printf "[%a] converged; starting permutation traffic@." Time.pp
+          (Sched.now (Experiment.scheduler exp));
+        let n = Array.length hosts in
+        let rng = Rng.create seed in
+        let dsts = Rng.derangement rng n in
+        Array.iteri
+          (fun i (h : Horse_topo.Topology.node) ->
+            let key =
+              Horse_net.Flow_key.make
+                ~src:(Option.get h.Horse_topo.Topology.ip)
+                ~dst:(Option.get hosts.(dsts.(i)).Horse_topo.Topology.ip)
+                ~src_port:(7000 + i) ~dst_port:(8000 + i) ()
+            in
+            match Routed_fabric.path_for fabric key with
+            | Ok path ->
+                flows :=
+                  ( key,
+                    Horse_dataplane.Fluid.start_flow ~demand:1e9 fluid ~key ~path,
+                    ref 0 )
+                  :: !flows
+            | Error msg -> Format.printf "unroutable: %s@." msg)
+          hosts);
+    Option.iter
+      (fun victim ->
+        Experiment.at exp
+          (Time.of_sec (duration /. 3.0))
+          (fun () ->
+            Format.printf "[%a] *** killing r%d ***@." Time.pp
+              (Sched.now (Experiment.scheduler exp))
+              victim;
+            match Routed_fabric.speaker fabric wan.Wan.routers.(victim).Horse_topo.Topology.id with
+            | Some speaker ->
+                Horse_emulation.Process.kill (Horse_bgp.Speaker.process speaker)
+            | None -> ()))
+      kill;
+    let stats = Experiment.run ~until:(Time.of_sec duration) exp in
+    Format.printf "@.%a@.@.%a@." Sched.pp_timeline stats Sched.pp_stats stats;
+    Format.printf "@.aggregate rate (Gbps):@.";
+    Horse_stats.Ascii.plot ~height:10 Format.std_formatter
+      [
+        ( "aggregate",
+          Horse_stats.Series.map
+            (Horse_dataplane.Fluid.aggregate_series fluid)
+            ~f:(fun v -> v /. 1e9) );
+      ]
+  in
+  let doc = "Run BGP + fluid traffic on a WAN topology (optionally kill a router)." in
+  Cmd.v
+    (Cmd.info "wan" ~doc)
+    Term.(
+      const run $ topo_arg $ duration_arg $ seed_arg $ quiet_timeout_arg
+      $ increment_arg $ fail_arg)
+
+(* --- topo ------------------------------------------------------------------ *)
+
+let topo_cmd =
+  let run pods =
+    let ft = Fat_tree.build ~k:pods () in
+    let topo = ft.Fat_tree.topo in
+    Format.printf "fat-tree k=%d: %d hosts, %d switches, %d duplex links@." pods
+      (Array.length ft.Fat_tree.hosts)
+      (List.length (Topology.switches topo))
+      (Topology.n_links topo / 2);
+    Format.printf "first host: %a@." Topology.pp_node ft.Fat_tree.hosts.(0);
+    let tree =
+      Spf.shortest_tree topo ~src:ft.Fat_tree.hosts.(0).Topology.id
+    in
+    let last = Array.length ft.Fat_tree.hosts - 1 in
+    Format.printf "equal-cost paths %s -> %s: %d@."
+      ft.Fat_tree.hosts.(0).Topology.name ft.Fat_tree.hosts.(last).Topology.name
+      (List.length
+         (Spf.ecmp_paths ~max_paths:1000 tree topo
+            ~dst:ft.Fat_tree.hosts.(last).Topology.id))
+  in
+  let doc = "Print a fat-tree topology summary." in
+  Cmd.v (Cmd.info "topo" ~doc) Term.(const run $ pods_arg)
+
+(* --------------------------------------------------------------------------- *)
+
+let () =
+  let doc = "Horse: hybrid control-plane emulation / data-plane simulation" in
+  let info = Cmd.info "horse" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ te_cmd; fig1_cmd; baseline_cmd; wan_cmd; topo_cmd ]))

@@ -1,0 +1,1 @@
+examples/datacenter_te.ml: Ascii Format Horse_core Horse_engine Horse_stats List Scenario Series Time

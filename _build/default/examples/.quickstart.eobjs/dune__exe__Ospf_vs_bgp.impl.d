@@ -1,0 +1,1 @@
+examples/ospf_vs_bgp.ml: Connection_manager Experiment Float Format Horse_core Horse_engine Horse_topo List Ospf_fabric Routed_fabric Sched Time Wan

@@ -1,0 +1,1 @@
+examples/ospf_vs_bgp.mli:

@@ -1,0 +1,1 @@
+examples/p4_pipeline.ml: Array Experiment Fat_tree Flow_key Fluid Format Horse_core Horse_dataplane Horse_engine Horse_net Horse_p4 Horse_topo Option P4_fabric Sched Time Topology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Horse_core Horse_engine List Scenario Sched Time

@@ -1,0 +1,1 @@
+lib/baseline/mininet_model.ml: Array Fat_tree Flow_key Format Fwd Horse_dataplane Horse_engine Horse_net Horse_topo Ipv4 List Option Packet_engine Prefix Rng Sched Spf Time Topology Wall

@@ -1,0 +1,1 @@
+lib/baseline/mininet_model.mli: Format Horse_engine Time

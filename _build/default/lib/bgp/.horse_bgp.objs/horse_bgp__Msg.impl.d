@@ -1,0 +1,1 @@
+lib/bgp/msg.ml: Bytes Format Horse_net Int Int32 Ipv4 List Option Prefix Printf String Wire

@@ -1,0 +1,1 @@
+lib/bgp/msg.mli: Bytes Format Horse_net Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/bgp/policy.ml: Format Horse_net Int List Msg Prefix

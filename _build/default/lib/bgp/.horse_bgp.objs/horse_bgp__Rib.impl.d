@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Format Hashtbl Horse_engine Horse_net Int Ipv4 List Msg Option Prefix Stdlib Time

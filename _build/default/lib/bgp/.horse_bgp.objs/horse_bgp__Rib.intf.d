@@ -1,0 +1,1 @@
+lib/bgp/rib.mli: Format Horse_engine Horse_net Ipv4 Msg Prefix Time

@@ -1,0 +1,1 @@
+lib/bgp/speaker.ml: Bytes Channel Format Horse_emulation Horse_engine Horse_net Ipv4 List Msg Option Policy Prefix Printf Process Queue Rib Sched Set Time Trace

@@ -1,0 +1,1 @@
+lib/bgp/speaker.mli: Channel Format Horse_emulation Horse_engine Horse_net Ipv4 Policy Prefix Process Rib Time Trace

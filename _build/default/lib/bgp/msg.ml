@@ -1,0 +1,414 @@
+open Horse_net
+open Wire
+
+type origin = Igp | Egp | Incomplete
+
+let origin_to_int = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+
+let origin_of_int = function
+  | 0 -> Ok Igp
+  | 1 -> Ok Egp
+  | 2 -> Ok Incomplete
+  | n -> Error (Printf.sprintf "bgp: bad origin %d" n)
+
+let pp_origin fmt o =
+  Format.pp_print_string fmt
+    (match o with Igp -> "igp" | Egp -> "egp" | Incomplete -> "incomplete")
+
+type attrs = {
+  origin : origin;
+  as_path : int list;
+  next_hop : Ipv4.t;
+  med : int option;
+  local_pref : int option;
+  communities : int list;
+}
+
+let community ~asn v =
+  if asn < 0 || asn > 0xFFFF || v < 0 || v > 0xFFFF then
+    invalid_arg "Bgp.Msg.community: halves must fit 16 bits";
+  (asn lsl 16) lor v
+
+let pp_community fmt c = Format.fprintf fmt "%d:%d" (c lsr 16) (c land 0xFFFF)
+
+let pp_attrs fmt a =
+  Format.fprintf fmt "origin=%a as-path=[%s] next-hop=%a%s%s%s" pp_origin
+    a.origin
+    (String.concat " " (List.map string_of_int a.as_path))
+    Ipv4.pp a.next_hop
+    (match a.med with Some m -> Printf.sprintf " med=%d" m | None -> "")
+    (match a.local_pref with
+    | Some l -> Printf.sprintf " local-pref=%d" l
+    | None -> "")
+    (match a.communities with
+    | [] -> ""
+    | cs ->
+        " communities="
+        ^ String.concat ","
+            (List.map (fun c -> Format.asprintf "%a" pp_community c) cs))
+
+let attrs_equal a b =
+  a.origin = b.origin
+  && List.equal Int.equal a.as_path b.as_path
+  && Ipv4.equal a.next_hop b.next_hop
+  && Option.equal Int.equal a.med b.med
+  && Option.equal Int.equal a.local_pref b.local_pref
+  && List.equal Int.equal a.communities b.communities
+
+type open_msg = { asn : int; hold_time_s : int; bgp_id : Ipv4.t }
+
+type update = { withdrawn : Prefix.t list; reach : (attrs * Prefix.t list) option }
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Keepalive
+  | Notification of { code : int; subcode : int }
+
+let header_size = 19
+
+(* --- encoding ------------------------------------------------------ *)
+
+let check_u16 what v =
+  if v < 0 || v > 0xFFFF then
+    invalid_arg (Printf.sprintf "Bgp.Msg.encode: %s %d out of 16-bit range" what v)
+
+let prefix_wire_size p = 1 + ((Prefix.length p + 7) / 8)
+
+let write_prefix buf off p =
+  let len = Prefix.length p in
+  set_u8 buf off len;
+  let nbytes = (len + 7) / 8 in
+  let addr = Ipv4.to_int32 (Prefix.network p) in
+  for i = 0 to nbytes - 1 do
+    set_u8 buf (off + 1 + i)
+      (Int32.to_int (Int32.shift_right_logical addr (24 - (8 * i))) land 0xFF)
+  done;
+  off + 1 + nbytes
+
+let read_prefix buf off limit =
+  let* len = u8 buf off in
+  if len > 32 then Error (Printf.sprintf "bgp: prefix length %d > 32" len)
+  else
+    let nbytes = (len + 7) / 8 in
+    if off + 1 + nbytes > limit then Error "bgp: truncated prefix"
+    else begin
+      let addr = ref 0l in
+      let rec go i acc =
+        if i = nbytes then Ok acc
+        else
+          let* b = u8 buf (off + 1 + i) in
+          go (i + 1) (Int32.logor acc (Int32.shift_left (Int32.of_int b) (24 - (8 * i))))
+      in
+      let* a = go 0 !addr in
+      Ok (Prefix.make (Ipv4.of_int32 a) len, off + 1 + nbytes)
+    end
+
+let attr_flags_transitive = 0x40
+let attr_flags_optional = 0x80
+
+let attrs_wire_size a =
+  let as_path_len = List.length a.as_path in
+  3 + 1 (* origin *)
+  + 3 + (if as_path_len = 0 then 0 else 2 + (2 * as_path_len))
+  + 3 + 4 (* next hop *)
+  + (match a.med with Some _ -> 3 + 4 | None -> 0)
+  + (match a.local_pref with Some _ -> 3 + 4 | None -> 0)
+  + match a.communities with [] -> 0 | cs -> 3 + (4 * List.length cs)
+
+let write_attrs buf off a =
+  if List.length a.as_path > 255 then
+    invalid_arg "Bgp.Msg.encode: AS_PATH longer than 255";
+  List.iter (fun asn -> check_u16 "ASN" asn) a.as_path;
+  let off = ref off in
+  let attr type_ flags payload_len writer =
+    set_u8 buf !off flags;
+    set_u8 buf (!off + 1) type_;
+    set_u8 buf (!off + 2) payload_len;
+    writer (!off + 3);
+    off := !off + 3 + payload_len
+  in
+  attr 1 attr_flags_transitive 1 (fun o -> set_u8 buf o (origin_to_int a.origin));
+  let as_path_len = List.length a.as_path in
+  let seg_len = if as_path_len = 0 then 0 else 2 + (2 * as_path_len) in
+  attr 2 attr_flags_transitive seg_len (fun o ->
+      if as_path_len > 0 then begin
+        set_u8 buf o 2 (* AS_SEQUENCE *);
+        set_u8 buf (o + 1) as_path_len;
+        List.iteri (fun i asn -> set_u16 buf (o + 2 + (2 * i)) asn) a.as_path
+      end);
+  attr 3 attr_flags_transitive 4 (fun o -> set_ipv4 buf o a.next_hop);
+  (match a.med with
+  | Some m -> attr 4 attr_flags_optional 4 (fun o -> set_u32_int buf o m)
+  | None -> ());
+  (match a.local_pref with
+  | Some l -> attr 5 attr_flags_transitive 4 (fun o -> set_u32_int buf o l)
+  | None -> ());
+  (match a.communities with
+  | [] -> ()
+  | cs ->
+      if List.length cs > 63 then
+        invalid_arg "Bgp.Msg.encode: more than 63 communities";
+      attr 8
+        (attr_flags_optional lor attr_flags_transitive)
+        (4 * List.length cs)
+        (fun o -> List.iteri (fun i c -> set_u32_int buf (o + (4 * i)) c) cs));
+  !off
+
+let body_size = function
+  | Open _ -> 10
+  | Keepalive -> 0
+  | Notification _ -> 2
+  | Update u ->
+      let withdrawn = List.fold_left (fun acc p -> acc + prefix_wire_size p) 0 u.withdrawn in
+      let reach =
+        match u.reach with
+        | None -> 0
+        | Some (attrs, nlri) ->
+            attrs_wire_size attrs
+            + List.fold_left (fun acc p -> acc + prefix_wire_size p) 0 nlri
+      in
+      2 + withdrawn + 2 + reach
+
+let type_code = function
+  | Open _ -> 1
+  | Update _ -> 2
+  | Notification _ -> 3
+  | Keepalive -> 4
+
+let encode t =
+  let len = header_size + body_size t in
+  check_u16 "message length" len;
+  let buf = Bytes.make len '\000' in
+  Bytes.fill buf 0 16 '\xff';
+  set_u16 buf 16 len;
+  set_u8 buf 18 (type_code t);
+  let off = header_size in
+  (match t with
+  | Keepalive -> ()
+  | Notification { code; subcode } ->
+      set_u8 buf off code;
+      set_u8 buf (off + 1) subcode
+  | Open o ->
+      check_u16 "ASN" o.asn;
+      check_u16 "hold time" o.hold_time_s;
+      set_u8 buf off 4 (* version *);
+      set_u16 buf (off + 1) o.asn;
+      set_u16 buf (off + 3) o.hold_time_s;
+      set_ipv4 buf (off + 5) o.bgp_id;
+      set_u8 buf (off + 9) 0 (* no optional parameters *)
+  | Update u ->
+      let wlen =
+        List.fold_left (fun acc p -> acc + prefix_wire_size p) 0 u.withdrawn
+      in
+      set_u16 buf off wlen;
+      let o = ref (off + 2) in
+      List.iter (fun p -> o := write_prefix buf !o p) u.withdrawn;
+      let attr_len_pos = !o in
+      o := !o + 2;
+      (match u.reach with
+      | None -> set_u16 buf attr_len_pos 0
+      | Some (attrs, nlri) ->
+          let attrs_end = write_attrs buf !o attrs in
+          set_u16 buf attr_len_pos (attrs_end - !o);
+          o := attrs_end;
+          List.iter (fun p -> o := write_prefix buf !o p) nlri));
+  buf
+
+(* --- decoding ------------------------------------------------------ *)
+
+let read_prefixes buf off limit =
+  let rec go off acc =
+    if off > limit then Error "bgp: prefix list overruns its length field"
+    else if off = limit then Ok (List.rev acc)
+    else
+      let* p, off' = read_prefix buf off limit in
+      go off' (p :: acc)
+  in
+  go off []
+
+type partial_attrs = {
+  p_origin : origin option;
+  p_as_path : int list option;
+  p_next_hop : Ipv4.t option;
+  p_med : int option;
+  p_local_pref : int option;
+  p_communities : int list;
+}
+
+let empty_partial =
+  {
+    p_origin = None;
+    p_as_path = None;
+    p_next_hop = None;
+    p_med = None;
+    p_local_pref = None;
+    p_communities = [];
+  }
+
+let read_as_path buf off len =
+  if len = 0 then Ok []
+  else
+    let* seg_type = u8 buf off in
+    if seg_type <> 2 then Error "bgp: only AS_SEQUENCE segments supported"
+    else
+      let* count = u8 buf (off + 1) in
+      if 2 + (2 * count) <> len then Error "bgp: AS_PATH segment length mismatch"
+      else
+        let rec go i acc =
+          if i = count then Ok (List.rev acc)
+          else
+            let* asn = u16 buf (off + 2 + (2 * i)) in
+            go (i + 1) (asn :: acc)
+        in
+        go 0 []
+
+let read_attrs buf off limit =
+  let rec go off acc =
+    if off > limit then Error "bgp: attributes overrun their length field"
+    else if off = limit then Ok acc
+    else
+      let* flags = u8 buf off in
+      let* type_ = u8 buf (off + 1) in
+      let extended = flags land 0x10 <> 0 in
+      let* len, val_off =
+        if extended then
+          let* l = u16 buf (off + 2) in
+          Ok (l, off + 4)
+        else
+          let* l = u8 buf (off + 2) in
+          Ok (l, off + 3)
+      in
+      if val_off + len > limit then Error "bgp: truncated attribute"
+      else
+        let* acc =
+          match type_ with
+          | 1 ->
+              let* o = u8 buf val_off in
+              let* origin = origin_of_int o in
+              Ok { acc with p_origin = Some origin }
+          | 2 ->
+              let* path = read_as_path buf val_off len in
+              Ok { acc with p_as_path = Some path }
+          | 3 ->
+              let* nh = ipv4 buf val_off in
+              Ok { acc with p_next_hop = Some nh }
+          | 4 ->
+              let* m = u32_int buf val_off in
+              Ok { acc with p_med = Some m }
+          | 5 ->
+              let* l = u32_int buf val_off in
+              Ok { acc with p_local_pref = Some l }
+          | 8 ->
+              if len mod 4 <> 0 then Error "bgp: COMMUNITIES length not 4n"
+              else
+                let rec go i acc' =
+                  if i = len / 4 then Ok (List.rev acc')
+                  else
+                    let* c = u32_int buf (val_off + (4 * i)) in
+                    go (i + 1) (c :: acc')
+                in
+                let* cs = go 0 [] in
+                Ok { acc with p_communities = cs }
+          | _ ->
+              (* Unknown attribute: skip (we never set partial bit). *)
+              Ok acc
+        in
+        go (val_off + len) acc
+  in
+  let* partial = go off empty_partial in
+  match (partial.p_origin, partial.p_as_path, partial.p_next_hop) with
+  | Some origin, Some as_path, Some next_hop ->
+      Ok
+        (Some
+           {
+             origin;
+             as_path;
+             next_hop;
+             med = partial.p_med;
+             local_pref = partial.p_local_pref;
+             communities = partial.p_communities;
+           })
+  | None, None, None -> Ok None
+  | _, _, _ -> Error "bgp: missing mandatory attribute"
+
+let decode buf =
+  let* () = check buf 0 header_size in
+  let marker_ok = ref true in
+  for i = 0 to 15 do
+    if Bytes.get buf i <> '\xff' then marker_ok := false
+  done;
+  if not !marker_ok then Error "bgp: bad marker"
+  else
+    let* len = u16 buf 16 in
+    if len <> Bytes.length buf then Error "bgp: length field mismatch"
+    else
+      let* type_ = u8 buf 18 in
+      let off = header_size in
+      match type_ with
+      | 4 -> if len = header_size then Ok Keepalive else Error "bgp: keepalive with body"
+      | 3 ->
+          let* code = u8 buf off in
+          let* subcode = u8 buf (off + 1) in
+          Ok (Notification { code; subcode })
+      | 1 ->
+          let* version = u8 buf off in
+          if version <> 4 then Error (Printf.sprintf "bgp: version %d" version)
+          else
+            let* asn = u16 buf (off + 1) in
+            let* hold_time_s = u16 buf (off + 3) in
+            let* bgp_id = ipv4 buf (off + 5) in
+            let* opt_len = u8 buf (off + 9) in
+            if opt_len <> 0 then Error "bgp: optional parameters unsupported"
+            else Ok (Open { asn; hold_time_s; bgp_id })
+      | 2 ->
+          let* wlen = u16 buf off in
+          let wstart = off + 2 in
+          let* withdrawn = read_prefixes buf wstart (wstart + wlen) in
+          let* alen = u16 buf (wstart + wlen) in
+          let astart = wstart + wlen + 2 in
+          let* attrs = read_attrs buf astart (astart + alen) in
+          let* nlri = read_prefixes buf (astart + alen) len in
+          let* reach =
+            match (attrs, nlri) with
+            | Some a, _ -> Ok (Some (a, nlri))
+            | None, [] -> Ok None
+            | None, _ :: _ -> Error "bgp: NLRI without attributes"
+          in
+          Ok (Update { withdrawn; reach })
+      | n -> Error (Printf.sprintf "bgp: unknown message type %d" n)
+
+let equal a b =
+  match (a, b) with
+  | Keepalive, Keepalive -> true
+  | Notification x, Notification y -> x.code = y.code && x.subcode = y.subcode
+  | Open x, Open y ->
+      x.asn = y.asn && x.hold_time_s = y.hold_time_s && Ipv4.equal x.bgp_id y.bgp_id
+  | Update x, Update y ->
+      List.equal Prefix.equal x.withdrawn y.withdrawn
+      && Option.equal
+           (fun (aa, an) (ba, bn) ->
+             attrs_equal aa ba && List.equal Prefix.equal an bn)
+           x.reach y.reach
+  | (Keepalive | Notification _ | Open _ | Update _), _ -> false
+
+let pp fmt = function
+  | Keepalive -> Format.pp_print_string fmt "KEEPALIVE"
+  | Notification { code; subcode } ->
+      Format.fprintf fmt "NOTIFICATION %d/%d" code subcode
+  | Open o ->
+      Format.fprintf fmt "OPEN as=%d hold=%ds id=%a" o.asn o.hold_time_s Ipv4.pp
+        o.bgp_id
+  | Update u ->
+      let pp_prefixes fmt ps =
+        Format.pp_print_list
+          ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+          Prefix.pp fmt ps
+      in
+      Format.fprintf fmt "UPDATE";
+      if u.withdrawn <> [] then
+        Format.fprintf fmt " withdraw[%a]" pp_prefixes u.withdrawn;
+      match u.reach with
+      | Some (attrs, nlri) ->
+          Format.fprintf fmt " announce[%a] %a" pp_prefixes nlri pp_attrs attrs
+      | None -> ()

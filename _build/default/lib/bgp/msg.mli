@@ -1,0 +1,66 @@
+(** BGP-4 messages and their wire codec (RFC 4271 subset).
+
+    The speaker exchanges genuinely serialized messages over the
+    emulated control channels — the Connection Manager observes real
+    BGP bytes, as it would with Quagga. Supported: OPEN (no optional
+    parameters), UPDATE with the ORIGIN / AS_PATH / NEXT_HOP / MED /
+    LOCAL_PREF attributes (AS_PATH as one AS_SEQUENCE segment, 2-byte
+    ASNs), KEEPALIVE, and NOTIFICATION. *)
+
+open Horse_net
+
+type origin = Igp | Egp | Incomplete
+
+val origin_to_int : origin -> int
+val origin_of_int : int -> (origin, string) result
+val pp_origin : Format.formatter -> origin -> unit
+
+type attrs = {
+  origin : origin;
+  as_path : int list;  (** nearest AS first *)
+  next_hop : Ipv4.t;
+  med : int option;
+  local_pref : int option;
+  communities : int list;
+      (** RFC 1997 COMMUNITIES, each a 32-bit [AS:value] tag, sorted;
+          conventionally written [(asn lsl 16) lor value] *)
+}
+
+val community : asn:int -> int -> int
+(** [community ~asn v] is the 32-bit community [asn:v].
+    @raise Invalid_argument if either half exceeds 16 bits. *)
+
+val pp_community : Format.formatter -> int -> unit
+(** Renders ["65001:300"]. *)
+
+val pp_attrs : Format.formatter -> attrs -> unit
+val attrs_equal : attrs -> attrs -> bool
+
+type open_msg = { asn : int; hold_time_s : int; bgp_id : Ipv4.t }
+
+type update = {
+  withdrawn : Prefix.t list;
+  reach : (attrs * Prefix.t list) option;
+      (** the announced NLRI and their shared attributes *)
+}
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Keepalive
+  | Notification of { code : int; subcode : int }
+
+val encode : t -> Bytes.t
+(** Full message including the 19-byte header with all-ones marker.
+    @raise Invalid_argument if a field is out of range (ASN or hold
+    time beyond 16 bits, AS_PATH longer than 255). *)
+
+val decode : Bytes.t -> (t, string) result
+(** Parses one whole message; verifies the marker, the length field
+    and attribute well-formedness. *)
+
+val header_size : int
+(** 19 bytes. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+open Horse_net
+
+type match_ = Any | Exact of Prefix.t | Within of Prefix.t | Has_community of int
+
+type action = Accept | Reject | Accept_with of modifier list
+
+and modifier =
+  | Set_local_pref of int
+  | Set_med of int
+  | Prepend of int * int
+  | Add_community of int
+  | Remove_community of int
+
+type rule = { match_ : match_; action : action }
+
+type t = { rules : rule list; default : action }
+
+let make ?(default = Accept) rules = { rules; default }
+
+let accept_all = { rules = []; default = Accept }
+let reject_all = { rules = []; default = Reject }
+
+let matches m prefix (attrs : Msg.attrs) =
+  match m with
+  | Any -> true
+  | Exact p -> Prefix.equal p prefix
+  | Within p -> Prefix.subset prefix p
+  | Has_community c -> List.mem c attrs.Msg.communities
+
+let apply_modifier (attrs : Msg.attrs) = function
+  | Set_local_pref l -> { attrs with Msg.local_pref = Some l }
+  | Set_med m -> { attrs with Msg.med = Some m }
+  | Prepend (asn, times) ->
+      let rec prepend n path = if n = 0 then path else prepend (n - 1) (asn :: path) in
+      { attrs with Msg.as_path = prepend times attrs.Msg.as_path }
+  | Add_community c ->
+      {
+        attrs with
+        Msg.communities = List.sort_uniq Int.compare (c :: attrs.Msg.communities);
+      }
+  | Remove_community c ->
+      {
+        attrs with
+        Msg.communities = List.filter (fun c' -> c' <> c) attrs.Msg.communities;
+      }
+
+let run_action action attrs =
+  match action with
+  | Accept -> Some attrs
+  | Reject -> None
+  | Accept_with mods -> Some (List.fold_left apply_modifier attrs mods)
+
+let eval t prefix attrs =
+  let rec go = function
+    | [] -> run_action t.default attrs
+    | rule :: rest ->
+        if matches rule.match_ prefix attrs then run_action rule.action attrs
+        else go rest
+  in
+  go t.rules
+
+let pp_match fmt = function
+  | Any -> Format.pp_print_string fmt "any"
+  | Exact p -> Format.fprintf fmt "exact %a" Prefix.pp p
+  | Within p -> Format.fprintf fmt "within %a" Prefix.pp p
+  | Has_community c -> Format.fprintf fmt "community %a" Msg.pp_community c
+
+let pp_action fmt = function
+  | Accept -> Format.pp_print_string fmt "accept"
+  | Reject -> Format.pp_print_string fmt "reject"
+  | Accept_with mods ->
+      Format.fprintf fmt "accept+%d-modifiers" (List.length mods)
+
+let pp fmt t =
+  List.iter
+    (fun r -> Format.fprintf fmt "%a -> %a; " pp_match r.match_ pp_action r.action)
+    t.rules;
+  Format.fprintf fmt "default %a" pp_action t.default

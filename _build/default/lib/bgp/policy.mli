@@ -1,0 +1,44 @@
+(** Route policy: ordered prefix filters applied on import and export.
+
+    A small subset of a real routing policy language — enough to
+    express the classic experiments (filter a customer's
+    announcements, prefer one upstream by local-pref, prepend on a
+    backup path). Rules are evaluated in order; the first matching
+    rule decides. *)
+
+open Horse_net
+
+type match_ =
+  | Any
+  | Exact of Prefix.t
+  | Within of Prefix.t  (** the route's prefix is a subset of this one *)
+  | Has_community of int
+      (** the route carries this RFC 1997 community tag *)
+
+type action =
+  | Accept
+  | Reject
+  | Accept_with of modifier list
+
+and modifier =
+  | Set_local_pref of int
+  | Set_med of int
+  | Prepend of int * int  (** AS, times *)
+  | Add_community of int
+  | Remove_community of int
+
+type rule = { match_ : match_; action : action }
+
+type t
+
+val make : ?default:action -> rule list -> t
+(** Default action when no rule matches: [Accept]. *)
+
+val accept_all : t
+val reject_all : t
+
+val eval : t -> Prefix.t -> Msg.attrs -> Msg.attrs option
+(** [None] = rejected; [Some attrs] = accepted, with modifiers
+    applied. Community sets stay sorted and duplicate-free. *)
+
+val pp : Format.formatter -> t -> unit

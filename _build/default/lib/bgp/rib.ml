@@ -1,0 +1,161 @@
+open Horse_net
+open Horse_engine
+
+let local_peer = -1
+
+type route = {
+  prefix : Prefix.t;
+  attrs : Msg.attrs;
+  peer : int;
+  peer_bgp_id : Ipv4.t;
+  learned_at : Time.t;
+}
+
+let pp_route fmt r =
+  Format.fprintf fmt "%a via peer %d (%a)" Prefix.pp r.prefix r.peer
+    Msg.pp_attrs r.attrs
+
+module Prefix_tbl = Hashtbl.Make (struct
+  type t = Prefix.t
+
+  let equal = Prefix.equal
+  let hash p = Ipv4.hash (Prefix.network p) lxor Prefix.length p
+end)
+
+type t = {
+  adj_in : (int, route Prefix_tbl.t) Hashtbl.t;  (* peer -> prefix -> route *)
+  local : route Prefix_tbl.t;
+  loc : route list Prefix_tbl.t;
+}
+
+let create () =
+  { adj_in = Hashtbl.create 8; local = Prefix_tbl.create 16; loc = Prefix_tbl.create 64 }
+
+let peer_table t peer =
+  match Hashtbl.find_opt t.adj_in peer with
+  | Some table -> table
+  | None ->
+      let table = Prefix_tbl.create 32 in
+      Hashtbl.add t.adj_in peer table;
+      table
+
+let set_in t ~peer ~peer_bgp_id ~at prefix attrs =
+  Prefix_tbl.replace (peer_table t peer) prefix
+    { prefix; attrs; peer; peer_bgp_id; learned_at = at }
+
+let withdraw_in t ~peer prefix =
+  match Hashtbl.find_opt t.adj_in peer with
+  | Some table -> Prefix_tbl.remove table prefix
+  | None -> ()
+
+let drop_peer t ~peer =
+  match Hashtbl.find_opt t.adj_in peer with
+  | None -> []
+  | Some table ->
+      let prefixes = Prefix_tbl.fold (fun p _ acc -> p :: acc) table [] in
+      Hashtbl.remove t.adj_in peer;
+      prefixes
+
+let add_local t ~at prefix attrs =
+  Prefix_tbl.replace t.local prefix
+    { prefix; attrs; peer = local_peer; peer_bgp_id = Ipv4.any; learned_at = at }
+
+let remove_local t prefix = Prefix_tbl.remove t.local prefix
+
+(* --- decision process --------------------------------------------- *)
+
+let local_pref (r : route) = Option.value r.attrs.Msg.local_pref ~default:100
+let as_path_len (r : route) = List.length r.attrs.Msg.as_path
+let med (r : route) = Option.value r.attrs.Msg.med ~default:0
+
+let neighbor_as (r : route) =
+  match r.attrs.Msg.as_path with [] -> None | asn :: _ -> Some asn
+
+(* Lexicographic filter: keep the routes minimal/maximal under each
+   criterion in turn. *)
+let keep_best_by f routes =
+  match routes with
+  | [] | [ _ ] -> routes
+  | _ ->
+      let best = List.fold_left (fun acc r -> Stdlib.min acc (f r)) max_int routes in
+      List.filter (fun r -> f r = best) routes
+
+let candidates t prefix =
+  let from_peers =
+    Hashtbl.fold
+      (fun _peer table acc ->
+        match Prefix_tbl.find_opt table prefix with
+        | Some r -> r :: acc
+        | None -> acc)
+      t.adj_in []
+  in
+  match Prefix_tbl.find_opt t.local prefix with
+  | Some r -> r :: from_peers
+  | None -> from_peers
+
+let decide ~multipath t prefix =
+  let survivors = candidates t prefix in
+  (* Step 1: highest local-pref (minimise the negation). *)
+  let survivors = keep_best_by (fun r -> -local_pref r) survivors in
+  (* Step 2: shortest AS path. *)
+  let survivors = keep_best_by as_path_len survivors in
+  (* Step 3: lowest origin. *)
+  let survivors = keep_best_by (fun r -> Msg.origin_to_int r.attrs.Msg.origin) survivors in
+  (* Step 4: lowest MED among routes via the same neighbour AS. A
+     route only loses here to a strictly-better route with the same
+     first hop AS. *)
+  let survivors =
+    List.filter
+      (fun r ->
+        not
+          (List.exists
+             (fun r' ->
+               neighbor_as r' = neighbor_as r && med r' < med r)
+             survivors))
+      survivors
+  in
+  let tiebreak a b =
+    (* Steps 5-6: lowest BGP id, then lowest peer id. *)
+    match Ipv4.compare a.peer_bgp_id b.peer_bgp_id with
+    | 0 -> Int.compare a.peer b.peer
+    | c -> c
+  in
+  let sorted = List.sort tiebreak survivors in
+  if multipath then sorted
+  else match sorted with [] -> [] | winner :: _ -> [ winner ]
+
+type refresh_outcome = Unchanged | Changed of route list
+
+let routes_equal a b =
+  List.equal
+    (fun (x : route) (y : route) ->
+      x.peer = y.peer
+      && Prefix.equal x.prefix y.prefix
+      && Msg.attrs_equal x.attrs y.attrs)
+    a b
+
+let refresh ?(multipath = true) t prefix =
+  let best = decide ~multipath t prefix in
+  let old = Option.value (Prefix_tbl.find_opt t.loc prefix) ~default:[] in
+  if routes_equal best old then Unchanged
+  else begin
+    (match best with
+    | [] -> Prefix_tbl.remove t.loc prefix
+    | _ :: _ -> Prefix_tbl.replace t.loc prefix best);
+    Changed best
+  end
+
+let best t prefix = Option.value (Prefix_tbl.find_opt t.loc prefix) ~default:[]
+
+let loc_rib t =
+  Prefix_tbl.fold (fun p routes acc -> (p, routes) :: acc) t.loc []
+  |> List.sort (fun (p, _) (q, _) -> Prefix.compare p q)
+
+let loc_rib_size t = Prefix_tbl.length t.loc
+
+let adj_in t ~peer =
+  match Hashtbl.find_opt t.adj_in peer with
+  | None -> []
+  | Some table ->
+      Prefix_tbl.fold (fun p r acc -> (p, r.attrs) :: acc) table []
+      |> List.sort (fun (p, _) (q, _) -> Prefix.compare p q)

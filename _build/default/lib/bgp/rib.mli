@@ -1,0 +1,73 @@
+(** BGP Routing Information Bases and the decision process.
+
+    One {!t} holds a speaker's Adj-RIB-In (per peer), its locally
+    originated routes, and the Loc-RIB computed from them by the
+    RFC 4271 decision process:
+
+    + highest LOCAL_PREF (missing = 100),
+    + shortest AS_PATH,
+    + lowest ORIGIN (IGP < EGP < INCOMPLETE),
+    + lowest MED, compared only between routes whose first AS_PATH
+      hop is the same neighbour AS (missing = 0),
+    + lowest peer BGP identifier,
+    + lowest peer id (a stable final tiebreak).
+
+    With multipath enabled, every route tying through step 4 enters
+    the Loc-RIB as an ECMP set (the relaxation used by data-centre
+    BGP fabrics); otherwise steps 5–6 pick a single winner. *)
+
+open Horse_net
+open Horse_engine
+
+val local_peer : int
+(** The pseudo peer id (-1) of locally originated routes. *)
+
+type route = {
+  prefix : Prefix.t;
+  attrs : Msg.attrs;
+  peer : int;  (** {!local_peer} for local routes *)
+  peer_bgp_id : Ipv4.t;
+  learned_at : Time.t;
+}
+
+val pp_route : Format.formatter -> route -> unit
+
+type t
+
+val create : unit -> t
+
+val set_in :
+  t -> peer:int -> peer_bgp_id:Ipv4.t -> at:Time.t -> Prefix.t -> Msg.attrs -> unit
+(** Installs/replaces the peer's route in the Adj-RIB-In (implicit
+    withdraw semantics). Does {e not} recompute the Loc-RIB — call
+    {!refresh}. *)
+
+val withdraw_in : t -> peer:int -> Prefix.t -> unit
+(** Idempotent. *)
+
+val drop_peer : t -> peer:int -> Prefix.t list
+(** Removes every route learned from the peer (session failure);
+    returns the affected prefixes so the caller can {!refresh}
+    them. *)
+
+val add_local : t -> at:Time.t -> Prefix.t -> Msg.attrs -> unit
+val remove_local : t -> Prefix.t -> unit
+
+type refresh_outcome =
+  | Unchanged
+  | Changed of route list  (** the new best set; [[]] = prefix gone *)
+
+val refresh : ?multipath:bool -> t -> Prefix.t -> refresh_outcome
+(** Recomputes the best set for one prefix and updates the Loc-RIB.
+    [multipath] defaults to [true]. *)
+
+val best : t -> Prefix.t -> route list
+(** Current Loc-RIB entry ([[]] if none). *)
+
+val loc_rib : t -> (Prefix.t * route list) list
+(** Sorted by prefix. *)
+
+val loc_rib_size : t -> int
+
+val adj_in : t -> peer:int -> (Prefix.t * Msg.attrs) list
+(** Sorted by prefix; for inspection and tests. *)

@@ -1,0 +1,510 @@
+open Horse_net
+open Horse_engine
+open Horse_emulation
+
+type peer_state = Idle | OpenSent | OpenConfirm | Established
+
+let pp_peer_state fmt s =
+  Format.pp_print_string fmt
+    (match s with
+    | Idle -> "Idle"
+    | OpenSent -> "OpenSent"
+    | OpenConfirm -> "OpenConfirm"
+    | Established -> "Established")
+
+type config = {
+  asn : int;
+  router_id : Ipv4.t;
+  hold_time : Time.t;
+  mrai : Time.t;
+  multipath : bool;
+  networks : Prefix.t list;
+  processing_delay : Time.t;
+}
+
+let default_config ~asn ~router_id =
+  {
+    asn;
+    router_id;
+    hold_time = Time.of_sec 9.0;
+    mrai = Time.zero;
+    multipath = true;
+    networks = [];
+    processing_delay = Time.of_us 100;
+  }
+
+type counters = {
+  opens_sent : int;
+  updates_sent : int;
+  updates_received : int;
+  keepalives_sent : int;
+  keepalives_received : int;
+  notifications_sent : int;
+  decode_errors : int;
+}
+
+module Prefix_set = Set.Make (struct
+  type t = Prefix.t
+
+  let compare = Prefix.compare
+end)
+
+type peer = {
+  id : int;
+  remote_asn : int;
+  mutable endpoint : Channel.endpoint;
+  import : Policy.t;
+  export : Policy.t;
+  mutable state : peer_state;
+  mutable remote_id : Ipv4.t;
+  mutable negotiated_hold : Time.t;
+  mutable last_rx : Time.t;
+  mutable keepalive_timer : Sched.recurring option;
+  mutable pending_announce : Prefix_set.t;
+  mutable pending_withdraw : Prefix_set.t;
+  mutable mrai_armed : bool;
+  mutable advertised : Prefix_set.t;
+}
+
+type t = {
+  proc : Process.t;
+  cfg : config;
+  rib : Rib.t;
+  trace : Trace.t option;
+  mutable peers : peer list;  (* reversed insertion order *)
+  mutable next_peer_id : int;
+  mutable rib_hooks : (Prefix.t -> Rib.route list -> unit) list;
+  mutable established_hooks : (int -> unit) list;
+  mutable down_hooks : (int -> unit) list;
+  mutable started : bool;
+  mutable opens_sent : int;
+  mutable updates_sent : int;
+  mutable updates_received : int;
+  mutable keepalives_sent : int;
+  mutable keepalives_received : int;
+  mutable notifications_sent : int;
+  mutable decode_errors : int;
+  inbox : (peer * Bytes.t) Queue.t;
+  mutable busy : bool;
+}
+
+let sched t = Process.scheduler t.proc
+let now t = Sched.now (sched t)
+
+let tracef t fmt =
+  match t.trace with
+  | Some trace -> Trace.addf trace ~at:(now t) ~label:"bgp" fmt
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let create ?trace proc cfg =
+  let t =
+    {
+      proc;
+      cfg;
+      rib = Rib.create ();
+      trace;
+      peers = [];
+      next_peer_id = 0;
+      rib_hooks = [];
+      established_hooks = [];
+      down_hooks = [];
+      started = false;
+      opens_sent = 0;
+      updates_sent = 0;
+      updates_received = 0;
+      keepalives_sent = 0;
+      keepalives_received = 0;
+      notifications_sent = 0;
+      decode_errors = 0;
+      inbox = Queue.create ();
+      busy = false;
+    }
+  in
+  t
+
+let process t = t.proc
+let asn t = t.cfg.asn
+let router_id t = t.cfg.router_id
+let peer_list t = List.rev t.peers
+
+let find_peer t id =
+  match List.find_opt (fun p -> p.id = id) t.peers with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Speaker: unknown peer %d" id)
+
+let peer_state t id = (find_peer t id).state
+let peer_ids t = List.rev_map (fun p -> p.id) t.peers
+
+let established_count t =
+  List.length (List.filter (fun p -> p.state = Established) t.peers)
+
+let best t prefix = Rib.best t.rib prefix
+let routes t = Rib.loc_rib t.rib
+
+let on_loc_rib_change t f = t.rib_hooks <- t.rib_hooks @ [ f ]
+let on_established t f = t.established_hooks <- t.established_hooks @ [ f ]
+let on_session_down t f = t.down_hooks <- t.down_hooks @ [ f ]
+
+let counters t =
+  {
+    opens_sent = t.opens_sent;
+    updates_sent = t.updates_sent;
+    updates_received = t.updates_received;
+    keepalives_sent = t.keepalives_sent;
+    keepalives_received = t.keepalives_received;
+    notifications_sent = t.notifications_sent;
+    decode_errors = t.decode_errors;
+  }
+
+(* --- sending ------------------------------------------------------- *)
+
+let send_msg t peer msg =
+  (match msg with
+  | Msg.Open _ -> t.opens_sent <- t.opens_sent + 1
+  | Msg.Update _ -> t.updates_sent <- t.updates_sent + 1
+  | Msg.Keepalive -> t.keepalives_sent <- t.keepalives_sent + 1
+  | Msg.Notification _ -> t.notifications_sent <- t.notifications_sent + 1);
+  Channel.send peer.endpoint (Msg.encode msg)
+
+(* Export-time attribute rewrite (eBGP): prepend our ASN, set
+   NEXT_HOP to ourselves, strip MED and LOCAL_PREF; COMMUNITIES are
+   transitive and carried through. *)
+let export_attrs t (route : Rib.route) =
+  {
+    Msg.origin = route.Rib.attrs.Msg.origin;
+    as_path = t.cfg.asn :: route.Rib.attrs.Msg.as_path;
+    next_hop = t.cfg.router_id;
+    med = None;
+    local_pref = None;
+    communities = route.Rib.attrs.Msg.communities;
+  }
+
+(* Flush one peer's pending sets as UPDATE messages, grouping NLRI
+   that share identical exported attributes. *)
+let flush_peer t peer =
+  peer.mrai_armed <- false;
+  if peer.state = Established then begin
+    let withdraws =
+      Prefix_set.filter (fun p -> Prefix_set.mem p peer.advertised)
+        peer.pending_withdraw
+    in
+    let announces = peer.pending_announce in
+    peer.pending_withdraw <- Prefix_set.empty;
+    peer.pending_announce <- Prefix_set.empty;
+    (* Re-read the loc-rib at flush time (MRAI coalescing). *)
+    let grouped : (Msg.attrs * Prefix.t list ref) list ref = ref [] in
+    let extra_withdraws = ref Prefix_set.empty in
+    Prefix_set.iter
+      (fun prefix ->
+        match Rib.best t.rib prefix with
+        | [] -> extra_withdraws := Prefix_set.add prefix !extra_withdraws
+        | (first :: _ : Rib.route list) as bests ->
+            (* Split horizon: never advertise back to a source peer. *)
+            let from_this_peer =
+              List.exists (fun (r : Rib.route) -> r.Rib.peer = peer.id) bests
+            in
+            if from_this_peer then
+              extra_withdraws := Prefix_set.add prefix !extra_withdraws
+            else
+              let attrs = export_attrs t first in
+              (match Policy.eval peer.export prefix attrs with
+              | None -> extra_withdraws := Prefix_set.add prefix !extra_withdraws
+              | Some attrs -> (
+                  match
+                    List.find_opt (fun (a, _) -> Msg.attrs_equal a attrs) !grouped
+                  with
+                  | Some (_, nlri) -> nlri := prefix :: !nlri
+                  | None -> grouped := (attrs, ref [ prefix ]) :: !grouped)))
+      announces;
+    let withdraws =
+      Prefix_set.union withdraws
+        (Prefix_set.filter (fun p -> Prefix_set.mem p peer.advertised)
+           !extra_withdraws)
+    in
+    let withdraw_list = Prefix_set.elements withdraws in
+    (* One UPDATE carrying all withdraws (possibly with the first
+       announce group), then one per remaining group. *)
+    (match (!grouped, withdraw_list) with
+    | [], [] -> ()
+    | [], w ->
+        send_msg t peer (Msg.Update { withdrawn = w; reach = None });
+        peer.advertised <-
+          Prefix_set.diff peer.advertised (Prefix_set.of_list w)
+    | groups, w ->
+        List.iteri
+          (fun i (attrs, nlri) ->
+            let withdrawn = if i = 0 then w else [] in
+            send_msg t peer
+              (Msg.Update { withdrawn; reach = Some (attrs, List.rev !nlri) }))
+          groups;
+        peer.advertised <-
+          Prefix_set.diff peer.advertised (Prefix_set.of_list w);
+        List.iter
+          (fun (_, nlri) ->
+            peer.advertised <-
+              Prefix_set.union peer.advertised (Prefix_set.of_list !nlri))
+          groups)
+  end
+
+let schedule_flush t peer =
+  if Time.equal t.cfg.mrai Time.zero then flush_peer t peer
+  else if not peer.mrai_armed then begin
+    peer.mrai_armed <- true;
+    Process.after t.proc t.cfg.mrai (fun () -> flush_peer t peer)
+  end
+
+let enqueue_prefix t prefix =
+  List.iter
+    (fun peer ->
+      if peer.state = Established then begin
+        (match Rib.best t.rib prefix with
+        | [] ->
+            peer.pending_withdraw <- Prefix_set.add prefix peer.pending_withdraw;
+            peer.pending_announce <- Prefix_set.remove prefix peer.pending_announce
+        | _ :: _ ->
+            peer.pending_announce <- Prefix_set.add prefix peer.pending_announce;
+            peer.pending_withdraw <- Prefix_set.remove prefix peer.pending_withdraw);
+        schedule_flush t peer
+      end)
+    t.peers
+
+let notify_rib_change t prefix routes =
+  List.iter (fun f -> f prefix routes) t.rib_hooks
+
+let refresh_and_propagate t prefix =
+  match Rib.refresh ~multipath:t.cfg.multipath t.rib prefix with
+  | Rib.Unchanged -> ()
+  | Rib.Changed routes ->
+      notify_rib_change t prefix routes;
+      enqueue_prefix t prefix
+
+(* --- session management -------------------------------------------- *)
+
+let start_keepalive t peer =
+  let interval = Time.div peer.negotiated_hold 3 in
+  let interval = Time.max interval (Time.of_ms 100) in
+  peer.keepalive_timer <-
+    Some (Process.every t.proc interval (fun () -> send_msg t peer Msg.Keepalive))
+
+let session_established t peer =
+  peer.state <- Established;
+  tracef t "session to AS%d established" peer.remote_asn;
+  start_keepalive t peer;
+  List.iter (fun f -> f peer.id) t.established_hooks;
+  (* Initial table transfer: everything in the Loc-RIB. *)
+  List.iter
+    (fun (prefix, _) ->
+      peer.pending_announce <- Prefix_set.add prefix peer.pending_announce)
+    (Rib.loc_rib t.rib);
+  schedule_flush t peer
+
+let session_down t peer ~reason =
+  if peer.state <> Idle then begin
+    tracef t "session to AS%d down (%s)" peer.remote_asn reason;
+    peer.state <- Idle;
+    Option.iter Sched.cancel_recurring peer.keepalive_timer;
+    peer.keepalive_timer <- None;
+    peer.pending_announce <- Prefix_set.empty;
+    peer.pending_withdraw <- Prefix_set.empty;
+    peer.advertised <- Prefix_set.empty;
+    let affected = Rib.drop_peer t.rib ~peer:peer.id in
+    List.iter (refresh_and_propagate t) affected;
+    List.iter (fun f -> f peer.id) t.down_hooks
+  end
+
+(* --- receiving ----------------------------------------------------- *)
+
+let handle_open t peer (o : Msg.open_msg) =
+  if o.Msg.asn <> peer.remote_asn then begin
+    send_msg t peer (Msg.Notification { code = 2; subcode = 2 });
+    session_down t peer ~reason:"bad peer AS"
+  end
+  else begin
+    peer.remote_id <- o.Msg.bgp_id;
+    peer.negotiated_hold <-
+      Time.min t.cfg.hold_time (Time.of_sec (float_of_int o.Msg.hold_time_s));
+    send_msg t peer Msg.Keepalive;
+    match peer.state with
+    | OpenSent -> peer.state <- OpenConfirm
+    | Idle | OpenConfirm | Established -> peer.state <- OpenConfirm
+  end
+
+let handle_update t peer (u : Msg.update) =
+  t.updates_received <- t.updates_received + 1;
+  let affected = ref Prefix_set.empty in
+  List.iter
+    (fun prefix ->
+      Rib.withdraw_in t.rib ~peer:peer.id prefix;
+      affected := Prefix_set.add prefix !affected)
+    u.Msg.withdrawn;
+  (match u.Msg.reach with
+  | None -> ()
+  | Some (attrs, nlri) ->
+      (* AS-path loop prevention. *)
+      if not (List.mem t.cfg.asn attrs.Msg.as_path) then
+        List.iter
+          (fun prefix ->
+            match Policy.eval peer.import prefix attrs with
+            | None ->
+                Rib.withdraw_in t.rib ~peer:peer.id prefix;
+                affected := Prefix_set.add prefix !affected
+            | Some attrs ->
+                Rib.set_in t.rib ~peer:peer.id ~peer_bgp_id:peer.remote_id
+                  ~at:(now t) prefix attrs;
+                affected := Prefix_set.add prefix !affected)
+          nlri);
+  Prefix_set.iter (refresh_and_propagate t) !affected
+
+let handle_message t peer msg =
+  peer.last_rx <- now t;
+  match msg with
+  | Msg.Open o -> handle_open t peer o
+  | Msg.Keepalive -> (
+      t.keepalives_received <- t.keepalives_received + 1;
+      match peer.state with
+      | OpenConfirm -> session_established t peer
+      | Idle | OpenSent | Established -> ())
+  | Msg.Update u ->
+      if peer.state = Established then handle_update t peer u
+  | Msg.Notification { code; subcode } ->
+      session_down t peer
+        ~reason:(Printf.sprintf "notification %d/%d received" code subcode)
+
+let process_message t peer bytes =
+  match Msg.decode bytes with
+  | Ok msg -> handle_message t peer msg
+  | Error err ->
+      t.decode_errors <- t.decode_errors + 1;
+      tracef t "decode error from AS%d: %s" peer.remote_asn err;
+      send_msg t peer (Msg.Notification { code = 1; subcode = 0 });
+      session_down t peer ~reason:"message decode error"
+
+(* Received messages drain through a single serialised work queue,
+   each consuming [processing_delay] of virtual CPU time — a real
+   daemon is effectively single-threaded, and this is what stretches
+   convergence into the multi-millisecond range the FTI mode tracks. *)
+let rec process_next t =
+  match Queue.take_opt t.inbox with
+  | None -> t.busy <- false
+  | Some (peer, bytes) ->
+      process_message t peer bytes;
+      Process.after t.proc t.cfg.processing_delay (fun () -> process_next t)
+
+let receive t peer bytes =
+  if Process.is_alive t.proc then
+    if Time.equal t.cfg.processing_delay Time.zero then
+      process_message t peer bytes
+    else begin
+      Queue.add (peer, bytes) t.inbox;
+      if not t.busy then begin
+        t.busy <- true;
+        Process.after t.proc t.cfg.processing_delay (fun () -> process_next t)
+      end
+    end
+
+let bind_endpoint t peer endpoint =
+  peer.endpoint <- endpoint;
+  Channel.set_receiver endpoint (fun bytes -> receive t peer bytes);
+  Channel.set_on_close endpoint (fun () ->
+      if Process.is_alive t.proc then
+        session_down t peer ~reason:"channel closed")
+
+let send_open t peer =
+  peer.state <- OpenSent;
+  peer.last_rx <- now t;
+  send_msg t peer
+    (Msg.Open
+       {
+         asn = t.cfg.asn;
+         hold_time_s = int_of_float (Time.to_sec t.cfg.hold_time);
+         bgp_id = t.cfg.router_id;
+       })
+
+let add_peer ?(import = Policy.accept_all) ?(export = Policy.accept_all) t
+    ~remote_asn endpoint =
+  let peer =
+    {
+      id = t.next_peer_id;
+      remote_asn;
+      endpoint;
+      import;
+      export;
+      state = Idle;
+      remote_id = Ipv4.any;
+      negotiated_hold = t.cfg.hold_time;
+      last_rx = Time.zero;
+      keepalive_timer = None;
+      pending_announce = Prefix_set.empty;
+      pending_withdraw = Prefix_set.empty;
+      mrai_armed = false;
+      advertised = Prefix_set.empty;
+    }
+  in
+  t.next_peer_id <- t.next_peer_id + 1;
+  t.peers <- peer :: t.peers;
+  bind_endpoint t peer endpoint;
+  peer.id
+
+(* Hold-timer supervision: one shared periodic check. *)
+let check_holds t =
+  List.iter
+    (fun peer ->
+      match peer.state with
+      | Idle -> ()
+      | OpenSent ->
+          (* Retry OPEN if the peer stays silent. *)
+          if Time.(Time.sub (now t) peer.last_rx > peer.negotiated_hold) then
+            send_open t peer
+      | OpenConfirm | Established ->
+          if Time.(Time.sub (now t) peer.last_rx > peer.negotiated_hold) then begin
+            send_msg t peer (Msg.Notification { code = 4; subcode = 0 });
+            session_down t peer ~reason:"hold timer expired"
+          end)
+    t.peers
+
+let local_attrs t =
+  {
+    Msg.origin = Msg.Igp;
+    as_path = [];
+    next_hop = t.cfg.router_id;
+    med = None;
+    local_pref = None;
+    communities = [];
+  }
+
+let announce t prefix =
+  Rib.add_local t.rib ~at:(now t) prefix (local_attrs t);
+  refresh_and_propagate t prefix
+
+let withdraw_network t prefix =
+  Rib.remove_local t.rib prefix;
+  refresh_and_propagate t prefix
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    List.iter (fun prefix -> announce t prefix) t.cfg.networks;
+    List.iter (fun peer -> send_open t peer) (peer_list t);
+    let check_interval = Time.max (Time.div t.cfg.hold_time 3) (Time.of_ms 100) in
+    ignore (Process.every t.proc check_interval (fun () -> check_holds t));
+    tracef t "speaker AS%d started with %d peers" t.cfg.asn (List.length t.peers)
+  end
+
+let shutdown t =
+  List.iter
+    (fun peer ->
+      if peer.state <> Idle then begin
+        send_msg t peer (Msg.Notification { code = 6; subcode = 0 });
+        session_down t peer ~reason:"administrative shutdown"
+      end)
+    t.peers
+
+let start_peer t peer_id =
+  let peer = find_peer t peer_id in
+  if t.started && peer.state = Idle then send_open t peer
+
+let replace_peer_endpoint t peer_id endpoint =
+  let peer = find_peer t peer_id in
+  if peer.state <> Idle then
+    invalid_arg "Speaker.replace_peer_endpoint: session not Idle";
+  bind_endpoint t peer endpoint

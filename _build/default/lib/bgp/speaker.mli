@@ -1,0 +1,109 @@
+(** An emulated BGP-4 routing daemon (the Quagga stand-in).
+
+    A speaker runs as an {!Horse_emulation.Process}: its timers
+    (keepalive, hold, MRAI) are virtual-time timers that die with the
+    process, and its sessions are {!Horse_emulation.Channel}s carrying
+    real serialized {!Msg} bytes. Sessions are eBGP: announcements to
+    a peer get the speaker's ASN prepended, NEXT_HOP rewritten to the
+    router id, and MED/LOCAL_PREF stripped.
+
+    Protocol behaviour implemented: the session FSM
+    (Idle → OpenSent → OpenConfirm → Established), hold-timer expiry
+    with full route retraction, AS-path loop rejection, implicit and
+    explicit withdraws, split-horizon towards the route's source
+    peer(s), per-peer import/export policy, MRAI batching of updates,
+    and BGP multipath in the decision process. *)
+
+open Horse_net
+open Horse_engine
+open Horse_emulation
+
+type peer_state = Idle | OpenSent | OpenConfirm | Established
+
+val pp_peer_state : Format.formatter -> peer_state -> unit
+
+type config = {
+  asn : int;
+  router_id : Ipv4.t;
+  hold_time : Time.t;  (** proposed hold time; keepalives at a third *)
+  mrai : Time.t;  (** Time.zero = advertise immediately *)
+  multipath : bool;
+  networks : Prefix.t list;  (** prefixes originated at startup *)
+  processing_delay : Time.t;
+      (** virtual CPU time consumed per received message, serialised
+          through a single work queue — models the single-threaded
+          processing of a real routing daemon. {!Time.zero} handles
+          messages inline. *)
+}
+
+val default_config : asn:int -> router_id:Ipv4.t -> config
+(** hold 9 s, MRAI 0, multipath on, no networks, 100 µs processing
+    delay. *)
+
+type t
+
+val create : ?trace:Trace.t -> Process.t -> config -> t
+val process : t -> Process.t
+val asn : t -> int
+val router_id : t -> Ipv4.t
+
+val add_peer :
+  ?import:Policy.t -> ?export:Policy.t -> t -> remote_asn:int -> Channel.endpoint -> int
+(** Configures a session over the given channel endpoint and returns
+    the peer id. Call before {!start}. Default policies accept
+    everything. *)
+
+val start : t -> unit
+(** Sends OPEN to every configured peer and arms the timers. *)
+
+val shutdown : t -> unit
+(** Graceful: NOTIFICATION (Cease) to every peer, sessions to Idle.
+    The underlying process stays alive. For a crash, kill the
+    process instead — peers find out via their hold timers. *)
+
+val start_peer : t -> int -> unit
+(** (Re)starts one session: sends OPEN and moves the peer to OpenSent.
+    No-op unless the peer is Idle and the speaker has been started.
+    Used to bring a session back after {!shutdown} or a repaired
+    link. *)
+
+val replace_peer_endpoint : t -> int -> Channel.endpoint -> unit
+(** Rebinds an Idle peer to a fresh channel endpoint (the old channel
+    of a failed link is gone for good). Follow with {!start_peer}.
+    @raise Invalid_argument if the session is not Idle. *)
+
+val announce : t -> Prefix.t -> unit
+(** Originates a prefix at runtime. *)
+
+val withdraw_network : t -> Prefix.t -> unit
+(** Stops originating a prefix. *)
+
+val peer_state : t -> int -> peer_state
+val peer_ids : t -> int list
+val established_count : t -> int
+
+val best : t -> Prefix.t -> Rib.route list
+val routes : t -> (Prefix.t * Rib.route list) list
+
+val on_loc_rib_change : t -> (Prefix.t -> Rib.route list -> unit) -> unit
+(** Fired whenever the Loc-RIB entry for a prefix changes; an empty
+    route list means the prefix was removed. This is where the
+    Connection Manager installs routes into the simulated data
+    plane. *)
+
+val on_established : t -> (int -> unit) -> unit
+(** Fired with the peer id when a session reaches Established. *)
+
+val on_session_down : t -> (int -> unit) -> unit
+
+type counters = {
+  opens_sent : int;
+  updates_sent : int;
+  updates_received : int;
+  keepalives_sent : int;
+  keepalives_received : int;
+  notifications_sent : int;
+  decode_errors : int;
+}
+
+val counters : t -> counters

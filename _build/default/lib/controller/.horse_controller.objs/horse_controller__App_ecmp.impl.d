@@ -1,0 +1,1 @@
+lib/controller/app_ecmp.ml: Action Controller Env Flow_key Horse_net Horse_openflow Horse_topo Install List Ofmatch Ofmsg Packet Prefix Spf Topology

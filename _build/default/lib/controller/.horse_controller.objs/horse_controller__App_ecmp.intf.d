@@ -1,0 +1,1 @@
+lib/controller/app_ecmp.mli: Controller Env Flow_key Horse_net Horse_topo Spf

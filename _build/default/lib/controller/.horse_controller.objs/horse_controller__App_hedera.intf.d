@@ -1,0 +1,1 @@
+lib/controller/app_hedera.mli: Controller Env Flow_key Horse_engine Horse_net Horse_topo Spf Time

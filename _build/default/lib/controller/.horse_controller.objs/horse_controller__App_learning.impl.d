@@ -1,0 +1,1 @@
+lib/controller/app_learning.ml: Action Controller Hashtbl Headers Horse_net Horse_openflow Mac Ofmatch Ofmsg Packet

@@ -1,0 +1,1 @@
+lib/controller/app_learning.mli: Controller Horse_net Mac

@@ -1,0 +1,1 @@
+lib/controller/controller.ml: Channel Format Hashtbl Horse_emulation Horse_engine Horse_openflow List Ofmatch Ofmsg Process Sched Trace

@@ -1,0 +1,1 @@
+lib/controller/controller.mli: Channel Horse_emulation Horse_engine Horse_openflow Ofmatch Ofmsg Process Trace

@@ -1,0 +1,1 @@
+lib/controller/demand.mli:

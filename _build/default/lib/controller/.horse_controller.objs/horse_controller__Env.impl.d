@@ -1,0 +1,1 @@
+lib/controller/env.ml: Hashtbl Horse_net Horse_topo Int Ipv4 List Spf Topology

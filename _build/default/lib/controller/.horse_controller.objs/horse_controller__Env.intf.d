@@ -1,0 +1,1 @@
+lib/controller/env.mli: Horse_net Horse_topo Ipv4 Spf Topology

@@ -1,0 +1,1 @@
+lib/controller/install.ml: Action Controller Env Horse_openflow Horse_topo List Ofmsg Topology

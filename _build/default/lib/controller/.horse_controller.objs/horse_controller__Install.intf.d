@@ -1,0 +1,1 @@
+lib/controller/install.mli: Controller Env Horse_openflow Horse_topo Ofmatch Spf

@@ -1,0 +1,1 @@
+lib/controller/placer.ml: Array Float Hashtbl Horse_engine Horse_topo List Option Spf Topology

@@ -1,0 +1,1 @@
+lib/controller/placer.mli: Horse_engine Horse_topo Spf

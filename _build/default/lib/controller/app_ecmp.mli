@@ -1,0 +1,48 @@
+(** Reactive ECMP routing — the demonstration's TE approach (iii)
+    "SDN 5-tuple ECMP", with the (i)-style source/destination hash as
+    an alternative mode.
+
+    On each PACKET_IN the application parses the frame, enumerates the
+    equal-cost shortest paths between the two hosts, picks one by
+    hashing the flow key, installs exact-match entries along the path,
+    and releases the packet with PACKET_OUT. All control-plane
+    activity is therefore concentrated at flow arrival — exactly the
+    pattern the paper uses to showcase the DES/FTI transition. *)
+
+open Horse_net
+open Horse_topo
+
+type mode =
+  | Five_tuple  (** hash(src ip, dst ip, proto, ports) *)
+  | Src_dst  (** hash(src ip, dst ip) — coarser, collision-prone *)
+
+type t
+
+val install :
+  ?mode:mode ->
+  ?priority:int ->
+  ?idle_timeout_s:int ->
+  Controller.t ->
+  Env.t ->
+  t
+(** Hooks the application into the controller. Defaults: [Five_tuple],
+    priority 10, no idle timeout. *)
+
+val flows_routed : t -> int
+
+val reroutes : t -> int
+(** Flows moved in response to PORT_STATUS events. *)
+
+val on_reroute : t -> (Flow_key.t -> Spf.path -> unit) -> unit
+(** Fired when a port-status event forces a routed flow onto a new
+    path (the experiment scaffolding re-paths the fluid flow). *)
+
+val path_of : t -> Flow_key.t -> Spf.path option
+(** The path this application chose for a flow (for tests and for
+    Hedera's bookkeeping). *)
+
+val routed_flows : t -> (Flow_key.t * Spf.path) list
+
+val select_path : mode -> Flow_key.t -> Spf.path list -> Spf.path option
+(** The pure path-choice function (hash then index), exposed for
+    property tests; [None] on an empty candidate list. *)

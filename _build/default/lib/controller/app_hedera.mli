@@ -1,0 +1,60 @@
+(** Hedera dynamic flow scheduling (Al-Fares et al., NSDI 2010) — the
+    demonstration's TE approach (ii).
+
+    New flows are first routed reactively by 5-tuple ECMP (embedded
+    {!App_ecmp}). Every polling interval — 5 seconds in the paper and
+    by default — the application:
+
+    + requests flow statistics from every edge switch (real
+      STATS_REQUEST/REPLY round trips, so each poll pulls the hybrid
+      clock back into FTI mode);
+    + reconstructs the active flow set from the returned exact-match
+      entries;
+    + runs the NSDI demand estimator ({!Demand}) on the host-pair
+      matrix;
+    + selects flows whose estimated demand exceeds the threshold (10%
+      of NIC rate);
+    + places them with Global First Fit (or Simulated Annealing) over
+      their equal-cost paths ({!Placer});
+    + installs higher-priority entries for flows whose placement
+      changed.
+
+    This periodic control activity is exactly why Hedera spends more
+    wall time in FTI mode than the one-shot ECMP schemes in Figure 3's
+    experiment. *)
+
+open Horse_engine
+open Horse_net
+open Horse_topo
+
+type placer_kind = Gff | Annealing
+
+type t
+
+val install :
+  ?poll_interval:Time.t ->
+  ?threshold:float ->
+  ?placer:placer_kind ->
+  ?nic_bps:float ->
+  ?seed:int ->
+  Controller.t ->
+  Env.t ->
+  t
+(** Defaults: poll 5 s, threshold 0.1, GFF, 1 Gbps NICs, seed 42
+    (annealing only). Polling starts when the first switch
+    handshake completes. *)
+
+val polls_completed : t -> int
+val reroutes : t -> int
+(** Total big-flow placements that changed a path. *)
+
+val last_big_flows : t -> int
+(** Number of large flows detected in the most recent poll. *)
+
+val path_of : t -> Flow_key.t -> Spf.path option
+(** Current path (scheduler override if any, otherwise the ECMP
+    choice). *)
+
+val on_reroute : t -> (Flow_key.t -> Spf.path -> unit) -> unit
+(** Observe placement changes (the experiment scaffolding re-paths the
+    corresponding fluid flows). *)

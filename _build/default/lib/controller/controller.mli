@@ -1,0 +1,54 @@
+(** The SDN controller framework (the Ryu/ONOS stand-in).
+
+    A controller is an emulated process speaking real OpenFlow bytes
+    over one channel per switch. It runs the handshake (HELLO +
+    FEATURES_REQUEST), demultiplexes asynchronous messages to
+    application hooks, and correlates request/reply pairs (stats,
+    barrier) by transaction id. Applications ({!App_learning},
+    {!App_ecmp}, {!App_hedera}) are written against this interface. *)
+
+open Horse_engine
+open Horse_openflow
+open Horse_emulation
+
+type t
+
+type sw
+(** The controller's view of one connected switch. *)
+
+val create : ?trace:Trace.t -> Process.t -> t
+
+val process : t -> Process.t
+
+val connect : t -> Channel.endpoint -> unit
+(** Attach one switch's control channel and start the handshake. *)
+
+val switches : t -> sw list
+(** Switches that completed the handshake, in connection order. *)
+
+val switch_by_dpid : t -> int -> sw option
+val dpid : sw -> int
+
+val on_switch_up : t -> (sw -> unit) -> unit
+(** Fired when a switch's FEATURES_REPLY arrives. *)
+
+val on_packet_in : t -> (sw -> Ofmsg.packet_in -> unit) -> unit
+
+val on_port_status : t -> (sw -> Ofmsg.port_status -> unit) -> unit
+(** Fired on PORT_STATUS (a link coming up or going down at a
+    switch). *)
+
+val send_flow_mod : t -> sw -> Ofmsg.flow_mod -> unit
+val send_packet_out : t -> sw -> Ofmsg.packet_out -> unit
+
+val request_flow_stats :
+  t -> sw -> ?match_:Ofmatch.t -> (Ofmsg.flow_stats list -> unit) -> unit
+(** Asynchronous; the callback runs when the reply arrives. The
+    default match is all-wildcards. *)
+
+val request_port_stats : t -> sw -> (Ofmsg.port_stats list -> unit) -> unit
+
+val barrier : t -> sw -> (unit -> unit) -> unit
+
+val flow_mods_sent : t -> int
+val packet_ins_received : t -> int

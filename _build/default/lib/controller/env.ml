@@ -1,0 +1,96 @@
+open Horse_net
+open Horse_topo
+
+type t = {
+  env_topo : Topology.t;
+  env_dpid_of_node : int -> int option;
+  env_node_of_dpid : int -> int option;
+  env_port_of_link : int -> int option;
+  mutable trees : (int, Spf.tree) Hashtbl.t;
+  mutable ip_index : (Ipv4.t, int) Hashtbl.t option;
+  down_links : (int, unit) Hashtbl.t;
+}
+
+let create ~topo ~dpid_of_node ~node_of_dpid ~port_of_link () =
+  {
+    env_topo = topo;
+    env_dpid_of_node = dpid_of_node;
+    env_node_of_dpid = node_of_dpid;
+    env_port_of_link = port_of_link;
+    trees = Hashtbl.create 32;
+    ip_index = None;
+    down_links = Hashtbl.create 8;
+  }
+
+let topo t = t.env_topo
+let dpid_of_node t = t.env_dpid_of_node
+let node_of_dpid t = t.env_node_of_dpid
+let port_of_link t = t.env_port_of_link
+
+let ip_index t =
+  match t.ip_index with
+  | Some index -> index
+  | None ->
+      let index = Hashtbl.create 64 in
+      List.iter
+        (fun (n : Topology.node) ->
+          match (n.Topology.kind, n.Topology.ip) with
+          | Topology.Host, Some ip -> Hashtbl.replace index ip n.Topology.id
+          | (Topology.Host | Topology.Switch | Topology.Router), _ -> ())
+        (Topology.nodes t.env_topo);
+      t.ip_index <- Some index;
+      index
+
+let host_of_ip t ip = Hashtbl.find_opt (ip_index t) ip
+
+let link_usable t link_id = not (Hashtbl.mem t.down_links link_id)
+
+let set_link_usable t link_id usable =
+  let changed =
+    if usable then Hashtbl.mem t.down_links link_id
+    else not (Hashtbl.mem t.down_links link_id)
+  in
+  if changed then begin
+    if usable then Hashtbl.remove t.down_links link_id
+    else Hashtbl.replace t.down_links link_id ();
+    (* Paths through the link are stale. *)
+    t.trees <- Hashtbl.create 32
+  end
+
+let tree t src =
+  match Hashtbl.find_opt t.trees src with
+  | Some tr -> tr
+  | None ->
+      let tr =
+        Spf.shortest_tree
+          ~usable:(fun (l : Topology.link) -> link_usable t l.Topology.link_id)
+          t.env_topo ~src
+      in
+      Hashtbl.add t.trees src tr;
+      tr
+
+let ecmp_paths t ~src ~dst = Spf.ecmp_paths (tree t src) t.env_topo ~dst
+
+let edge_switch_of_host t host =
+  List.find_map
+    (fun (l : Topology.link) ->
+      let peer = Topology.node t.env_topo l.Topology.dst in
+      match peer.Topology.kind with
+      | Topology.Switch -> Some peer.Topology.id
+      | Topology.Host | Topology.Router -> None)
+    (Topology.out_links t.env_topo host)
+
+let edge_dpids t =
+  let dpids =
+    List.filter_map
+      (fun (h : Topology.node) ->
+        match edge_switch_of_host t h.Topology.id with
+        | Some sw -> t.env_dpid_of_node sw
+        | None -> None)
+      (Topology.hosts t.env_topo)
+  in
+  List.sort_uniq Int.compare dpids
+
+let invalidate t =
+  t.trees <- Hashtbl.create 32;
+  t.ip_index <- None

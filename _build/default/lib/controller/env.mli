@@ -1,0 +1,51 @@
+(** The controller applications' view of the fabric.
+
+    Real controllers learn the topology via LLDP discovery; the Horse
+    demonstration (like most Ryu example apps) hands the application a
+    topology map instead. [Env] bundles that map with the
+    dpid↔node and link↔port translations the experiment scaffolding
+    established, plus a cache of equal-cost shortest paths. *)
+
+open Horse_net
+open Horse_topo
+
+type t
+
+val create :
+  topo:Topology.t ->
+  dpid_of_node:(int -> int option) ->
+  node_of_dpid:(int -> int option) ->
+  port_of_link:(int -> int option) ->
+  unit ->
+  t
+(** [port_of_link] maps a directed link id to the OpenFlow port number
+    on its source switch. *)
+
+val topo : t -> Topology.t
+val dpid_of_node : t -> int -> int option
+val node_of_dpid : t -> int -> int option
+val port_of_link : t -> int -> int option
+
+val host_of_ip : t -> Ipv4.t -> int option
+(** Node id of the host owning this address (scans once, then
+    cached). *)
+
+val ecmp_paths : t -> src:int -> dst:int -> Spf.path list
+(** All equal-cost shortest paths between two nodes, cached per
+    source. *)
+
+val edge_switch_of_host : t -> int -> int option
+(** The switch adjacent to a host node. *)
+
+val edge_dpids : t -> int list
+(** Dpids of switches that have at least one host attached, sorted. *)
+
+val set_link_usable : t -> int -> bool -> unit
+(** Administratively marks a directed link up/down; down links are
+    excluded from {!ecmp_paths} and the path caches are dropped. The
+    applications call this from PORT_STATUS notifications. *)
+
+val link_usable : t -> int -> bool
+
+val invalidate : t -> unit
+(** Drops the path and host caches (after a topology change). *)

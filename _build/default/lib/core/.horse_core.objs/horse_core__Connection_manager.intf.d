@@ -1,0 +1,1 @@
+lib/core/connection_manager.mli: Channel Horse_emulation Horse_engine Sched Time Trace

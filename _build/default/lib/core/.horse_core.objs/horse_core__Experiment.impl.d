@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Connection_manager Fluid Horse_dataplane Horse_engine Horse_topo Rng Sched Topology Trace

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Connection_manager Fluid Horse_dataplane Horse_engine Horse_topo Rng Sched Time Topology Trace

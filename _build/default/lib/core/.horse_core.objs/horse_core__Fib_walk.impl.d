@@ -1,0 +1,1 @@
+lib/core/fib_walk.ml: Flow_key Fwd Horse_dataplane Horse_net Horse_topo Ipv4 List Printf Topology

@@ -1,0 +1,1 @@
+lib/core/fib_walk.mli: Flow_key Fwd Horse_dataplane Horse_net Horse_topo Spf Topology

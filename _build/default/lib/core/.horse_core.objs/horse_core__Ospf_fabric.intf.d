@@ -1,0 +1,1 @@
+lib/core/ospf_fabric.mli: Connection_manager Daemon Flow_key Fwd Horse_dataplane Horse_engine Horse_net Horse_ospf Horse_topo Prefix Spf Time Topology

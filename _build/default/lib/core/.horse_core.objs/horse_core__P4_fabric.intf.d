@@ -1,0 +1,1 @@
+lib/core/p4_fabric.mli: Agent Connection_manager Flow_key Horse_engine Horse_net Horse_p4 Horse_topo Prog Spf Time Topology

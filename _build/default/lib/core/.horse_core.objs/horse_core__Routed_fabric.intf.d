@@ -1,0 +1,1 @@
+lib/core/routed_fabric.mli: Connection_manager Flow_key Fwd Horse_bgp Horse_dataplane Horse_engine Horse_net Horse_topo Prefix Speaker Spf Time Topology

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Format Horse_engine Horse_stats Sched Series Time

@@ -1,0 +1,1 @@
+lib/core/sdn_fabric.mli: Connection_manager Controller Env Flow_key Fluid Horse_controller Horse_dataplane Horse_engine Horse_net Horse_openflow Horse_topo Spf Switch Time Topology

@@ -1,0 +1,1 @@
+lib/core/traffic.ml: Array Experiment Float Flow Flow_key Fluid Horse_dataplane Horse_engine Horse_net Horse_topo List Option Rng Sched Time Topology

@@ -1,0 +1,1 @@
+lib/core/traffic.mli: Experiment Flow_key Horse_engine Horse_net Horse_topo Rng Spf Time Topology

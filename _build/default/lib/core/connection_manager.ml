@@ -1,0 +1,41 @@
+open Horse_engine
+open Horse_emulation
+
+type t = {
+  sched : Sched.t;
+  cm_trace : Trace.t;
+  mutable channels : int;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable last_activity : Time.t;
+}
+
+let create sched trace =
+  {
+    sched;
+    cm_trace = trace;
+    channels = 0;
+    messages = 0;
+    bytes = 0;
+    last_activity = Time.zero;
+  }
+
+let scheduler t = t.sched
+let trace t = t.cm_trace
+
+let control_channel ?latency ?(name = "control") t =
+  let channel = Channel.create t.sched ?latency () in
+  t.channels <- t.channels + 1;
+  Trace.addf t.cm_trace ~at:(Sched.now t.sched) ~label:"cm"
+    "channel %d created (%s)" t.channels name;
+  Channel.set_observer channel (fun _dir msg ->
+      t.messages <- t.messages + 1;
+      t.bytes <- t.bytes + Bytes.length msg;
+      t.last_activity <- Sched.now t.sched;
+      Sched.control_activity ~reason:name t.sched);
+  channel
+
+let channels_created t = t.channels
+let messages_observed t = t.messages
+let bytes_observed t = t.bytes
+let quiet_since t = t.last_activity

@@ -1,0 +1,27 @@
+open Horse_net
+open Horse_topo
+open Horse_dataplane
+
+let path_for ?(hash = Flow_key.hash_src_dst) ~topo ~table (key : Flow_key.t) =
+  match Topology.node_by_ip topo key.Flow_key.src with
+  | None -> Error "unknown source address"
+  | Some src ->
+      let h = hash key in
+      let rec walk node acc hops =
+        let n = Topology.node topo node in
+        match n.Topology.ip with
+        | Some ip when Ipv4.equal ip key.Flow_key.dst -> Ok (List.rev acc)
+        | Some _ | None -> (
+            if hops > 64 then Error "path exceeds 64 hops (routing loop?)"
+            else
+              match Fwd.lookup_select (table node) key.Flow_key.dst ~hash:h with
+              | None ->
+                  Error
+                    (Printf.sprintf "no route to %s at %s"
+                       (Ipv4.to_string key.Flow_key.dst)
+                       n.Topology.name)
+              | Some link_id ->
+                  let link = Topology.link topo link_id in
+                  walk link.Topology.dst (link :: acc) (hops + 1))
+      in
+      walk src.Topology.id [] 0

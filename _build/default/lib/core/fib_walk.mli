@@ -1,0 +1,16 @@
+(** Shared data-plane path resolution: walk per-node forwarding tables
+    from a flow's source host, choosing among ECMP groups by hash.
+    Used by both the BGP and the OSPF fabrics. *)
+
+open Horse_net
+open Horse_topo
+open Horse_dataplane
+
+val path_for :
+  ?hash:(Flow_key.t -> int) ->
+  topo:Topology.t ->
+  table:(int -> Fwd.t) ->
+  Flow_key.t ->
+  (Spf.path, string) result
+(** Default hash: {!Flow_key.hash_src_dst}. Fails on an unknown source
+    address, a missing route, or a walk beyond 64 hops. *)

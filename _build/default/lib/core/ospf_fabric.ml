@@ -1,0 +1,227 @@
+open Horse_net
+open Horse_engine
+open Horse_topo
+open Horse_dataplane
+open Horse_emulation
+open Horse_ospf
+
+type session = { node_a : int; node_b : int; channel : Channel.t }
+
+type t = {
+  fabric_topo : Topology.t;
+  sched : Sched.t;
+  daemons : (int, Daemon.t) Hashtbl.t;  (* node id -> daemon *)
+  tables : Fwd.t array;
+  iface_links : (int, (int, int) Hashtbl.t) Hashtbl.t;
+      (* node -> iface id -> out-link id *)
+  ospf_installed : (int, Prefix.t list ref) Hashtbl.t;  (* per node *)
+  originated : (int, Prefix.t list) Hashtbl.t;
+  mutable prefixes : Prefix.t list;
+  mutable sessions : session list;
+  mutable converged_fired : bool;
+  mutable converged_hooks : (unit -> unit) list;  (* reversed *)
+  mutable checker_armed : bool;
+}
+
+let synth_router_id id = Ipv4.of_octets 10 254 (id / 250) ((id mod 250) + 1)
+
+let is_daemon_node (n : Topology.node) =
+  match n.Topology.kind with
+  | Topology.Switch | Topology.Router -> true
+  | Topology.Host -> false
+
+(* Replace a node's OSPF-learned routes with a fresh table, leaving
+   the static host routes alone. *)
+let install_routes t node (routes : Lsdb.route list) =
+  let daemon = Hashtbl.find t.daemons node in
+  let links = Hashtbl.find t.iface_links node in
+  let installed =
+    match Hashtbl.find_opt t.ospf_installed node with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add t.ospf_installed node r;
+        r
+  in
+  let table = t.tables.(node) in
+  List.iter (fun prefix -> Fwd.remove_route table prefix) !installed;
+  installed := [];
+  List.iter
+    (fun (route : Lsdb.route) ->
+      let next_hops =
+        List.filter_map
+          (fun rid ->
+            match Daemon.interface_of_neighbor daemon rid with
+            | Some iface -> Hashtbl.find_opt links iface
+            | None -> None)
+          route.Lsdb.next_hops
+      in
+      if next_hops <> [] then begin
+        Fwd.set_route table route.Lsdb.prefix ~next_hops;
+        installed := route.Lsdb.prefix :: !installed
+      end)
+    routes
+
+let build ?(hello_interval = Time.of_sec 2.0) ?(dead_interval = Time.of_sec 8.0)
+    ~cm ~originate topo =
+  let sched = Connection_manager.scheduler cm in
+  let trace = Connection_manager.trace cm in
+  let t =
+    {
+      fabric_topo = topo;
+      sched;
+      daemons = Hashtbl.create 64;
+      tables = Array.init (Topology.n_nodes topo) (fun _ -> Fwd.create ());
+      iface_links = Hashtbl.create 64;
+      ospf_installed = Hashtbl.create 64;
+      originated = Hashtbl.create 64;
+      prefixes = [];
+      sessions = [];
+      converged_fired = false;
+      converged_hooks = [];
+      checker_armed = false;
+    }
+  in
+  List.iter
+    (fun (n : Topology.node) ->
+      if is_daemon_node n then begin
+        let stubs = originate n.Topology.id in
+        Hashtbl.replace t.originated n.Topology.id (List.map fst stubs);
+        t.prefixes <- List.map fst stubs @ t.prefixes;
+        let router_id =
+          match n.Topology.ip with
+          | Some ip -> ip
+          | None -> synth_router_id n.Topology.id
+        in
+        let proc = Process.create sched ~name:("ospf-" ^ n.Topology.name) in
+        let config =
+          {
+            (Daemon.default_config ~router_id) with
+            Daemon.hello_interval;
+            dead_interval;
+            stub_prefixes = stubs;
+          }
+        in
+        let daemon = Daemon.create ~trace proc config in
+        Hashtbl.replace t.daemons n.Topology.id daemon;
+        Hashtbl.replace t.iface_links n.Topology.id (Hashtbl.create 8)
+      end)
+    (Topology.nodes topo);
+  t.prefixes <- List.sort_uniq Prefix.compare t.prefixes;
+  (* Adjacencies over inter-daemon links. *)
+  List.iter
+    (fun (l : Topology.link) ->
+      if l.Topology.link_id < l.Topology.peer then
+        match
+          ( Hashtbl.find_opt t.daemons l.Topology.src,
+            Hashtbl.find_opt t.daemons l.Topology.dst )
+        with
+        | Some daemon_a, Some daemon_b ->
+            let name =
+              Printf.sprintf "ospf %s<->%s"
+                (Topology.node topo l.Topology.src).Topology.name
+                (Topology.node topo l.Topology.dst).Topology.name
+            in
+            let channel = Connection_manager.control_channel ~name cm in
+            let ep_a, ep_b = Channel.endpoints channel in
+            let iface_a = Daemon.add_interface daemon_a ep_a in
+            let iface_b = Daemon.add_interface daemon_b ep_b in
+            Hashtbl.replace
+              (Hashtbl.find t.iface_links l.Topology.src)
+              iface_a l.Topology.link_id;
+            Hashtbl.replace
+              (Hashtbl.find t.iface_links l.Topology.dst)
+              iface_b l.Topology.peer;
+            t.sessions <-
+              { node_a = l.Topology.src; node_b = l.Topology.dst; channel }
+              :: t.sessions
+        | None, _ | _, None -> ())
+    (Topology.links topo);
+  (* FIB wiring. *)
+  Hashtbl.iter
+    (fun node daemon ->
+      Daemon.on_routes_change daemon (fun routes -> install_routes t node routes))
+    t.daemons;
+  (* Static routes, as in the BGP fabric. *)
+  List.iter
+    (fun (h : Topology.node) ->
+      if h.Topology.kind = Topology.Host then
+        match Topology.out_links topo h.Topology.id with
+        | [ up ] -> (
+            Fwd.set_route t.tables.(h.Topology.id) Prefix.any
+              ~next_hops:[ up.Topology.link_id ];
+            match h.Topology.ip with
+            | Some ip ->
+                let down = Topology.link topo up.Topology.peer in
+                Fwd.set_route t.tables.(up.Topology.dst) (Prefix.host ip)
+                  ~next_hops:[ down.Topology.link_id ]
+            | None -> ())
+        | [] | _ :: _ ->
+            invalid_arg "Ospf_fabric.build: hosts must have degree 1")
+    (Topology.nodes topo);
+  t
+
+let start t = Hashtbl.iter (fun _node daemon -> Daemon.start daemon) t.daemons
+
+let topo t = t.fabric_topo
+
+let daemons t =
+  Hashtbl.fold (fun node daemon acc -> (node, daemon) :: acc) t.daemons []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let daemon t node = Hashtbl.find_opt t.daemons node
+let table t node = t.tables.(node)
+let all_prefixes t = t.prefixes
+
+let is_converged t =
+  Hashtbl.fold
+    (fun node _daemon acc ->
+      acc
+      &&
+      let own = Option.value (Hashtbl.find_opt t.originated node) ~default:[] in
+      List.for_all
+        (fun prefix ->
+          List.exists (Prefix.equal prefix) own
+          || Option.is_some (Fwd.lookup t.tables.(node) (Prefix.network prefix)))
+        t.prefixes)
+    t.daemons true
+
+let when_converged ?(check_every = Time.of_ms 50) t k =
+  if t.converged_fired then k ()
+  else begin
+    t.converged_hooks <- k :: t.converged_hooks;
+    if not t.checker_armed then begin
+      t.checker_armed <- true;
+      let recurring = ref None in
+      let check () =
+        if (not t.converged_fired) && is_converged t then begin
+          t.converged_fired <- true;
+          Option.iter Sched.cancel_recurring !recurring;
+          List.iter (fun k -> k ()) (List.rev t.converged_hooks);
+          t.converged_hooks <- []
+        end
+      in
+      recurring := Some (Sched.every t.sched check_every check)
+    end
+  end
+
+let path_for ?hash t key =
+  Fib_walk.path_for ?hash ~topo:t.fabric_topo
+    ~table:(fun node -> t.tables.(node))
+    key
+
+let adjacencies_expected t = List.length t.sessions
+
+let adjacencies_full t =
+  Hashtbl.fold (fun _node d acc -> acc + Daemon.full_neighbors d) t.daemons 0 / 2
+
+let fail_link t ~a ~b =
+  match
+    List.find_opt
+      (fun s -> (s.node_a = a && s.node_b = b) || (s.node_a = b && s.node_b = a))
+      t.sessions
+  with
+  | None -> false
+  | Some session ->
+      Channel.close session.channel;
+      true

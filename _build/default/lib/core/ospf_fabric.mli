@@ -1,0 +1,55 @@
+(** An OSPF-routed fabric: one emulated OSPF daemon per switch/router
+    node, point-to-point adjacencies over every inter-switch link, and
+    shortest-path routes installed into per-node forwarding tables.
+
+    The OSPF counterpart of {!Routed_fabric} — same data-plane
+    contract (static host routes, FIB walk with ECMP hashing), but a
+    link-state control plane whose periodic HELLOs keep pulling the
+    hybrid clock back into FTI mode even after convergence, which
+    makes it a useful contrast experiment (see the [protocols] bench
+    section). *)
+
+open Horse_net
+open Horse_engine
+open Horse_topo
+open Horse_dataplane
+open Horse_ospf
+
+type t
+
+val build :
+  ?hello_interval:Time.t ->
+  ?dead_interval:Time.t ->
+  cm:Connection_manager.t ->
+  originate:(int -> (Prefix.t * int) list) ->
+  Topology.t ->
+  t
+(** [originate node] lists (prefix, metric) stubs the daemon on that
+    node advertises. Defaults: hello 2 s, dead 8 s. Daemons are
+    created but not started. *)
+
+val start : t -> unit
+
+val topo : t -> Topology.t
+val daemons : t -> (int * Daemon.t) list
+val daemon : t -> int -> Daemon.t option
+val table : t -> int -> Fwd.t
+val all_prefixes : t -> Prefix.t list
+
+val is_converged : t -> bool
+(** Every daemon has a route to every stub prefix it does not itself
+    originate. *)
+
+val when_converged : ?check_every:Time.t -> t -> (unit -> unit) -> unit
+
+val path_for :
+  ?hash:(Flow_key.t -> int) -> t -> Flow_key.t -> (Spf.path, string) result
+
+val adjacencies_expected : t -> int
+val adjacencies_full : t -> int
+(** Counted per direction over 2 (a Full adjacency needs both ends). *)
+
+val fail_link : t -> a:int -> b:int -> bool
+(** Cuts the control channel between two adjacent daemons; both ends
+    see the closure, drop the adjacency, re-originate their LSAs and
+    reconverge around the link. *)

@@ -1,0 +1,245 @@
+open Horse_net
+open Horse_engine
+open Horse_topo
+open Horse_emulation
+open Horse_p4
+
+type sw = {
+  agent : Agent.t;
+  ctrl_end : Channel.endpoint;  (* controller side of the runtime channel *)
+}
+
+type t = {
+  fabric_topo : Topology.t;
+  sched : Sched.t;
+  ctrl_proc : Process.t;
+  switches : (int, sw) Hashtbl.t;  (* node id -> switch *)
+  pending : (int, int -> unit) Hashtbl.t;  (* xid -> counter callback *)
+  mutable next_xid : int;
+  mutable sent : int;
+  mutable acks : int;
+  mutable nacks : int;
+  mutable programmed_fired : bool;
+  mutable programmed_hooks : (unit -> unit) list;  (* reversed *)
+  mutable checker_armed : bool;
+}
+
+let fresh_xid t =
+  let xid = t.next_xid in
+  t.next_xid <- t.next_xid + 1;
+  xid
+
+let on_response t bytes =
+  match Runtime.decode_response bytes with
+  | Error _ -> ()
+  | Ok (xid, resp) -> (
+      match resp with
+      | Runtime.Ack -> t.acks <- t.acks + 1
+      | Runtime.Nack _ -> t.nacks <- t.nacks + 1
+      | Runtime.Counter_value (_, v) -> (
+          match Hashtbl.find_opt t.pending xid with
+          | Some k ->
+              Hashtbl.remove t.pending xid;
+              k v
+          | None -> ()))
+
+let build ?(program = Prog.ecmp_router) ~cm topo =
+  match Prog.validate program with
+  | Error _ as e -> e
+  | Ok () ->
+      let sched = Connection_manager.scheduler cm in
+      let trace = Connection_manager.trace cm in
+      let ctrl_proc = Process.create sched ~name:"p4-controller" in
+      let t =
+        {
+          fabric_topo = topo;
+          sched;
+          ctrl_proc;
+          switches = Hashtbl.create 64;
+          pending = Hashtbl.create 64;
+          next_xid = 1;
+          sent = 0;
+          acks = 0;
+          nacks = 0;
+          programmed_fired = false;
+          programmed_hooks = [];
+          checker_armed = false;
+        }
+      in
+      let build_error = ref None in
+      List.iter
+        (fun (n : Topology.node) ->
+          if n.Topology.kind = Topology.Switch then begin
+            let proc = Process.create sched ~name:("p4-" ^ n.Topology.name) in
+            let channel =
+              Connection_manager.control_channel
+                ~name:("p4runtime " ^ n.Topology.name)
+                cm
+            in
+            let sw_end, ctrl_end = Channel.endpoints channel in
+            let ports =
+              List.mapi
+                (fun i (l : Topology.link) -> (i + 1, l.Topology.link_id))
+                (Topology.out_links topo n.Topology.id)
+            in
+            match Agent.create ~trace proc ~program ~ports sw_end with
+            | Ok agent ->
+                Channel.set_receiver ctrl_end (fun bytes -> on_response t bytes);
+                Hashtbl.replace t.switches n.Topology.id { agent; ctrl_end }
+            | Error msg -> build_error := Some msg
+          end)
+        (Topology.nodes topo);
+      (match !build_error with Some msg -> Error msg | None -> Ok t)
+
+let topo t = t.fabric_topo
+
+let agent t node =
+  Option.map (fun sw -> sw.agent) (Hashtbl.find_opt t.switches node)
+
+let send_insert t sw entry =
+  t.sent <- t.sent + 1;
+  Channel.send sw.ctrl_end
+    (Runtime.encode_request ~xid:(fresh_xid t) (Runtime.Insert entry))
+
+let ip_int a = Int32.to_int (Ipv4.to_int32 a) land 0xFFFFFFFF
+
+(* Shortest-path ECMP entries towards every host, per switch. For a
+   single next hop, a plain LPM forward; for several, an LPM
+   [set_group] plus one [ecmp_select] member entry per port. *)
+let program_routes t =
+  let topo = t.fabric_topo in
+  let next_gid = ref 1 in
+  List.iter
+    (fun (h : Topology.node) ->
+      match (h.Topology.kind, h.Topology.ip) with
+      | Topology.Host, Some dst_ip ->
+          let tree = Spf.shortest_tree topo ~src:h.Topology.id in
+          Hashtbl.iter
+            (fun node sw ->
+              let dist v =
+                match Spf.distance tree v with Some d -> d | None -> max_int
+              in
+              let my_dist = dist node in
+              if my_dist < max_int && my_dist > 0 then begin
+                let ports =
+                  List.filter_map
+                    (fun (l : Topology.link) ->
+                      if dist l.Topology.dst = my_dist - 1 then
+                        Agent.port_of_link sw.agent l.Topology.link_id
+                      else None)
+                    (Topology.out_links topo node)
+                in
+                let lpm_key = [ Interp.K_lpm (ip_int dst_ip, 32) ] in
+                match ports with
+                | [] -> ()
+                | [ port ] ->
+                    send_insert t sw
+                      {
+                        Interp.e_table = "ipv4_lpm";
+                        key = lpm_key;
+                        priority = 0;
+                        action = "forward";
+                        args = [ port ];
+                      }
+                | _ :: _ :: _ ->
+                    let gid = !next_gid in
+                    incr next_gid;
+                    let size = List.length ports in
+                    send_insert t sw
+                      {
+                        Interp.e_table = "ipv4_lpm";
+                        key = lpm_key;
+                        priority = 0;
+                        action = "set_group";
+                        args = [ gid; size ];
+                      };
+                    List.iteri
+                      (fun member port ->
+                        send_insert t sw
+                          {
+                            Interp.e_table = "ecmp_select";
+                            key = [ Interp.K_exact gid; Interp.K_exact member ];
+                            priority = 0;
+                            action = "forward";
+                            args = [ port ];
+                          })
+                      ports
+              end)
+            t.switches
+      | (Topology.Host | Topology.Switch | Topology.Router), _ -> ())
+    (Topology.nodes topo)
+
+let entries_sent t = t.sent
+let acks_received t = t.acks
+let nacks_received t = t.nacks
+let programmed t = t.sent > 0 && t.acks = t.sent
+
+let when_programmed ?(check_every = Time.of_ms 10) t k =
+  if t.programmed_fired then k ()
+  else begin
+    t.programmed_hooks <- k :: t.programmed_hooks;
+    if not t.checker_armed then begin
+      t.checker_armed <- true;
+      let recurring = ref None in
+      let check () =
+        if (not t.programmed_fired) && programmed t then begin
+          t.programmed_fired <- true;
+          Option.iter Sched.cancel_recurring !recurring;
+          List.iter (fun k -> k ()) (List.rev t.programmed_hooks);
+          t.programmed_hooks <- []
+        end
+      in
+      recurring := Some (Sched.every t.sched check_every check)
+    end
+  end
+
+let fields_of_key (key : Flow_key.t) =
+  [
+    ("dst", ip_int key.Flow_key.dst);
+    ("src", ip_int key.Flow_key.src);
+    ("sport", key.Flow_key.src_port);
+    ("dport", key.Flow_key.dst_port);
+    ("proto", Headers.Proto.to_int key.Flow_key.proto);
+  ]
+
+let path_for ?hash t (key : Flow_key.t) =
+  ignore hash;
+  match Topology.node_by_ip t.fabric_topo key.Flow_key.src with
+  | None -> Error "unknown source address"
+  | Some src -> (
+      match Topology.out_links t.fabric_topo src.Topology.id with
+      | [ first ] ->
+          let fields = fields_of_key key in
+          let rec walk node acc hops =
+            let n = Topology.node t.fabric_topo node in
+            match n.Topology.ip with
+            | Some ip when Ipv4.equal ip key.Flow_key.dst -> Ok (List.rev acc)
+            | Some _ | None -> (
+                if hops > 64 then Error "path exceeds 64 hops"
+                else
+                  match Hashtbl.find_opt t.switches node with
+                  | None -> Error "walk reached a non-switch node"
+                  | Some sw -> (
+                      match Agent.process sw.agent fields with
+                      | Interp.Dropped ->
+                          Error
+                            (Printf.sprintf "pipeline dropped the packet at %s"
+                               n.Topology.name)
+                      | Interp.Forwarded port -> (
+                          match Agent.link_of_port sw.agent port with
+                          | None -> Error "pipeline forwarded to unknown port"
+                          | Some link_id ->
+                              let link = Topology.link t.fabric_topo link_id in
+                              walk link.Topology.dst (link :: acc) (hops + 1))))
+          in
+          walk first.Topology.dst [ first ] 0
+      | [] | _ :: _ -> Error "source host must have degree 1")
+
+let read_counter t ~dpid name k =
+  match Hashtbl.find_opt t.switches dpid with
+  | None -> ()
+  | Some sw ->
+      let xid = fresh_xid t in
+      Hashtbl.replace t.pending xid k;
+      Channel.send sw.ctrl_end
+        (Runtime.encode_request ~xid (Runtime.Counter_read name))

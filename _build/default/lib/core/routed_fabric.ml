@@ -1,0 +1,280 @@
+open Horse_net
+open Horse_engine
+open Horse_topo
+open Horse_dataplane
+open Horse_emulation
+open Horse_bgp
+
+type session = {
+  node_a : int;
+  node_b : int;
+  peer_at_a : int;
+  peer_at_b : int;
+  mutable channel : Channel.t;
+  session_name : string;
+}
+
+type t = {
+  fabric_topo : Topology.t;
+  sched : Sched.t;
+  cm : Connection_manager.t;
+  speakers : (int, Speaker.t) Hashtbl.t;  (* node id -> speaker *)
+  processes : (int, Process.t) Hashtbl.t;
+  tables : Fwd.t array;  (* per node id *)
+  originated : (int, Prefix.t list) Hashtbl.t;
+  mutable prefixes : Prefix.t list;
+  mutable fib_writes : int;
+  mutable fib_hooks : (int -> Prefix.t -> unit) list;
+  mutable n_sessions : int;
+  mutable sessions : session list;
+  mutable converged_fired : bool;
+  mutable converged_hooks : (unit -> unit) list;  (* reversed *)
+  mutable checker_armed : bool;
+}
+
+let synth_router_id id = Ipv4.of_octets 10 255 (id / 250) ((id mod 250) + 1)
+
+let is_speaker_node (n : Topology.node) =
+  match n.Topology.kind with
+  | Topology.Switch | Topology.Router -> true
+  | Topology.Host -> false
+
+(* Loc-RIB -> FIB: translate each best route's source peer into the
+   out-link its session runs over; multipath routes become one ECMP
+   group. Locally originated prefixes keep their static routes. *)
+let install_fib t node peer_links prefix (routes : Rib.route list) =
+  let next_hops =
+    List.filter_map
+      (fun (r : Rib.route) ->
+        if r.Rib.peer = Rib.local_peer then None
+        else Hashtbl.find_opt peer_links r.Rib.peer)
+      routes
+  in
+  let table = t.tables.(node) in
+  (match (routes, next_hops) with
+  | [], _ ->
+      Fwd.remove_route table prefix;
+      t.fib_writes <- t.fib_writes + 1
+  | _ :: _, [] -> () (* purely local: static routes already cover it *)
+  | _ :: _, _ :: _ ->
+      Fwd.set_route table prefix ~next_hops;
+      t.fib_writes <- t.fib_writes + 1);
+  List.iter (fun f -> f node prefix) t.fib_hooks
+
+let build ?(asn_base = 64512) ?(hold_time = Time.of_sec 9.0) ?(mrai = Time.zero)
+    ~cm ~originate topo =
+  let sched = Connection_manager.scheduler cm in
+  let trace = Connection_manager.trace cm in
+  let t =
+    {
+      fabric_topo = topo;
+      sched;
+      cm;
+      speakers = Hashtbl.create 64;
+      processes = Hashtbl.create 64;
+      tables = Array.init (Topology.n_nodes topo) (fun _ -> Fwd.create ());
+      originated = Hashtbl.create 64;
+      prefixes = [];
+      fib_writes = 0;
+      fib_hooks = [];
+      n_sessions = 0;
+      sessions = [];
+      converged_fired = false;
+      converged_hooks = [];
+      checker_armed = false;
+    }
+  in
+  (* Speakers. *)
+  List.iter
+    (fun (n : Topology.node) ->
+      if is_speaker_node n then begin
+        let networks = originate n.Topology.id in
+        Hashtbl.replace t.originated n.Topology.id networks;
+        t.prefixes <- networks @ t.prefixes;
+        let router_id =
+          match n.Topology.ip with
+          | Some ip -> ip
+          | None -> synth_router_id n.Topology.id
+        in
+        let proc = Process.create sched ~name:("bgp-" ^ n.Topology.name) in
+        let config =
+          {
+            (Speaker.default_config ~asn:(asn_base + n.Topology.id) ~router_id) with
+            Speaker.hold_time;
+            mrai;
+            networks;
+          }
+        in
+        let speaker = Speaker.create ~trace proc config in
+        Hashtbl.replace t.speakers n.Topology.id speaker;
+        Hashtbl.replace t.processes n.Topology.id proc
+      end)
+    (Topology.nodes topo);
+  t.prefixes <- List.sort_uniq Prefix.compare t.prefixes;
+  (* Sessions over inter-speaker links, one per duplex pair. *)
+  let peer_links : (int, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let peer_links_of node =
+    match Hashtbl.find_opt peer_links node with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.add peer_links node tbl;
+        tbl
+  in
+  List.iter
+    (fun (l : Topology.link) ->
+      (* Visit each duplex pair once, from its lower link id. *)
+      if l.Topology.link_id < l.Topology.peer then
+        match
+          ( Hashtbl.find_opt t.speakers l.Topology.src,
+            Hashtbl.find_opt t.speakers l.Topology.dst )
+        with
+        | Some speaker_a, Some speaker_b ->
+            let name =
+              Printf.sprintf "bgp %s<->%s"
+                (Topology.node topo l.Topology.src).Topology.name
+                (Topology.node topo l.Topology.dst).Topology.name
+            in
+            let channel = Connection_manager.control_channel ~name cm in
+            let ep_a, ep_b = Channel.endpoints channel in
+            let peer_at_a =
+              Speaker.add_peer speaker_a ~remote_asn:(Speaker.asn speaker_b) ep_a
+            in
+            let peer_at_b =
+              Speaker.add_peer speaker_b ~remote_asn:(Speaker.asn speaker_a) ep_b
+            in
+            Hashtbl.replace (peer_links_of l.Topology.src) peer_at_a
+              l.Topology.link_id;
+            Hashtbl.replace (peer_links_of l.Topology.dst) peer_at_b
+              l.Topology.peer;
+            t.sessions <-
+              {
+                node_a = l.Topology.src;
+                node_b = l.Topology.dst;
+                peer_at_a;
+                peer_at_b;
+                channel;
+                session_name = name;
+              }
+              :: t.sessions;
+            t.n_sessions <- t.n_sessions + 1
+        | None, _ | _, None -> ())
+    (Topology.links topo);
+  (* FIB wiring. *)
+  Hashtbl.iter
+    (fun node speaker ->
+      let links = peer_links_of node in
+      Speaker.on_loc_rib_change speaker (fun prefix routes ->
+          install_fib t node links prefix routes))
+    t.speakers;
+  (* Static routes: hosts default up; edge switches reach their hosts
+     on connected /32s. *)
+  List.iter
+    (fun (h : Topology.node) ->
+      if h.Topology.kind = Topology.Host then
+        match Topology.out_links topo h.Topology.id with
+        | [ up ] -> (
+            Fwd.set_route t.tables.(h.Topology.id) Prefix.any
+              ~next_hops:[ up.Topology.link_id ];
+            match h.Topology.ip with
+            | Some ip ->
+                let down = Topology.link topo up.Topology.peer in
+                Fwd.set_route t.tables.(up.Topology.dst) (Prefix.host ip)
+                  ~next_hops:[ down.Topology.link_id ]
+            | None -> ())
+        | [] | _ :: _ ->
+            invalid_arg "Routed_fabric.build: hosts must have degree 1")
+    (Topology.nodes topo);
+  t
+
+let start t =
+  Hashtbl.iter (fun _node speaker -> Speaker.start speaker) t.speakers
+
+let topo t = t.fabric_topo
+
+let speakers t =
+  Hashtbl.fold (fun node speaker acc -> (node, speaker) :: acc) t.speakers []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let speaker t node = Hashtbl.find_opt t.speakers node
+let table t node = t.tables.(node)
+let all_prefixes t = t.prefixes
+let fib_routes_installed t = t.fib_writes
+let on_fib_change t f = t.fib_hooks <- t.fib_hooks @ [ f ]
+
+let is_converged t =
+  Hashtbl.fold
+    (fun node _speaker acc ->
+      acc
+      &&
+      let own = Option.value (Hashtbl.find_opt t.originated node) ~default:[] in
+      List.for_all
+        (fun prefix ->
+          List.exists (Prefix.equal prefix) own
+          || Option.is_some (Fwd.lookup t.tables.(node) (Prefix.network prefix)))
+        t.prefixes)
+    t.speakers true
+
+let when_converged ?(check_every = Time.of_ms 50) t k =
+  if t.converged_fired then k ()
+  else begin
+    t.converged_hooks <- k :: t.converged_hooks;
+    if not t.checker_armed then begin
+      t.checker_armed <- true;
+      let recurring = ref None in
+      let check () =
+        if (not t.converged_fired) && is_converged t then begin
+          t.converged_fired <- true;
+          Option.iter Sched.cancel_recurring !recurring;
+          List.iter (fun k -> k ()) (List.rev t.converged_hooks);
+          t.converged_hooks <- []
+        end
+      in
+      recurring := Some (Sched.every t.sched check_every check)
+    end
+  end
+
+let sessions_expected t = t.n_sessions
+
+let sessions_established t =
+  (* Each session is counted from both of its ends. *)
+  Hashtbl.fold
+    (fun _node speaker acc -> acc + Speaker.established_count speaker)
+    t.speakers 0
+  / 2
+
+let path_for ?hash t key =
+  Fib_walk.path_for ?hash ~topo:t.fabric_topo ~table:(fun node -> t.tables.(node)) key
+
+let find_session t ~a ~b =
+  List.find_opt
+    (fun s -> (s.node_a = a && s.node_b = b) || (s.node_a = b && s.node_b = a))
+    t.sessions
+
+let fail_link t ~a ~b =
+  match find_session t ~a ~b with
+  | None -> false
+  | Some session ->
+      Channel.close session.channel;
+      true
+
+let restore_link t ~a ~b =
+  match find_session t ~a ~b with
+  | Some session when not (Channel.is_open session.channel) -> (
+      match
+        ( Hashtbl.find_opt t.speakers session.node_a,
+          Hashtbl.find_opt t.speakers session.node_b )
+      with
+      | Some speaker_a, Some speaker_b ->
+          let channel =
+            Connection_manager.control_channel ~name:session.session_name t.cm
+          in
+          let ep_a, ep_b = Channel.endpoints channel in
+          Speaker.replace_peer_endpoint speaker_a session.peer_at_a ep_a;
+          Speaker.replace_peer_endpoint speaker_b session.peer_at_b ep_b;
+          session.channel <- channel;
+          Speaker.start_peer speaker_a session.peer_at_a;
+          Speaker.start_peer speaker_b session.peer_at_b;
+          true
+      | None, _ | _, None -> false)
+  | Some _ | None -> false

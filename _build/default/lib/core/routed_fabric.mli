@@ -1,0 +1,84 @@
+(** A BGP-routed fabric: one emulated BGP speaker per switch/router
+    node, eBGP sessions over every inter-switch link, and Loc-RIB
+    routes installed into per-node simulated forwarding tables.
+
+    This realises the demonstration's TE approach (i): "BGP plus
+    Equal Cost Multipath path selection by hashing of IP source and
+    destination". Each device gets its own ASN (the RFC 7938
+    BGP-in-the-data-centre design), multipath is on, and the data
+    plane resolves flow paths by walking the FIBs with a configurable
+    ECMP hash. *)
+
+open Horse_net
+open Horse_engine
+open Horse_topo
+open Horse_dataplane
+open Horse_bgp
+
+type t
+
+val build :
+  ?asn_base:int ->
+  ?hold_time:Time.t ->
+  ?mrai:Time.t ->
+  cm:Connection_manager.t ->
+  originate:(int -> Prefix.t list) ->
+  Topology.t ->
+  t
+(** [originate node_id] lists the prefixes the speaker on that node
+    advertises (typically: edge switches advertise their host
+    subnet). Host-facing /32 routes are installed statically, as a
+    real fabric's connected routes would be. Speakers are created but
+    not started. Defaults: ASNs from 64512, hold time 9 s, MRAI 0. *)
+
+val start : t -> unit
+(** Starts every speaker at the current virtual time (schedule this
+    inside the experiment for a t=0 boot). *)
+
+val topo : t -> Topology.t
+val speakers : t -> (int * Speaker.t) list
+val speaker : t -> int -> Speaker.t option
+val table : t -> int -> Fwd.t
+val all_prefixes : t -> Prefix.t list
+(** Union of everything originated, sorted. *)
+
+val fib_routes_installed : t -> int
+(** Cumulative count of FIB writes (route adds/changes/removals). *)
+
+val on_fib_change : t -> (int -> Prefix.t -> unit) -> unit
+
+val is_converged : t -> bool
+(** Every speaker has a FIB route for every originated prefix it does
+    not itself originate. *)
+
+val when_converged : ?check_every:Time.t -> t -> (unit -> unit) -> unit
+(** Polls {!is_converged} (default every 50 ms of virtual time) and
+    fires the callback once, at the first instant the fabric is
+    converged. *)
+
+val path_for :
+  ?hash:(Flow_key.t -> int) -> t -> Flow_key.t -> (Spf.path, string) result
+(** Resolves the flow's data-plane path by walking the FIBs from the
+    source host, selecting among ECMP groups with [hash] (default
+    {!Flow_key.hash_src_dst} — the BGP scenario's hash). Fails when a
+    hop has no route (not yet converged) or the walk exceeds 64
+    hops. *)
+
+val sessions_expected : t -> int
+(** Number of eBGP sessions configured (one per inter-switch duplex
+    link). *)
+
+val sessions_established : t -> int
+
+val fail_link : t -> a:int -> b:int -> bool
+(** Cuts the control channel between two adjacent speakers (both
+    sessions observe the closure immediately, retract the peer's
+    routes and propagate withdrawals). Returns [false] when no
+    session exists between the nodes. The simulated data-plane link
+    itself stays up — this is a control-plane fault, the classic
+    "BGP session reset" experiment. *)
+
+val restore_link : t -> a:int -> b:int -> bool
+(** Re-establishes a previously failed session over a fresh
+    CM-observed channel and restarts both ends. Returns [false] if
+    the session does not exist or was never failed. *)

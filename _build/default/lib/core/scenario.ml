@@ -1,0 +1,235 @@
+open Horse_net
+open Horse_engine
+open Horse_topo
+open Horse_dataplane
+open Horse_controller
+open Horse_stats
+
+type te = Bgp_ecmp | Sdn_ecmp | Hedera_gff | Hedera_annealing | P4_ecmp
+
+let te_name = function
+  | Bgp_ecmp -> "bgp-ecmp"
+  | Sdn_ecmp -> "sdn-ecmp"
+  | Hedera_gff -> "hedera-gff"
+  | Hedera_annealing -> "hedera-sa"
+  | P4_ecmp -> "p4-ecmp"
+
+let all_te = [ Bgp_ecmp; Hedera_gff; Sdn_ecmp ]
+
+type result = {
+  te : te;
+  pods : int;
+  n_hosts : int;
+  setup_wall_s : float;
+  run_wall_s : float;
+  sched_stats : Sched.stats;
+  aggregate : Series.t;
+  delivered_bits : float;
+  offered_bits : float;
+  converged_at : Time.t option;
+  control_messages : int;
+  control_bytes : int;
+  flows_started : int;
+}
+
+(* The demonstration's flow set: one UDP flow per server towards a
+   distinct server, distinct ports so 5-tuple hashing has entropy. *)
+let demo_keys exp (ft : Fat_tree.t) =
+  let pairs = Experiment.permutation_pairs exp ft.Fat_tree.hosts in
+  Array.mapi
+    (fun i ((src : Topology.node), (dst : Topology.node)) ->
+      match (src.Topology.ip, dst.Topology.ip) with
+      | Some s, Some d ->
+          Flow_key.make ~src:s ~dst:d
+            ~src_port:(10000 + (i mod 50000))
+            ~dst_port:(20000 + (i mod 40000))
+            ()
+      | None, _ | _, None -> assert false (* fat-tree hosts have IPs *))
+    pairs
+
+type runtime = {
+  exp : Experiment.t;
+  keys : Flow_key.t array;
+  flow_rate : float;
+  started : Flow.t Flow_key.Table.t;
+  mutable converged_at : Time.t option;
+}
+
+let start_flow rt key path =
+  if not (Flow_key.Table.mem rt.started key) then begin
+    let flow =
+      Fluid.start_flow ~demand:rt.flow_rate (Experiment.fluid rt.exp) ~key ~path
+    in
+    Flow_key.Table.replace rt.started key flow
+  end
+
+let mark_converged rt =
+  if rt.converged_at = None then
+    rt.converged_at <- Some (Sched.now (Experiment.scheduler rt.exp))
+
+(* --- BGP + ECMP (src/dst hash) ------------------------------------- *)
+
+let setup_bgp rt (ft : Fat_tree.t) =
+  let half = ft.Fat_tree.k / 2 in
+  let edge_prefix = Hashtbl.create 64 in
+  Array.iteri
+    (fun pod edges ->
+      Array.iteri
+        (fun e (edge : Topology.node) ->
+          Hashtbl.replace edge_prefix edge.Topology.id
+            [ Prefix.make (Ipv4.of_octets 10 pod e 0) 24 ])
+        edges)
+    ft.Fat_tree.edges;
+  ignore half;
+  let fabric =
+    Routed_fabric.build ~cm:(Experiment.cm rt.exp)
+      ~originate:(fun node ->
+        Option.value (Hashtbl.find_opt edge_prefix node) ~default:[])
+      ft.Fat_tree.topo
+  in
+  Experiment.at rt.exp Time.zero (fun () -> Routed_fabric.start fabric);
+  Routed_fabric.when_converged fabric (fun () ->
+      mark_converged rt;
+      Array.iter
+        (fun key ->
+          match Routed_fabric.path_for fabric key with
+          | Ok path -> start_flow rt key path
+          | Error msg ->
+              Trace.addf (Experiment.trace rt.exp)
+                ~at:(Sched.now (Experiment.scheduler rt.exp))
+                ~label:"scenario" "flow %a unroutable: %s" Flow_key.pp key msg)
+        rt.keys)
+
+(* --- SDN (reactive controller) -------------------------------------- *)
+
+let setup_sdn rt (ft : Fat_tree.t) te =
+  let fabric =
+    Sdn_fabric.build ~cm:(Experiment.cm rt.exp) ~fluid:(Experiment.fluid rt.exp)
+      ft.Fat_tree.topo
+  in
+  let ctrl = Sdn_fabric.controller fabric in
+  let env = Sdn_fabric.env fabric in
+  let on_app_reroute key path =
+    match Flow_key.Table.find_opt rt.started key with
+    | None -> ()
+    | Some flow ->
+        let sched = Experiment.scheduler rt.exp in
+        ignore
+          (Sched.schedule_after sched (Time.of_ms 2) (fun () ->
+               if flow.Flow.active then
+                 Fluid.set_path (Experiment.fluid rt.exp) flow path))
+  in
+  (match te with
+  | Sdn_ecmp ->
+      let app = App_ecmp.install ~mode:App_ecmp.Five_tuple ctrl env in
+      App_ecmp.on_reroute app on_app_reroute
+  | Hedera_gff | Hedera_annealing ->
+      let placer =
+        match te with
+        | Hedera_annealing -> App_hedera.Annealing
+        | Hedera_gff | Sdn_ecmp | Bgp_ecmp | P4_ecmp -> App_hedera.Gff
+      in
+      let app = App_hedera.install ~placer ctrl env in
+      (* The scheduler's FLOW_MODs take one channel latency to land in
+         the tables; move the fluid flow onto the new path once they
+         have. *)
+      App_hedera.on_reroute app on_app_reroute
+  | Bgp_ecmp | P4_ecmp -> invalid_arg "setup_sdn: not an OpenFlow scenario");
+  (* Give the OpenFlow handshake a head start, then launch all flows;
+     each resolves via PACKET_IN round trips. *)
+  let n = Array.length rt.keys in
+  Experiment.at rt.exp (Time.of_ms 10) (fun () ->
+      Array.iter
+        (fun key ->
+          Sdn_fabric.route_flow fabric key ~on_ready:(fun path ->
+              start_flow rt key path;
+              if Flow_key.Table.length rt.started = n then mark_converged rt))
+        rt.keys)
+
+(* --- P4 (programmable pipelines) ------------------------------------- *)
+
+let setup_p4 rt (ft : Fat_tree.t) =
+  let fabric =
+    match P4_fabric.build ~cm:(Experiment.cm rt.exp) ft.Fat_tree.topo with
+    | Ok fabric -> fabric
+    | Error msg -> invalid_arg ("setup_p4: " ^ msg)
+  in
+  Experiment.at rt.exp Time.zero (fun () -> P4_fabric.program_routes fabric);
+  P4_fabric.when_programmed fabric (fun () ->
+      mark_converged rt;
+      Array.iter
+        (fun key ->
+          match P4_fabric.path_for fabric key with
+          | Ok path -> start_flow rt key path
+          | Error msg ->
+              Trace.addf (Experiment.trace rt.exp)
+                ~at:(Sched.now (Experiment.scheduler rt.exp))
+                ~label:"scenario" "flow %a unroutable: %s" Flow_key.pp key msg)
+        rt.keys)
+
+(* --- entry point ----------------------------------------------------- *)
+
+let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
+    ?(flow_rate = 1e9) ~pods ~te ~duration () =
+  let rt, setup_wall_s =
+    Wall.time (fun () ->
+        let ft = Fat_tree.build ~k:pods () in
+        let exp = Experiment.create ?config ~seed ft.Fat_tree.topo in
+        let rt =
+          {
+            exp;
+            keys = demo_keys exp ft;
+            flow_rate;
+            started = Flow_key.Table.create 256;
+            converged_at = None;
+          }
+        in
+        (match te with
+        | Bgp_ecmp -> setup_bgp rt ft
+        | P4_ecmp -> setup_p4 rt ft
+        | Sdn_ecmp | Hedera_gff | Hedera_annealing -> setup_sdn rt ft te);
+        Fluid.start_sampling (Experiment.fluid exp) ~every:sample_every;
+        rt)
+  in
+  let sched_stats, run_wall_s =
+    Wall.time (fun () -> Experiment.run ~until:duration rt.exp)
+  in
+  let fluid = Experiment.fluid rt.exp in
+  let delivered_bits =
+    List.fold_left
+      (fun acc flow -> acc +. Fluid.delivered_bits fluid flow)
+      0.0 (Fluid.active_flows fluid)
+  in
+  let n_hosts = Array.length rt.keys in
+  {
+    te;
+    pods;
+    n_hosts;
+    setup_wall_s;
+    run_wall_s;
+    sched_stats;
+    aggregate = Fluid.aggregate_series fluid;
+    delivered_bits;
+    offered_bits = float_of_int n_hosts *. flow_rate *. Time.to_sec duration;
+    converged_at = rt.converged_at;
+    control_messages = Connection_manager.messages_observed (Experiment.cm rt.exp);
+    control_bytes = Connection_manager.bytes_observed (Experiment.cm rt.exp);
+    flows_started = Flow_key.Table.length rt.started;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "@[<v>%s pods=%d hosts=%d@,\
+     setup %.3fs wall, run %.3fs wall for %a virtual@,\
+     converged at %s; %d/%d flows; %d control msgs (%d bytes)@,\
+     delivered %.4g bits (%.1f%% of offered)@,\
+     mean aggregate rate %.3f Gbps@]"
+    (te_name r.te) r.pods r.n_hosts r.setup_wall_s r.run_wall_s Time.pp
+    r.sched_stats.Sched.end_time
+    (match r.converged_at with
+    | Some at -> Format.asprintf "%a" Time.pp at
+    | None -> "never")
+    r.flows_started r.n_hosts r.control_messages r.control_bytes
+    r.delivered_bits
+    (100.0 *. r.delivered_bits /. Float.max 1.0 r.offered_bits)
+    (Series.mean r.aggregate /. 1e9)

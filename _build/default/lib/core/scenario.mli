@@ -1,0 +1,59 @@
+(** The paper's demonstration, packaged: Fat-Tree data-centre traffic
+    engineering with three control planes.
+
+    One scenario run builds a [pods]-pod Fat-Tree (1 Gbps links),
+    boots the chosen control plane at t = 0, starts one 1 Gbps UDP
+    flow from every server to a distinct other server (seeded
+    derangement), samples the aggregate rate arriving at the hosts,
+    and runs the hybrid engine for the requested virtual duration.
+
+    Used by the FIG3 and DEMO-TE benchmarks and the
+    [datacenter_te] example. *)
+
+open Horse_engine
+open Horse_stats
+
+type te =
+  | Bgp_ecmp  (** (i) BGP + ECMP hashing source and destination IP *)
+  | Sdn_ecmp  (** (iii) SDN 5-tuple ECMP, reactive *)
+  | Hedera_gff  (** (ii) Hedera with Global First Fit, 5 s polling *)
+  | Hedera_annealing  (** Hedera variant with Simulated Annealing *)
+  | P4_ecmp
+      (** the future-work item realised: P4 pipelines programmed over
+          runtime channels, in-switch hash-based ECMP *)
+
+val te_name : te -> string
+val all_te : te list
+(** The demonstration's three approaches (GFF for Hedera). *)
+
+type result = {
+  te : te;
+  pods : int;
+  n_hosts : int;
+  setup_wall_s : float;  (** building topology + control plane *)
+  run_wall_s : float;  (** executing the experiment *)
+  sched_stats : Sched.stats;
+  aggregate : Series.t;  (** aggregate host rx rate over virtual time *)
+  delivered_bits : float;
+  offered_bits : float;
+  converged_at : Time.t option;
+      (** BGP: FIBs complete; SDN: all flows routed *)
+  control_messages : int;
+  control_bytes : int;
+  flows_started : int;
+}
+
+val run_fat_tree_te :
+  ?seed:int ->
+  ?sample_every:Time.t ->
+  ?config:Sched.config ->
+  ?flow_rate:float ->
+  pods:int ->
+  te:te ->
+  duration:Time.t ->
+  unit ->
+  result
+(** Defaults: seed 42, sampling every 500 ms, 1 Gbps flows, scheduler
+    defaults (1 ms increment, 1 s quiet timeout). *)
+
+val pp_result : Format.formatter -> result -> unit

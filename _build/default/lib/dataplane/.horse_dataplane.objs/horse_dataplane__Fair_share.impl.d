@@ -1,0 +1,1 @@
+lib/dataplane/fair_share.ml: Array Float Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/dataplane/fair_share.mli:

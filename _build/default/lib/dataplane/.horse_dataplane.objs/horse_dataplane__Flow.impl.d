@@ -1,0 +1,1 @@
+lib/dataplane/flow.ml: Flow_key Format Horse_engine Horse_net Horse_topo List Time

@@ -1,0 +1,1 @@
+lib/dataplane/flow.mli: Flow_key Format Horse_engine Horse_net Horse_topo Time

@@ -1,0 +1,1 @@
+lib/dataplane/fluid.ml: Array Event_queue Fair_share Float Flow Flow_key Hashtbl Horse_engine Horse_net Horse_stats Horse_topo List Option Printf Sched Time Topology

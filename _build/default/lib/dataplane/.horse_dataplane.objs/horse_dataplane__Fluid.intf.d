@@ -1,0 +1,1 @@
+lib/dataplane/fluid.mli: Flow Flow_key Horse_engine Horse_net Horse_stats Horse_topo Sched Spf Time Topology

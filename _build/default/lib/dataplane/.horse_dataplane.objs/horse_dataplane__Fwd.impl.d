@@ -1,0 +1,1 @@
+lib/dataplane/fwd.ml: Array Format Hashtbl Horse_net Int Int32 Ipv4 List Prefix

@@ -1,0 +1,1 @@
+lib/dataplane/fwd.mli: Format Horse_net Ipv4 Prefix

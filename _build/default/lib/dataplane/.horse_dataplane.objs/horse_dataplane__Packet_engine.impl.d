@@ -1,0 +1,1 @@
+lib/dataplane/packet_engine.ml: Array Bytes Flow_key Fwd Headers Horse_engine Horse_net Horse_topo Ipv4 Mac Packet Sched Stdlib Time Topology

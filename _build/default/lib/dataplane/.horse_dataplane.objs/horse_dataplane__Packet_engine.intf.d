@@ -1,0 +1,1 @@
+lib/dataplane/packet_engine.mli: Flow_key Fwd Horse_engine Horse_net Horse_topo Sched Topology

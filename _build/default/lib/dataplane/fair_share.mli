@@ -1,0 +1,27 @@
+(** Max-min fair bandwidth allocation (progressive filling).
+
+    The fluid traffic model's rate assignment: every flow gets the
+    largest rate such that (a) no link exceeds its capacity, (b) no
+    flow exceeds its demand, and (c) a flow's rate can only be
+    increased by decreasing the rate of a flow with an equal or
+    smaller rate — the classic max-min fairness criterion that a
+    network of fair queues converges to. *)
+
+type flow_input = {
+  demand : float;  (** offered rate, bps; must be >= 0 *)
+  links : int list;  (** directed link ids along the path; [] = unconstrained *)
+}
+
+val compute : capacity:(int -> float) -> flow_input array -> float array
+(** [compute ~capacity flows] returns the max-min rate of each flow,
+    positionally. [capacity] gives the bps capacity of a link id and
+    must be positive for every referenced link.
+
+    Runs in O(iterations × total path length); each iteration freezes
+    at least one flow so it terminates after at most [n] rounds.
+
+    @raise Invalid_argument on a negative demand or non-positive
+    capacity. *)
+
+val link_loads : flow_input array -> float array -> (int * float) list
+(** Total allocated rate per link id, for checking feasibility. *)

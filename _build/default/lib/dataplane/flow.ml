@@ -1,0 +1,30 @@
+open Horse_net
+open Horse_engine
+
+type t = {
+  id : int;
+  key : Flow_key.t;
+  demand : float;
+  started : Time.t;
+  mutable path : Horse_topo.Spf.path;
+  mutable rate : float;
+  mutable delivered_bits : float;
+  mutable last_integration : Time.t;
+  mutable active : bool;
+  mutable stopped_at : Time.t option;
+}
+
+let src_node t =
+  match t.path with [] -> None | l :: _ -> Some l.Horse_topo.Topology.src
+
+let dst_node t =
+  match List.rev t.path with
+  | [] -> None
+  | l :: _ -> Some l.Horse_topo.Topology.dst
+
+let link_ids t = List.map (fun l -> l.Horse_topo.Topology.link_id) t.path
+
+let pp fmt t =
+  Format.fprintf fmt "flow#%d %a demand=%.3gMbps rate=%.3gMbps hops=%d%s" t.id
+    Flow_key.pp t.key (t.demand /. 1e6) (t.rate /. 1e6) (List.length t.path)
+    (if t.active then "" else " (stopped)")

@@ -1,0 +1,32 @@
+(** A fluid flow: the data plane's unit of traffic.
+
+    A flow has a constant offered rate (demand) and a path through the
+    topology; the fluid engine assigns its actual rate by max-min fair
+    share and integrates delivered bits over virtual time. Mutation
+    goes through {!Fluid}, never directly. *)
+
+open Horse_net
+open Horse_engine
+
+type t = {
+  id : int;
+  key : Flow_key.t;
+  demand : float;  (** offered rate, bps *)
+  started : Time.t;
+  mutable path : Horse_topo.Spf.path;
+  mutable rate : float;  (** current allocated rate, bps *)
+  mutable delivered_bits : float;  (** integrated up to [last_integration] *)
+  mutable last_integration : Time.t;
+  mutable active : bool;
+  mutable stopped_at : Time.t option;
+}
+
+val src_node : t -> int option
+(** First node of the path, [None] for an empty path. *)
+
+val dst_node : t -> int option
+(** Last node of the path. *)
+
+val link_ids : t -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,244 @@
+open Horse_net
+open Horse_engine
+open Horse_topo
+
+type finite_state = {
+  size : float;
+  on_complete : Flow.t -> unit;
+  mutable timer : Event_queue.handle option;
+}
+
+type t = {
+  sched : Sched.t;
+  topo : Topology.t;
+  mutable rev_flows : Flow.t list;  (* newest first, including stopped *)
+  mutable n_active : int;
+  mutable next_id : int;
+  mutable recomputes : int;
+  mutable completed_bits : float;  (* delivered by stopped flows *)
+  finite : (int, finite_state) Hashtbl.t;  (* flow id -> finite state *)
+  aggregate : Horse_stats.Series.t;
+  host_series : (int, Horse_stats.Series.t) Hashtbl.t;
+  mutable sampler : Sched.recurring option;
+}
+
+let create sched topo =
+  {
+    sched;
+    topo;
+    rev_flows = [];
+    n_active = 0;
+    next_id = 0;
+    recomputes = 0;
+    completed_bits = 0.0;
+    finite = Hashtbl.create 32;
+    aggregate = Horse_stats.Series.create ~name:"aggregate-rx-bps" ();
+    host_series = Hashtbl.create 32;
+    sampler = None;
+  }
+
+let topology t = t.topo
+let scheduler t = t.sched
+
+let active_flows t =
+  List.rev (List.filter (fun (f : Flow.t) -> f.Flow.active) t.rev_flows)
+
+let flow_count t = t.n_active
+
+let find_flow t key =
+  List.find_opt
+    (fun (f : Flow.t) -> f.Flow.active && Flow_key.equal f.Flow.key key)
+    t.rev_flows
+
+(* Integrate a flow's delivered bits up to [now] at its current
+   rate. *)
+let integrate_flow now (f : Flow.t) =
+  if f.Flow.active then begin
+    let dt = Time.to_sec (Time.sub now f.Flow.last_integration) in
+    if dt > 0.0 then
+      f.Flow.delivered_bits <- f.Flow.delivered_bits +. (f.Flow.rate *. dt)
+  end;
+  f.Flow.last_integration <- Time.max f.Flow.last_integration now
+
+(* Full reallocation: integrate everything at old rates, solve
+   max-min over the active flows, then re-aim the completion events of
+   finite flows whose ETA changed. *)
+let rec recompute t =
+  let now = Sched.now t.sched in
+  (* Stopped flows were integrated when they stopped; only active
+     flows accrue bits. *)
+  let active = Array.of_list (active_flows t) in
+  Array.iter (integrate_flow now) active;
+  let inputs =
+    Array.map
+      (fun (f : Flow.t) ->
+        { Fair_share.demand = f.Flow.demand; links = Flow.link_ids f })
+      active
+  in
+  let rates =
+    Fair_share.compute
+      ~capacity:(fun l -> (Topology.link t.topo l).Topology.capacity)
+      inputs
+  in
+  Array.iteri (fun i (f : Flow.t) -> f.Flow.rate <- rates.(i)) active;
+  t.recomputes <- t.recomputes + 1;
+  Array.iter (fun f -> aim_completion t f) active
+
+and aim_completion t (f : Flow.t) =
+  match Hashtbl.find_opt t.finite f.Flow.id with
+  | None -> ()
+  | Some fin ->
+      Option.iter Event_queue.cancel fin.timer;
+      fin.timer <- None;
+      if f.Flow.active then begin
+        let remaining = Float.max 0.0 (fin.size -. f.Flow.delivered_bits) in
+        let fire at =
+          fin.timer <- Some (Sched.schedule_at t.sched at (fun () -> complete t f))
+        in
+        if remaining <= 0.0 then fire (Sched.now t.sched)
+        else if f.Flow.rate > 0.0 then
+          fire
+            (Time.add (Sched.now t.sched) (Time.of_sec (remaining /. f.Flow.rate)))
+      end
+
+and complete t (f : Flow.t) =
+  match Hashtbl.find_opt t.finite f.Flow.id with
+  | None -> ()
+  | Some fin ->
+      Hashtbl.remove t.finite f.Flow.id;
+      stop_flow t f;
+      fin.on_complete f
+
+and stop_flow t (f : Flow.t) =
+  if f.Flow.active then begin
+    integrate_flow (Sched.now t.sched) f;
+    f.Flow.active <- false;
+    f.Flow.rate <- 0.0;
+    f.Flow.stopped_at <- Some (Sched.now t.sched);
+    t.n_active <- t.n_active - 1;
+    t.completed_bits <- t.completed_bits +. f.Flow.delivered_bits;
+    (match Hashtbl.find_opt t.finite f.Flow.id with
+    | Some fin ->
+        Option.iter Event_queue.cancel fin.timer;
+        Hashtbl.remove t.finite f.Flow.id
+    | None -> ());
+    recompute t
+  end
+
+let check_path path =
+  let rec contiguous = function
+    | [] | [ _ ] -> true
+    | (a : Topology.link) :: (b :: _ as rest) ->
+        a.Topology.dst = b.Topology.src && contiguous rest
+  in
+  if not (contiguous path) then
+    invalid_arg "Fluid: discontiguous path"
+
+let start_flow ?(demand = 1e9) t ~key ~path =
+  if demand <= 0.0 then invalid_arg "Fluid.start_flow: demand <= 0";
+  check_path path;
+  let now = Sched.now t.sched in
+  let f =
+    {
+      Flow.id = t.next_id;
+      key;
+      demand;
+      started = now;
+      path;
+      rate = 0.0;
+      delivered_bits = 0.0;
+      last_integration = now;
+      active = true;
+      stopped_at = None;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.rev_flows <- f :: t.rev_flows;
+  t.n_active <- t.n_active + 1;
+  recompute t;
+  f
+
+let start_finite_flow ?demand t ~key ~path ~size_bits ~on_complete =
+  if size_bits <= 0.0 then
+    invalid_arg "Fluid.start_finite_flow: size <= 0";
+  let f = start_flow ?demand t ~key ~path in
+  Hashtbl.replace t.finite f.Flow.id
+    { size = size_bits; on_complete; timer = None };
+  aim_completion t f;
+  f
+
+let set_path t (f : Flow.t) path =
+  if not f.Flow.active then invalid_arg "Fluid.set_path: flow is stopped";
+  check_path path;
+  f.Flow.path <- path;
+  recompute t
+
+let current_rate _t (f : Flow.t) = if f.Flow.active then f.Flow.rate else 0.0
+
+let delivered_bits t (f : Flow.t) =
+  let now = Sched.now t.sched in
+  if f.Flow.active then
+    let dt = Time.to_sec (Time.sub now f.Flow.last_integration) in
+    f.Flow.delivered_bits +. (f.Flow.rate *. Float.max 0.0 dt)
+  else f.Flow.delivered_bits
+
+let link_load t link_id =
+  List.fold_left
+    (fun acc (f : Flow.t) ->
+      if f.Flow.active && List.exists (fun l -> l.Topology.link_id = link_id) f.Flow.path
+      then acc +. f.Flow.rate
+      else acc)
+    0.0 t.rev_flows
+
+let link_utilization t link_id =
+  link_load t link_id /. (Topology.link t.topo link_id).Topology.capacity
+
+let total_rx_rate t =
+  List.fold_left
+    (fun acc (f : Flow.t) -> if f.Flow.active then acc +. f.Flow.rate else acc)
+    0.0 t.rev_flows
+
+let host_rx_rate t node_id =
+  List.fold_left
+    (fun acc (f : Flow.t) ->
+      if f.Flow.active && Flow.dst_node f = Some node_id then acc +. f.Flow.rate
+      else acc)
+    0.0 t.rev_flows
+
+let sample t =
+  let now = Sched.now t.sched in
+  Horse_stats.Series.add t.aggregate now (total_rx_rate t);
+  List.iter
+    (fun (f : Flow.t) ->
+      if f.Flow.active then
+        match Flow.dst_node f with
+        | None -> ()
+        | Some dst ->
+            if not (Hashtbl.mem t.host_series dst) then
+              Hashtbl.add t.host_series dst
+                (Horse_stats.Series.create
+                   ~name:(Printf.sprintf "host-%d-rx-bps" dst)
+                   ()))
+    t.rev_flows;
+  Hashtbl.iter
+    (fun dst series -> Horse_stats.Series.add series now (host_rx_rate t dst))
+    t.host_series
+
+let start_sampling t ~every =
+  Option.iter Sched.cancel_recurring t.sampler;
+  sample t;
+  t.sampler <- Some (Sched.every t.sched every (fun () -> sample t))
+
+let stop_sampling t =
+  Option.iter Sched.cancel_recurring t.sampler;
+  t.sampler <- None
+
+let aggregate_series t = t.aggregate
+let host_series t node_id = Hashtbl.find_opt t.host_series node_id
+let recompute_count t = t.recomputes
+
+let total_delivered_bits t =
+  List.fold_left
+    (fun acc (f : Flow.t) ->
+      if f.Flow.active then acc +. delivered_bits t f else acc)
+    t.completed_bits t.rev_flows

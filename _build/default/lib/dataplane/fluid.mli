@@ -1,0 +1,105 @@
+(** The fluid-rate simulated data plane (paper §2: "a simplistic
+    simulated data plane that runs a fluid rate traffic model").
+
+    Traffic is a set of {!Flow.t} values. Whenever the flow set, a
+    path, or a demand changes, the engine (1) integrates every flow's
+    delivered bits up to the current virtual time at its old rate and
+    (2) reassigns all rates by max-min fair share. Between changes
+    nothing happens — which is exactly why the hybrid clock can leap
+    forward in DES mode while only data-plane traffic is active.
+
+    Rate sampling (for the demonstration's aggregate-throughput graph)
+    is a periodic simulation event recorded into {!Horse_stats.Series}
+    containers. *)
+
+open Horse_net
+open Horse_engine
+open Horse_topo
+
+type t
+
+val create : Sched.t -> Topology.t -> t
+
+val topology : t -> Topology.t
+val scheduler : t -> Sched.t
+
+val start_flow : ?demand:float -> t -> key:Flow_key.t -> path:Spf.path -> Flow.t
+(** Starts a flow at the current virtual time. Default demand 1 Gbps.
+    An empty path models a locally-delivered (never-constrained)
+    flow.
+    @raise Invalid_argument on non-positive demand or a discontiguous
+    path. *)
+
+val start_finite_flow :
+  ?demand:float ->
+  t ->
+  key:Flow_key.t ->
+  path:Spf.path ->
+  size_bits:float ->
+  on_complete:(Flow.t -> unit) ->
+  Flow.t
+(** Like {!start_flow}, but the flow carries a finite volume: once
+    [size_bits] have been delivered the engine stops the flow and
+    fires [on_complete]. Completion timing is exact under the fluid
+    model — the engine re-aims the completion event whenever a rate
+    reallocation changes the flow's ETA. Flow completion time is
+    [stopped_at - started].
+    @raise Invalid_argument on non-positive size. *)
+
+val stop_flow : t -> Flow.t -> unit
+(** Integrates, deactivates and removes the flow from the allocation.
+    Idempotent. *)
+
+val set_path : t -> Flow.t -> Spf.path -> unit
+(** Reroutes the flow (e.g. after a control-plane update); its
+    delivered bits are preserved.
+    @raise Invalid_argument on a discontiguous path or a stopped
+    flow. *)
+
+val active_flows : t -> Flow.t list
+(** In start order. *)
+
+val flow_count : t -> int
+
+val find_flow : t -> Flow_key.t -> Flow.t option
+(** The active flow with this exact 5-tuple, if any. *)
+
+val current_rate : t -> Flow.t -> float
+(** Allocated rate right now (0 for a stopped flow). *)
+
+val delivered_bits : t -> Flow.t -> float
+(** Bits delivered up to the current virtual time (integrates on
+    read; does not disturb the allocation). *)
+
+val link_load : t -> int -> float
+(** Total allocated bps crossing a directed link. *)
+
+val link_utilization : t -> int -> float
+(** [link_load / capacity], in [0, 1] for a feasible allocation. *)
+
+val total_rx_rate : t -> float
+(** Sum of all active flows' rates — the demonstration's "aggregated
+    rate of all flows arriving at the hosts". *)
+
+val host_rx_rate : t -> int -> float
+(** Aggregate rate of flows terminating at the given node. *)
+
+val start_sampling : t -> every:Time.t -> unit
+(** Begin periodic sampling of the aggregate rx rate (and per-host
+    rates) into the series below. Restarting moves the cadence. *)
+
+val stop_sampling : t -> unit
+
+val aggregate_series : t -> Horse_stats.Series.t
+
+val host_series : t -> int -> Horse_stats.Series.t option
+(** Per-host series exist once sampling has started and the host has
+    terminated at least one flow. *)
+
+val total_delivered_bits : t -> float
+(** Bits delivered by all flows ever — active (integrated to now) and
+    completed. *)
+
+val recompute_count : t -> int
+(** Number of max-min recomputations so far (a cost metric reported by
+    the benchmarks). *)

@@ -1,0 +1,37 @@
+(** Per-node IP forwarding table: longest-prefix match onto an ECMP
+    group of outgoing links.
+
+    This is the simulated data-plane state that the control plane
+    programs — the BGP speakers install their Loc-RIB here and the
+    Connection Manager installs controller decisions for OpenFlow-less
+    routed fabrics. *)
+
+open Horse_net
+
+type t
+(** A forwarding table for one node. *)
+
+val create : unit -> t
+
+val set_route : t -> Prefix.t -> next_hops:int list -> unit
+(** [set_route t p ~next_hops] installs (or replaces) the route to
+    [p]; [next_hops] are the directed out-link ids of the ECMP group,
+    deduplicated and kept sorted for determinism.
+    @raise Invalid_argument if [next_hops] is empty. *)
+
+val remove_route : t -> Prefix.t -> unit
+(** Idempotent. *)
+
+val lookup : t -> Ipv4.t -> int list option
+(** Longest-prefix match; returns the ECMP group, or [None] when no
+    route covers the address. *)
+
+val lookup_select : t -> Ipv4.t -> hash:int -> int option
+(** LPM, then pick one link of the group by [hash mod group size]. *)
+
+val routes : t -> (Prefix.t * int list) list
+(** Sorted by prefix (network, then length). *)
+
+val route_count : t -> int
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

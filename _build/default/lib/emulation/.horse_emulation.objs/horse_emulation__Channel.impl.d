@@ -1,0 +1,1 @@
+lib/emulation/channel.ml: Bytes Horse_engine List Sched Time

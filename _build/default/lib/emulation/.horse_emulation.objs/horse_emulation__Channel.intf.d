@@ -1,0 +1,1 @@
+lib/emulation/channel.mli: Bytes Horse_engine Sched Time

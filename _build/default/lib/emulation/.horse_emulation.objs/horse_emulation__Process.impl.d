@@ -1,0 +1,1 @@
+lib/emulation/process.ml: Horse_engine List Sched

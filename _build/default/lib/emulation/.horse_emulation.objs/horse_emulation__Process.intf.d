@@ -1,0 +1,1 @@
+lib/emulation/process.mli: Horse_engine Sched Time

@@ -1,0 +1,80 @@
+open Horse_engine
+
+type direction = A_to_b | B_to_a
+
+type side = {
+  mutable receiver : (Bytes.t -> unit) option;
+  mutable backlog : Bytes.t list;  (* reversed *)
+  mutable on_close : (unit -> unit) option;
+}
+
+type t = {
+  sched : Sched.t;
+  latency : Time.t;
+  a : side;
+  b : side;
+  mutable observer : (direction -> Bytes.t -> unit) option;
+  mutable open_ : bool;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+type endpoint = { chan : t; mine : side; theirs : side; dir_out : direction }
+
+let new_side () = { receiver = None; backlog = []; on_close = None }
+
+let create sched ?(latency = Time.of_ms 1) () =
+  {
+    sched;
+    latency;
+    a = new_side ();
+    b = new_side ();
+    observer = None;
+    open_ = true;
+    messages = 0;
+    bytes = 0;
+  }
+
+let endpoints t =
+  ( { chan = t; mine = t.a; theirs = t.b; dir_out = A_to_b },
+    { chan = t; mine = t.b; theirs = t.a; dir_out = B_to_a } )
+
+let peer e = { chan = e.chan; mine = e.theirs; theirs = e.mine; dir_out = (match e.dir_out with A_to_b -> B_to_a | B_to_a -> A_to_b) }
+
+let deliver side msg =
+  match side.receiver with
+  | Some f -> f msg
+  | None -> side.backlog <- msg :: side.backlog
+
+let set_receiver e f =
+  e.mine.receiver <- Some f;
+  let queued = List.rev e.mine.backlog in
+  e.mine.backlog <- [];
+  List.iter f queued
+
+let send e msg =
+  let t = e.chan in
+  if t.open_ then begin
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + Bytes.length msg;
+    (match t.observer with Some obs -> obs e.dir_out msg | None -> ());
+    let target = e.theirs in
+    ignore
+      (Sched.schedule_after t.sched t.latency (fun () ->
+           if t.open_ then deliver target msg))
+  end
+
+let set_observer t obs = t.observer <- Some obs
+
+let set_on_close e f = e.mine.on_close <- Some f
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    (match t.a.on_close with Some f -> f () | None -> ());
+    match t.b.on_close with Some f -> f () | None -> ()
+  end
+
+let is_open t = t.open_
+let messages_sent t = t.messages
+let bytes_sent t = t.bytes

@@ -1,0 +1,55 @@
+(** Reliable, ordered, duplex control-plane channels.
+
+    This is the stand-in for the TCP connections that carry BGP
+    sessions and OpenFlow channels between real daemons in the
+    authors' implementation. Messages are opaque byte strings —
+    protocol layers serialize real wire formats into them — delivered
+    to the peer endpoint's receiver after a fixed latency.
+
+    Every send is reported to the channel's observer (installed by the
+    Connection Manager) {e at send time}; this is the hook that drives
+    the DES→FTI transition. *)
+
+open Horse_engine
+
+type t
+(** A duplex channel. *)
+
+type endpoint
+(** One side of a channel. *)
+
+type direction = A_to_b | B_to_a
+
+val create : Sched.t -> ?latency:Time.t -> unit -> t
+(** Default latency 1 ms (a LAN-ish control RTT of 2 ms). *)
+
+val endpoints : t -> endpoint * endpoint
+(** The (a, b) sides. *)
+
+val peer : endpoint -> endpoint
+
+val set_receiver : endpoint -> (Bytes.t -> unit) -> unit
+(** Installs the message handler for traffic {e arriving at} this
+    endpoint. Messages delivered while no receiver is installed are
+    queued and flushed (in order, immediately) when one is
+    installed. *)
+
+val send : endpoint -> Bytes.t -> unit
+(** Sends towards the peer endpoint; delivery happens [latency] later
+    in virtual time. Silently dropped on a closed channel (as TCP
+    data after a reset would be). *)
+
+val set_observer : t -> (direction -> Bytes.t -> unit) -> unit
+(** At most one observer; it sees every message at send time, before
+    latency. *)
+
+val set_on_close : endpoint -> (unit -> unit) -> unit
+(** Runs when the channel closes (either side), once. *)
+
+val close : t -> unit
+(** Closes both directions; undelivered messages are dropped.
+    Idempotent. *)
+
+val is_open : t -> bool
+val messages_sent : t -> int
+val bytes_sent : t -> int

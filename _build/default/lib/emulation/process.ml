@@ -1,0 +1,38 @@
+open Horse_engine
+
+type t = {
+  proc_name : string;
+  sched : Sched.t;
+  mutable alive : bool;
+  mutable recurrings : Sched.recurring list;
+  mutable kill_hooks : (unit -> unit) list;  (* reversed *)
+}
+
+let create sched ~name =
+  { proc_name = name; sched; alive = true; recurrings = []; kill_hooks = [] }
+
+let name t = t.proc_name
+let scheduler t = t.sched
+let is_alive t = t.alive
+
+let after t delay f =
+  ignore
+    (Sched.schedule_after t.sched delay (fun () -> if t.alive then f ()))
+
+let every t ?start_after period f =
+  let r = Sched.every t.sched ?start_after period (fun () -> if t.alive then f ()) in
+  t.recurrings <- r :: t.recurrings;
+  r
+
+let tick t f = Sched.add_poller t.sched (fun () -> if t.alive then f ())
+
+let on_kill t f = t.kill_hooks <- f :: t.kill_hooks
+
+let kill t =
+  if t.alive then begin
+    t.alive <- false;
+    List.iter Sched.cancel_recurring t.recurrings;
+    t.recurrings <- [];
+    List.iter (fun f -> f ()) (List.rev t.kill_hooks);
+    t.kill_hooks <- []
+  end

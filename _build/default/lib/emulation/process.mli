@@ -1,0 +1,38 @@
+(** An emulated control-plane process.
+
+    In the authors' system the control plane is made of real OS
+    processes (Quagga daemons, SDN controllers) in network namespaces;
+    here a process is an identity plus a set of virtual-time timers,
+    all of which die together when the process is killed — which is
+    how experiments inject control-plane failures (a dead router stops
+    sending KEEPALIVEs and its peers' hold timers expire, exactly as
+    with a killed daemon). *)
+
+open Horse_engine
+
+type t
+
+val create : Sched.t -> name:string -> t
+
+val name : t -> string
+val scheduler : t -> Sched.t
+val is_alive : t -> bool
+
+val after : t -> Time.t -> (unit -> unit) -> unit
+(** One-shot timer owned by the process; never fires after {!kill}. *)
+
+val every : t -> ?start_after:Time.t -> Time.t -> (unit -> unit) -> Sched.recurring
+(** Recurring timer owned by the process. The handle allows early
+    cancellation; {!kill} cancels it too. *)
+
+val tick : t -> (unit -> unit) -> unit
+(** Registers a per-FTI-increment callback for this process (the
+    "scheduling quantum" a daemon gets while the experiment tracks
+    real time). Suppressed after {!kill}. *)
+
+val kill : t -> unit
+(** Stops the process: every pending and future timer and tick is
+    suppressed. Idempotent. *)
+
+val on_kill : t -> (unit -> unit) -> unit
+(** Cleanup hooks, run once at {!kill} in registration order. *)

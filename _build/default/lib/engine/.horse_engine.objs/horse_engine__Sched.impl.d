@@ -1,0 +1,1 @@
+lib/engine/sched.ml: Array Event_queue Format List Option Time Unix Wall

@@ -1,0 +1,1 @@
+lib/engine/sched.mli: Event_queue Format Time

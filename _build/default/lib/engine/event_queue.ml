@@ -1,0 +1,125 @@
+type entry = {
+  time : Time.t;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = entry
+
+type t = {
+  mutable heap : entry array;  (* heap.(0) unused when len = 0 *)
+  mutable len : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let dummy =
+  { time = Time.zero; seq = -1; action = (fun () -> ()); cancelled = true }
+
+let create () = { heap = Array.make 64 dummy; len = 0; next_seq = 0; live = 0 }
+
+let before a b =
+  match Time.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 heap 0 t.len;
+  t.heap <- heap
+
+let schedule t time action =
+  if t.len = Array.length t.heap then grow t;
+  let e = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.heap.(t.len) <- e;
+  t.len <- t.len + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.len - 1);
+  e
+
+let cancel (e : handle) =
+  e.cancelled <- true
+
+let is_cancelled (e : handle) = e.cancelled
+
+let remove_top t =
+  t.len <- t.len - 1;
+  t.heap.(0) <- t.heap.(t.len);
+  t.heap.(t.len) <- dummy;
+  if t.len > 0 then sift_down t 0
+
+(* Discard cancelled entries sitting at the top. The [live] counter
+   only tracks cancellations lazily, so recount here. *)
+let rec drop_cancelled t =
+  if t.len > 0 && t.heap.(0).cancelled then begin
+    remove_top t;
+    drop_cancelled t
+  end
+
+let recount t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if not t.heap.(i).cancelled then incr n
+  done;
+  t.live <- !n
+
+let size t =
+  recount t;
+  t.live
+
+let is_empty t =
+  drop_cancelled t;
+  t.len = 0
+
+let next_time t =
+  drop_cancelled t;
+  if t.len = 0 then None else Some t.heap.(0).time
+
+let pop t =
+  drop_cancelled t;
+  if t.len = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    remove_top t;
+    Some (e.time, e.action)
+  end
+
+let pop_until t limit =
+  drop_cancelled t;
+  if t.len = 0 || Time.(t.heap.(0).time > limit) then None
+  else begin
+    let e = t.heap.(0) in
+    remove_top t;
+    Some (e.time, e.action)
+  end
+
+let clear t =
+  Array.fill t.heap 0 t.len dummy;
+  t.len <- 0;
+  t.live <- 0

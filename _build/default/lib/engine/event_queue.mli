@@ -1,0 +1,42 @@
+(** The simulator's pending-event set: a binary min-heap ordered by
+    (timestamp, insertion sequence number).
+
+    Two events at the same timestamp execute in insertion order, which
+    makes runs deterministic. Cancellation is O(1) lazy: a cancelled
+    event stays in the heap but is skipped when it surfaces. *)
+
+type t
+(** A mutable event queue. *)
+
+type handle
+(** Names one scheduled event, for cancellation. *)
+
+val create : unit -> t
+
+val schedule : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule q at action] enqueues [action] to run at virtual time
+    [at]. Scheduling in the past is the caller's responsibility: the
+    queue itself is time-agnostic and will happily return such an
+    event first. *)
+
+val cancel : handle -> unit
+(** Idempotent. A cancelled event never runs. *)
+
+val is_cancelled : handle -> bool
+
+val size : t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : t -> bool
+
+val next_time : t -> Time.t option
+(** Timestamp of the earliest live event, without removing it. *)
+
+val pop : t -> (Time.t * (unit -> unit)) option
+(** Removes and returns the earliest live event. *)
+
+val pop_until : t -> Time.t -> (Time.t * (unit -> unit)) option
+(** Like {!pop} but only if the earliest live event is at or before
+    the given time. *)
+
+val clear : t -> unit

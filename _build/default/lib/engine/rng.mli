@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Experiments must be reproducible run-to-run, so every source of
+    randomness in the library goes through an explicitly seeded
+    generator rather than [Stdlib.Random]. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator; equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** A new generator whose stream is independent of (but determined by)
+    the parent's current state; advances the parent. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform random permutation of [0, n). *)
+
+val derangement : t -> int -> int array
+(** [derangement t n] is a permutation with no fixed points — the
+    "each server sends to another server" traffic pattern of the
+    demonstration. For [n = 1] there is no derangement; the identity
+    is returned.
+    Sampled by rejection, uniform over derangements. *)

@@ -1,0 +1,260 @@
+type mode = Des | Fti
+
+let mode_to_string = function Des -> "DES" | Fti -> "FTI"
+let pp_mode fmt m = Format.pp_print_string fmt (mode_to_string m)
+
+type config = {
+  fti_increment : Time.t;
+  quiet_timeout : Time.t;
+  start_in_fti : bool;
+  fti_pacing : float;
+}
+
+let default_config =
+  {
+    fti_increment = Time.of_ms 1;
+    quiet_timeout = Time.of_sec 1.0;
+    start_in_fti = false;
+    fti_pacing = 0.0;
+  }
+
+type transition = {
+  at : Time.t;
+  wall : float;
+  from_mode : mode;
+  to_mode : mode;
+  reason : string;
+}
+
+type stats = {
+  events_executed : int;
+  fti_increments : int;
+  transitions : transition list;
+  virtual_in_fti : Time.t;
+  virtual_in_des : Time.t;
+  wall_in_fti : float;
+  wall_in_des : float;
+  wall_total : float;
+  end_time : Time.t;
+}
+
+type t = {
+  cfg : config;
+  queue : Event_queue.t;
+  mutable clock : Time.t;
+  mutable cur_mode : mode;
+  mutable last_activity : Time.t;
+  mutable running : bool;
+  mutable stop_requested : bool;
+  mutable pollers : (unit -> unit) array;
+  mutable events_executed : int;
+  mutable fti_increments : int;
+  mutable rev_transitions : transition list;
+  mutable virtual_in_fti : Time.t;
+  mutable virtual_in_des : Time.t;
+  mutable wall_in_fti : float;
+  mutable wall_in_des : float;
+  mutable wall_total : float;
+  mutable run_start_wall : float;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    queue = Event_queue.create ();
+    clock = Time.zero;
+    cur_mode = (if config.start_in_fti then Fti else Des);
+    last_activity = Time.zero;
+    running = false;
+    stop_requested = false;
+    pollers = [||];
+    events_executed = 0;
+    fti_increments = 0;
+    rev_transitions = [];
+    virtual_in_fti = Time.zero;
+    virtual_in_des = Time.zero;
+    wall_in_fti = 0.0;
+    wall_in_des = 0.0;
+    wall_total = 0.0;
+    run_start_wall = Wall.now ();
+  }
+
+let config t = t.cfg
+let now t = t.clock
+let mode t = t.cur_mode
+
+let schedule_at t at action =
+  Event_queue.schedule t.queue (Time.max at t.clock) action
+
+let schedule_after t delay action =
+  schedule_at t (Time.add t.clock delay) action
+
+let cancel = Event_queue.cancel
+
+type recurring = {
+  mutable cancelled : bool;
+  mutable pending : Event_queue.handle option;
+}
+
+let every t ?start_after period f =
+  if Time.(period <= Time.zero) then
+    invalid_arg "Sched.every: period must be positive";
+  let first_delay = Option.value start_after ~default:period in
+  let r = { cancelled = false; pending = None } in
+  let rec arm at =
+    if not r.cancelled then
+      r.pending <-
+        Some
+          (schedule_at t at (fun () ->
+               f ();
+               (* Anchor the cadence on scheduled times, not execution
+                  times, so periods never drift. *)
+               arm (Time.add at period)))
+  in
+  arm (Time.add t.clock first_delay);
+  r
+
+let cancel_recurring r =
+  r.cancelled <- true;
+  Option.iter Event_queue.cancel r.pending
+
+let add_poller t f = t.pollers <- Array.append t.pollers [| f |]
+
+let record_transition t to_mode reason =
+  let wall = if t.running then Wall.now () -. t.run_start_wall else 0.0 in
+  t.rev_transitions <-
+    { at = t.clock; wall; from_mode = t.cur_mode; to_mode; reason }
+    :: t.rev_transitions;
+  t.cur_mode <- to_mode
+
+let control_activity ?(reason = "control-plane activity") t =
+  t.last_activity <- t.clock;
+  match t.cur_mode with
+  | Fti -> ()
+  | Des -> record_transition t Fti reason
+
+let stop t = t.stop_requested <- true
+
+let snapshot t =
+  {
+    events_executed = t.events_executed;
+    fti_increments = t.fti_increments;
+    transitions = List.rev t.rev_transitions;
+    virtual_in_fti = t.virtual_in_fti;
+    virtual_in_des = t.virtual_in_des;
+    wall_in_fti = t.wall_in_fti;
+    wall_in_des = t.wall_in_des;
+    wall_total = t.wall_total;
+    end_time = t.clock;
+  }
+
+let account t mode0 wall0 clock0 =
+  let dw = Wall.now () -. wall0 in
+  let dv = Time.sub t.clock clock0 in
+  match mode0 with
+  | Des ->
+      t.wall_in_des <- t.wall_in_des +. dw;
+      t.virtual_in_des <- Time.add t.virtual_in_des dv
+  | Fti ->
+      t.wall_in_fti <- t.wall_in_fti +. dw;
+      t.virtual_in_fti <- Time.add t.virtual_in_fti dv
+
+(* One DES step: execute the next event (jumping the clock), or jump
+   to the horizon when nothing is left before it. Returns [false] when
+   the run is over. *)
+let des_step t until =
+  let wall0 = Wall.now () and clock0 = t.clock in
+  let continue =
+    let next = Event_queue.next_time t.queue in
+    let beyond_horizon =
+      match (next, until) with
+      | None, _ -> true
+      | Some nt, Some u -> Time.(nt > u)
+      | Some _, None -> false
+    in
+    if beyond_horizon then begin
+      (match until with Some u -> t.clock <- Time.max t.clock u | None -> ());
+      false
+    end
+    else
+      match Event_queue.pop t.queue with
+      | None -> false
+      | Some (time, action) ->
+          t.clock <- Time.max t.clock time;
+          t.events_executed <- t.events_executed + 1;
+          action ();
+          true
+  in
+  account t Des wall0 clock0;
+  continue
+
+(* One FTI increment: run every event due within the increment, give
+   each poller its tick, advance the clock by exactly one increment
+   (clipped to the horizon), then apply the quiet-timeout rule. *)
+let fti_step t until =
+  let wall0 = Wall.now () and clock0 = t.clock in
+  let target =
+    let target = Time.add t.clock t.cfg.fti_increment in
+    match until with Some u -> Time.min target u | None -> target
+  in
+  let rec drain () =
+    match Event_queue.pop_until t.queue target with
+    | Some (time, action) ->
+        t.clock <- Time.max t.clock time;
+        t.events_executed <- t.events_executed + 1;
+        action ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Array.iter (fun poll -> poll ()) t.pollers;
+  t.clock <- Time.max t.clock target;
+  t.fti_increments <- t.fti_increments + 1;
+  if t.cfg.fti_pacing > 0.0 then
+    Unix.sleepf (Time.to_sec t.cfg.fti_increment /. t.cfg.fti_pacing);
+  account t Fti wall0 clock0;
+  if
+    t.cur_mode = Fti
+    && Time.(Time.sub t.clock t.last_activity >= t.cfg.quiet_timeout)
+  then record_transition t Des "quiet timeout";
+  match until with Some u -> Time.(t.clock < u) | None -> true
+
+let run ?until t =
+  if t.running then invalid_arg "Sched.run: already running";
+  t.running <- true;
+  t.stop_requested <- false;
+  t.run_start_wall <- Wall.now ();
+  let rec loop () =
+    if t.stop_requested then ()
+    else
+      let continue =
+        match t.cur_mode with
+        | Des -> des_step t until
+        | Fti -> fti_step t until
+      in
+      if continue then loop ()
+  in
+  loop ();
+  t.wall_total <- t.wall_total +. (Wall.now () -. t.run_start_wall);
+  t.running <- false;
+  snapshot t
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "@[<v>events executed : %d@,\
+     fti increments  : %d@,\
+     transitions     : %d@,\
+     virtual time    : %a (FTI %a / DES %a)@,\
+     wall time       : %.3fs (FTI %.3fs / DES %.3fs)@]"
+    s.events_executed s.fti_increments
+    (List.length s.transitions)
+    Time.pp s.end_time Time.pp s.virtual_in_fti Time.pp s.virtual_in_des
+    s.wall_total s.wall_in_fti s.wall_in_des
+
+let pp_transition fmt (tr : transition) =
+  Format.fprintf fmt "[%a] %a -> %a (%s)" Time.pp tr.at pp_mode tr.from_mode
+    pp_mode tr.to_mode tr.reason
+
+let pp_timeline fmt (s : stats) =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_transition fmt
+    s.transitions

@@ -1,0 +1,119 @@
+(** The hybrid scheduler — Horse's core contribution.
+
+    The scheduler owns the virtual clock and the event queue and runs
+    in one of two modes (paper, §2):
+
+    - {b DES} (Discrete Event Simulation): the clock jumps straight to
+      the timestamp of the next event. This is the fast mode used when
+      only (fluid) data-plane traffic is active.
+    - {b FTI} (Fixed Time Increment): the clock advances in small
+      fixed increments, and every registered poller (an emulated
+      control-plane process) gets a tick per increment. This
+      reproduces the real-time interleaving that real routing daemons
+      experience.
+
+    The transition rules are exactly the paper's: any control-plane
+    activity (reported by the Connection Manager via
+    {!control_activity}) forces FTI mode and refreshes a quiet timer;
+    after a user-defined timeout with no control activity the
+    scheduler falls back to DES. All transitions are recorded and
+    returned in {!stats} (this drives the Figure 1 reproduction). *)
+
+type t
+
+type mode = Des | Fti
+
+val pp_mode : Format.formatter -> mode -> unit
+val mode_to_string : mode -> string
+
+type config = {
+  fti_increment : Time.t;
+      (** FTI step, default 1 ms. Smaller is more faithful and
+          slower. *)
+  quiet_timeout : Time.t;
+      (** control-plane silence needed to return to DES; default 1 s *)
+  start_in_fti : bool;
+      (** begin the run in FTI mode (a control plane that boots at
+          t=0 will trigger FTI immediately anyway); default [false] *)
+  fti_pacing : float;
+      (** 0 (default) runs FTI as fast as possible; [x > 0] sleeps so
+          FTI virtual time advances at [x]× wall speed — only useful
+          for interactive demonstrations. *)
+}
+
+val default_config : config
+
+type transition = {
+  at : Time.t;
+  wall : float;  (** wall seconds since [run] started *)
+  from_mode : mode;
+  to_mode : mode;
+  reason : string;
+}
+
+type stats = {
+  events_executed : int;
+  fti_increments : int;
+  transitions : transition list;  (** chronological *)
+  virtual_in_fti : Time.t;
+  virtual_in_des : Time.t;
+  wall_in_fti : float;
+  wall_in_des : float;
+  wall_total : float;
+  end_time : Time.t;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val pp_transition : Format.formatter -> transition -> unit
+(** ["[1.003s] FTI -> DES (quiet timeout)"]. *)
+
+val pp_timeline : Format.formatter -> stats -> unit
+(** The whole transition list, one per line, as the Figure 1
+    timeline. *)
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+val now : t -> Time.t
+val mode : t -> mode
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> Event_queue.handle
+(** Schedules an event at an absolute virtual time; a time in the past
+    is clamped to [now]. *)
+
+val schedule_after : t -> Time.t -> (unit -> unit) -> Event_queue.handle
+(** Relative variant; a negative delay is clamped to zero. *)
+
+val cancel : Event_queue.handle -> unit
+
+type recurring
+(** A repeating event; lives until cancelled or the run ends. *)
+
+val every : t -> ?start_after:Time.t -> Time.t -> (unit -> unit) -> recurring
+(** [every t ~start_after period f] runs [f] at [now + start_after]
+    (default: one period from now) and every [period] thereafter.
+    @raise Invalid_argument if the period is not positive. *)
+
+val cancel_recurring : recurring -> unit
+
+val add_poller : t -> (unit -> unit) -> unit
+(** Registers a per-FTI-increment tick callback. Pollers model the
+    scheduling quantum an emulated process receives; they run only in
+    FTI mode, once per increment, in registration order. *)
+
+val control_activity : ?reason:string -> t -> unit
+(** Report control-plane activity at the current instant: switches to
+    FTI if in DES (recording a transition) and refreshes the quiet
+    timer. Called by the Connection Manager, never by data-plane
+    code. *)
+
+val stop : t -> unit
+(** Makes the current {!run} return after the event in progress. *)
+
+val run : ?until:Time.t -> t -> stats
+(** Executes events until [until] (virtual), or — when [until] is
+    omitted — until the event queue drains while in DES mode. The
+    clock finishes exactly at [until] when given. Re-entrant calls are
+    a programming error.
+    @raise Invalid_argument if called while already running. *)

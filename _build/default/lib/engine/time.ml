@@ -1,0 +1,30 @@
+type t = int64
+
+let zero = 0L
+let of_us n = Int64.of_int n
+let of_ms n = Int64.mul (Int64.of_int n) 1_000L
+let of_sec s = Int64.of_float (s *. 1e6)
+let to_us t = Int64.to_int t
+let to_ms t = Int64.to_float t /. 1e3
+let to_sec t = Int64.to_float t /. 1e6
+let add = Int64.add
+let sub = Int64.sub
+let mul t n = Int64.mul t (Int64.of_int n)
+let div t n = Int64.div t (Int64.of_int n)
+let min : t -> t -> t = Stdlib.min
+let max : t -> t -> t = Stdlib.max
+let compare = Int64.compare
+let equal = Int64.equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+
+let pp fmt t =
+  let us = Int64.to_int t in
+  let mag = Stdlib.abs us in
+  if us mod 1_000_000 = 0 then Format.fprintf fmt "%ds" (us / 1_000_000)
+  else if Stdlib.( >= ) mag 1_000_000 then Format.fprintf fmt "%.3fs" (to_sec t)
+  else if us mod 1_000 = 0 then Format.fprintf fmt "%dms" (us / 1_000)
+  else if Stdlib.( >= ) mag 1_000 then Format.fprintf fmt "%.3fms" (to_ms t)
+  else Format.fprintf fmt "%dus" us

@@ -1,0 +1,29 @@
+type entry = { at : Time.t; wall : float; label : string; detail : string }
+
+type t = { mutable rev_entries : entry list; mutable n : int; created : float }
+
+let create () = { rev_entries = []; n = 0; created = Wall.now () }
+
+let add t ~at ~label detail =
+  t.rev_entries <-
+    { at; wall = Wall.now () -. t.created; label; detail } :: t.rev_entries;
+  t.n <- t.n + 1
+
+let addf t ~at ~label fmt = Format.kasprintf (fun s -> add t ~at ~label s) fmt
+
+let entries t = List.rev t.rev_entries
+
+let by_label t label =
+  List.filter (fun e -> String.equal e.label label) (entries t)
+
+let length t = t.n
+
+let clear t =
+  t.rev_entries <- [];
+  t.n <- 0
+
+let pp_entry fmt e =
+  Format.fprintf fmt "[%a] %-6s %s" Time.pp e.at e.label e.detail
+
+let pp fmt t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_entry fmt (entries t)

@@ -1,0 +1,35 @@
+(** Annotated experiment traces.
+
+    A lightweight append-only log of (virtual time, label, detail)
+    records. The Connection Manager logs control-plane activity here
+    and the BGP/OpenFlow agents log protocol milestones; the FIG1
+    harness renders the result as the paper's mode-transition
+    timeline. *)
+
+type entry = {
+  at : Time.t;  (** virtual time of the record *)
+  wall : float;  (** wall seconds since trace creation *)
+  label : string;  (** category, e.g. ["bgp"], ["mode"], ["cm"] *)
+  detail : string;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> at:Time.t -> label:string -> string -> unit
+
+val addf :
+  t -> at:Time.t -> label:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant of {!add}. *)
+
+val entries : t -> entry list
+(** Chronological (insertion) order. *)
+
+val by_label : t -> string -> entry list
+
+val length : t -> int
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

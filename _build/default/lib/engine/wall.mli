@@ -1,0 +1,8 @@
+(** Wall-clock measurement (the quantity Horse is designed to save). *)
+
+val now : unit -> float
+(** Seconds since an arbitrary epoch, sub-millisecond resolution. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result and elapsed wall
+    seconds. *)

@@ -1,0 +1,1 @@
+lib/net/flow_key.ml: Format Hashtbl Headers Int Int64 Ipv4 Packet

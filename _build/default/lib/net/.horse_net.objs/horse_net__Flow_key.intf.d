@@ -1,0 +1,1 @@
+lib/net/flow_key.mli: Format Hashtbl Headers Ipv4 Packet

@@ -1,0 +1,1 @@
+lib/net/headers.ml: Checksum Format Int32 Ipv4 Mac Printf Wire

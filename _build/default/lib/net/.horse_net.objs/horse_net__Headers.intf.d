@@ -1,0 +1,1 @@
+lib/net/headers.mli: Bytes Checksum Format Ipv4 Mac Wire

@@ -1,0 +1,1 @@
+lib/net/ipv4.ml: Char Format Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/net/mac.ml: Char Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/net/packet.ml: Arp Bytes Checksum Eth Format Headers Ip Ipv4 Mac Proto Tcp Udp Wire

@@ -1,0 +1,1 @@
+lib/net/wire.ml: Bytes Int32 Int64 Ipv4 Mac Printf Result

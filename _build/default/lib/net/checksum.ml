@@ -1,0 +1,26 @@
+type accumulator = int
+
+let empty = 0
+
+let fold16 sum =
+  let sum = (sum land 0xFFFF) + (sum lsr 16) in
+  (sum land 0xFFFF) + (sum lsr 16)
+
+let add_bytes acc buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Checksum.add_bytes: range out of bounds";
+  let sum = ref acc in
+  let i = ref off in
+  let last = off + len in
+  while !i + 1 < last do
+    sum := !sum + (Char.code (Bytes.get buf !i) lsl 8)
+           + Char.code (Bytes.get buf (!i + 1));
+    i := !i + 2
+  done;
+  if !i < last then sum := !sum + (Char.code (Bytes.get buf !i) lsl 8);
+  fold16 !sum
+
+let add_uint16 acc w = fold16 (acc + (w land 0xFFFF))
+let finish acc = lnot (fold16 acc) land 0xFFFF
+let of_bytes buf off len = finish (add_bytes empty buf off len)
+let verify buf off len = fold16 (add_bytes empty buf off len) = 0xFFFF

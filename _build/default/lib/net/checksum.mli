@@ -1,0 +1,32 @@
+(** The Internet checksum (RFC 1071).
+
+    The ones'-complement sum of 16-bit big-endian words, complemented.
+    Used by the IPv4 header and by the UDP/TCP pseudo-header sums. *)
+
+type accumulator
+(** A partial ones'-complement sum, for checksumming discontiguous
+    regions (e.g. pseudo-header then payload). *)
+
+val empty : accumulator
+(** The sum of nothing. *)
+
+val add_bytes : accumulator -> Bytes.t -> int -> int -> accumulator
+(** [add_bytes acc buf off len] folds [len] bytes of [buf] starting at
+    [off] into the sum. A trailing odd byte is padded with zero, as the
+    RFC specifies — so splitting a region at an odd offset is NOT
+    equivalent to summing it whole.
+    @raise Invalid_argument if the range is outside [buf]. *)
+
+val add_uint16 : accumulator -> int -> accumulator
+(** Folds one 16-bit word (low 16 bits of the argument) into the sum. *)
+
+val finish : accumulator -> int
+(** Final checksum: the complement of the folded sum, in [0, 0xFFFF]. *)
+
+val of_bytes : Bytes.t -> int -> int -> int
+(** One-shot checksum of a contiguous region. *)
+
+val verify : Bytes.t -> int -> int -> bool
+(** [verify buf off len] is [true] iff the region (which must embed its
+    own checksum field) sums to a valid value, i.e. the folded sum is
+    [0xFFFF]. *)

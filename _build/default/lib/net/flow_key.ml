@@ -1,0 +1,90 @@
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  proto : Headers.Proto.t;
+  src_port : int;
+  dst_port : int;
+}
+
+let make ~src ~dst ?(proto = Headers.Proto.Udp) ?(src_port = 0) ?(dst_port = 0)
+    () =
+  { src; dst; proto; src_port; dst_port }
+
+let of_packet (p : Packet.t) =
+  match p.Packet.body with
+  | Packet.Ipv4 (ip, l4) ->
+      let src_port, dst_port =
+        match l4 with
+        | Packet.Udp (u, _) -> (u.Headers.Udp.src_port, u.Headers.Udp.dst_port)
+        | Packet.Tcp (tc, _) ->
+            (tc.Headers.Tcp.src_port, tc.Headers.Tcp.dst_port)
+        | Packet.Raw_l4 _ -> (0, 0)
+      in
+      Some
+        {
+          src = ip.Headers.Ip.src;
+          dst = ip.Headers.Ip.dst;
+          proto = ip.Headers.Ip.proto;
+          src_port;
+          dst_port;
+        }
+  | Packet.Arp _ | Packet.Raw _ -> None
+
+let reverse k =
+  { k with src = k.dst; dst = k.src; src_port = k.dst_port; dst_port = k.src_port }
+
+(* splitmix64 mixing; deterministic, well spread, independent of
+   OCaml's polymorphic hash. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let combine acc v = mix64 (Int64.logxor acc (Int64.mul v 0x9E3779B97F4A7C15L))
+
+let to_nonneg z = Int64.to_int z land max_int
+
+let i64_of_ip a = Int64.logand (Int64.of_int32 (Ipv4.to_int32 a)) 0xFFFFFFFFL
+
+let hash_src_dst k =
+  let acc = combine 0x5EEDL (i64_of_ip k.src) in
+  to_nonneg (combine acc (i64_of_ip k.dst))
+
+let hash_5tuple k =
+  let acc = combine 0x5EEDL (i64_of_ip k.src) in
+  let acc = combine acc (i64_of_ip k.dst) in
+  let acc = combine acc (Int64.of_int (Headers.Proto.to_int k.proto)) in
+  let acc = combine acc (Int64.of_int k.src_port) in
+  to_nonneg (combine acc (Int64.of_int k.dst_port))
+
+let select ~hash n =
+  if n <= 0 then invalid_arg "Flow_key.select: empty bucket set";
+  hash mod n
+
+let compare a b =
+  let c = Ipv4.compare a.src b.src in
+  if c <> 0 then c
+  else
+    let c = Ipv4.compare a.dst b.dst in
+    if c <> 0 then c
+    else
+      let c =
+        Int.compare (Headers.Proto.to_int a.proto) (Headers.Proto.to_int b.proto)
+      in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.src_port b.src_port in
+        if c <> 0 then c else Int.compare a.dst_port b.dst_port
+
+let equal a b = compare a b = 0
+
+let pp fmt k =
+  Format.fprintf fmt "%a:%d -> %a:%d/%a" Ipv4.pp k.src k.src_port Ipv4.pp k.dst
+    k.dst_port Headers.Proto.pp k.proto
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash_5tuple
+end)

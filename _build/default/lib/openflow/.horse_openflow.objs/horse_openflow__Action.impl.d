@@ -1,0 +1,1 @@
+lib/openflow/action.ml: Format Horse_net List Printf

@@ -1,0 +1,1 @@
+lib/openflow/flow_table.ml: Action Format Horse_engine Int List Ofmatch Ofmsg Time

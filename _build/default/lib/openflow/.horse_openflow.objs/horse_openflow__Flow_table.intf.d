@@ -1,0 +1,1 @@
+lib/openflow/flow_table.mli: Action Format Horse_engine Ofmatch Ofmsg Time

@@ -1,0 +1,1 @@
+lib/openflow/ofmatch.ml: Flow_key Format Headers Horse_net Ipv4 Mac Option Prefix Wire

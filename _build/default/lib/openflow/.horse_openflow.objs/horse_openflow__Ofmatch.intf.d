@@ -1,0 +1,1 @@
+lib/openflow/ofmatch.mli: Bytes Flow_key Format Horse_net Ipv4 Mac Prefix Wire

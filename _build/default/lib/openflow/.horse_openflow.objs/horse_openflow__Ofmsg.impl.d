@@ -1,0 +1,1 @@
+lib/openflow/ofmsg.ml: Action Bytes Format Horse_net List Ofmatch Printf

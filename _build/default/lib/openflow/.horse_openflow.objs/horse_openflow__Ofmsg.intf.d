@@ -1,0 +1,1 @@
+lib/openflow/ofmsg.mli: Action Bytes Format Ofmatch

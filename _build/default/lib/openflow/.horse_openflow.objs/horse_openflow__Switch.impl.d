@@ -1,0 +1,1 @@
+lib/openflow/switch.ml: Bytes Channel Flow_table Format Hashtbl Horse_emulation Horse_engine Int List Ofmsg Process Sched Time Trace

@@ -1,0 +1,1 @@
+lib/openflow/switch.mli: Bytes Channel Flow_table Horse_emulation Horse_engine Ofmatch Ofmsg Process Trace

@@ -1,0 +1,123 @@
+open Horse_engine
+
+type entry = {
+  match_ : Ofmatch.t;
+  priority : int;
+  actions : Action.t list;
+  cookie : int;
+  idle_timeout : Time.t option;
+  hard_timeout : Time.t option;
+  installed_at : Time.t;
+  mutable last_used : Time.t;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+(* Entries kept sorted: priority descending, then insertion sequence
+   ascending. The seq lives outside [entry] to keep the public record
+   clean. *)
+type t = { mutable entries : (int * entry) list; mutable next_seq : int }
+
+let create () = { entries = []; next_seq = 0 }
+
+let order (sa, (a : entry)) (sb, (b : entry)) =
+  match Int.compare b.priority a.priority with
+  | 0 -> Int.compare sa sb
+  | c -> c
+
+let timeout_of_seconds s = if s = 0 then None else Some (Time.of_sec (float_of_int s))
+
+let insert t ~now (fm : Ofmsg.flow_mod) =
+  let entry =
+    {
+      match_ = fm.Ofmsg.match_;
+      priority = fm.Ofmsg.priority;
+      actions = fm.Ofmsg.actions;
+      cookie = fm.Ofmsg.cookie;
+      idle_timeout = timeout_of_seconds fm.Ofmsg.idle_timeout_s;
+      hard_timeout = timeout_of_seconds fm.Ofmsg.hard_timeout_s;
+      installed_at = now;
+      last_used = now;
+      packets = 0;
+      bytes = 0;
+    }
+  in
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  t.entries <- List.sort order ((seq, entry) :: t.entries)
+
+let apply_flow_mod t ~now (fm : Ofmsg.flow_mod) =
+  match fm.Ofmsg.command with
+  | Ofmsg.Add ->
+      t.entries <-
+        List.filter
+          (fun (_, e) ->
+            not (Ofmatch.equal e.match_ fm.Ofmsg.match_ && e.priority = fm.Ofmsg.priority))
+          t.entries;
+      insert t ~now fm
+  | Ofmsg.Modify ->
+      let touched = ref false in
+      t.entries <-
+        List.map
+          (fun (s, e) ->
+            if Ofmatch.equal e.match_ fm.Ofmsg.match_ then begin
+              touched := true;
+              (s, { e with actions = fm.Ofmsg.actions })
+            end
+            else (s, e))
+          t.entries;
+      if not !touched then insert t ~now fm
+  | Ofmsg.Delete ->
+      t.entries <-
+        List.filter
+          (fun (_, e) -> not (Ofmatch.is_exact_overlap fm.Ofmsg.match_ e.match_))
+          t.entries
+
+let lookup t fields =
+  List.find_map
+    (fun (_, e) -> if Ofmatch.matches e.match_ fields then Some e else None)
+    t.entries
+
+let account entry ~now ~packets ~bytes =
+  entry.packets <- entry.packets + packets;
+  entry.bytes <- entry.bytes + bytes;
+  entry.last_used <- now
+
+let expired_at now e =
+  let hard_hit =
+    match e.hard_timeout with
+    | Some dt -> Time.(Time.sub now e.installed_at >= dt)
+    | None -> false
+  in
+  let idle_hit =
+    match e.idle_timeout with
+    | Some dt -> Time.(Time.sub now e.last_used >= dt)
+    | None -> false
+  in
+  hard_hit || idle_hit
+
+let expire t ~now =
+  let gone, kept = List.partition (fun (_, e) -> expired_at now e) t.entries in
+  t.entries <- kept;
+  List.map snd gone
+
+let entries t = List.map snd t.entries
+
+let matching_entries t m =
+  List.filter_map
+    (fun (_, e) -> if Ofmatch.is_exact_overlap m e.match_ then Some e else None)
+    t.entries
+
+let size t = List.length t.entries
+let clear t = t.entries <- []
+
+let pp fmt t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline
+    (fun fmt (e : entry) ->
+      Format.fprintf fmt "prio=%d %a -> [%a] pkts=%d bytes=%d" e.priority
+        Ofmatch.pp e.match_
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+           Action.pp)
+        e.actions e.packets e.bytes)
+    fmt (entries t)

@@ -1,0 +1,54 @@
+(** An OpenFlow switch's flow table: priority-ordered entries with
+    idle/hard timeouts and traffic counters.
+
+    Matching returns the highest-priority matching entry; among equal
+    priorities the oldest entry wins (stable, deterministic).
+    Expiry is driven explicitly by the owner via {!expire} — the
+    switch agent calls it from a periodic virtual-time timer. *)
+
+open Horse_engine
+
+type entry = {
+  match_ : Ofmatch.t;
+  priority : int;
+  actions : Action.t list;
+  cookie : int;
+  idle_timeout : Time.t option;
+  hard_timeout : Time.t option;
+  installed_at : Time.t;
+  mutable last_used : Time.t;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+type t
+
+val create : unit -> t
+
+val apply_flow_mod : t -> now:Time.t -> Ofmsg.flow_mod -> unit
+(** ADD replaces an entry with the same match and priority; MODIFY
+    rewrites the actions of entries with an equal match (or behaves
+    like ADD when none exists); DELETE removes every entry whose match
+    overlaps the given one (an all-wildcard match clears the
+    table). *)
+
+val lookup : t -> Ofmatch.fields -> entry option
+(** Does not touch counters — use {!account} when traffic actually
+    hits the entry. *)
+
+val account : entry -> now:Time.t -> packets:int -> bytes:int -> unit
+(** Adds to the counters and refreshes the idle timestamp. *)
+
+val expire : t -> now:Time.t -> entry list
+(** Removes and returns entries past an idle or hard deadline. *)
+
+val entries : t -> entry list
+(** Priority order (the match order). *)
+
+val matching_entries : t -> Ofmatch.t -> entry list
+(** Entries whose match overlaps the given one — the flow-stats
+    request semantics. *)
+
+val size : t -> int
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+(** OpenFlow 1.0-style flow match: a 12-tuple with wildcards, plus the
+    concrete header-field record it is tested against.
+
+    Encoded as the 40-byte [ofp_match] structure, including the
+    wildcard bitfield with the 6-bit CIDR mask sub-fields for the
+    network addresses. *)
+
+open Horse_net
+
+(** Concrete packet fields as seen by a switch port. *)
+type fields = {
+  in_port : int;
+  eth_src : Mac.t;
+  eth_dst : Mac.t;
+  eth_type : int;
+  ip_src : Ipv4.t;
+  ip_dst : Ipv4.t;
+  ip_proto : int;
+  tp_src : int;
+  tp_dst : int;
+}
+
+val fields_of_key : ?in_port:int -> Flow_key.t -> fields
+(** Synthesises fields from a 5-tuple (MACs derived from the
+    addresses, ethertype IPv4). *)
+
+type t = {
+  m_in_port : int option;
+  m_eth_src : Mac.t option;
+  m_eth_dst : Mac.t option;
+  m_eth_type : int option;
+  m_ip_src : Prefix.t option;
+  m_ip_dst : Prefix.t option;
+  m_ip_proto : int option;
+  m_tp_src : int option;
+  m_tp_dst : int option;
+}
+
+val any : t
+(** Matches everything (all fields wildcarded). *)
+
+val exact_5tuple : Flow_key.t -> t
+(** Matches exactly this 5-tuple (L2 fields wildcarded, as the SDN
+    ECMP application installs). *)
+
+val to_dst : Prefix.t -> t
+(** Match on IPv4 destination prefix only. *)
+
+val matches : t -> fields -> bool
+
+val is_exact_overlap : t -> t -> bool
+(** True when the two matches could both match some packet — used by
+    flow-mod DELETE with loose matching semantics. Conservative
+    (may return true for disjoint matches with different masks). *)
+
+val size : int
+(** 40 bytes encoded. *)
+
+val write : Bytes.t -> int -> t -> unit
+val read : t Wire.reader
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

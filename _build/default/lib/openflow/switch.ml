@@ -1,0 +1,191 @@
+open Horse_engine
+open Horse_emulation
+
+type t = {
+  proc : Process.t;
+  dpid : int;
+  table : Flow_table.t;
+  endpoint : Channel.endpoint;
+  port_to_link : (int * int) list;
+  trace : Trace.t option;
+  mutable flow_mod_hooks : (Ofmsg.flow_mod -> unit) list;
+  mutable packet_out_hooks : (Ofmsg.packet_out -> unit) list;
+  mutable expired_hooks : (Flow_table.entry -> unit) list;
+  mutable flow_stats_provider : (Flow_table.entry -> int * int) option;
+  mutable port_stats_provider : (int -> Ofmsg.port_stats) option;
+  mutable packet_ins : int;
+  mutable flow_mods : int;
+  mutable started : bool;
+  down_ports : (int, unit) Hashtbl.t;
+}
+
+let now t = Sched.now (Process.scheduler t.proc)
+
+let tracef t fmt =
+  match t.trace with
+  | Some trace -> Trace.addf trace ~at:(now t) ~label:"ofswitch" fmt
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let send t msg = Channel.send t.endpoint (Ofmsg.encode msg)
+let send_xid t xid msg = Channel.send t.endpoint (Ofmsg.encode ~xid msg)
+
+let handle t msg xid =
+  match (msg : Ofmsg.t) with
+  | Ofmsg.Hello -> ()
+  | Ofmsg.Echo_request -> send_xid t xid Ofmsg.Echo_reply
+  | Ofmsg.Echo_reply -> ()
+  | Ofmsg.Features_request ->
+      send_xid t xid
+        (Ofmsg.Features_reply
+           { dpid = t.dpid; n_ports = List.length t.port_to_link })
+  | Ofmsg.Barrier_request -> send_xid t xid Ofmsg.Barrier_reply
+  | Ofmsg.Flow_mod fm ->
+      t.flow_mods <- t.flow_mods + 1;
+      Flow_table.apply_flow_mod t.table ~now:(now t) fm;
+      tracef t "flow_mod applied (table size %d)" (Flow_table.size t.table);
+      List.iter (fun f -> f fm) t.flow_mod_hooks
+  | Ofmsg.Packet_out po -> List.iter (fun f -> f po) t.packet_out_hooks
+  | Ofmsg.Stats_request (Ofmsg.Flow_stats_req m) ->
+      let entries = Flow_table.matching_entries t.table m in
+      let stats =
+        List.map
+          (fun (e : Flow_table.entry) ->
+            let packets, bytes =
+              match t.flow_stats_provider with
+              | Some provider -> provider e
+              | None -> (e.Flow_table.packets, e.Flow_table.bytes)
+            in
+            {
+              Ofmsg.fs_match = e.Flow_table.match_;
+              fs_priority = e.Flow_table.priority;
+              fs_cookie = e.Flow_table.cookie;
+              fs_packets = packets;
+              fs_bytes = bytes;
+              fs_duration_s =
+                int_of_float
+                  (Time.to_sec (Time.sub (now t) e.Flow_table.installed_at));
+              fs_actions = e.Flow_table.actions;
+            })
+          entries
+      in
+      send_xid t xid (Ofmsg.Stats_reply (Ofmsg.Flow_stats_rep stats))
+  | Ofmsg.Stats_request (Ofmsg.Port_stats_req port) ->
+      let wanted =
+        if port = 0xFFFF then List.map fst t.port_to_link else [ port ]
+      in
+      let stats =
+        List.map
+          (fun p ->
+            match t.port_stats_provider with
+            | Some provider -> provider p
+            | None ->
+                {
+                  Ofmsg.ps_port = p;
+                  ps_rx_packets = 0;
+                  ps_tx_packets = 0;
+                  ps_rx_bytes = 0;
+                  ps_tx_bytes = 0;
+                })
+          wanted
+      in
+      send_xid t xid (Ofmsg.Stats_reply (Ofmsg.Port_stats_rep stats))
+  | Ofmsg.Features_reply _ | Ofmsg.Packet_in _ | Ofmsg.Stats_reply _
+  | Ofmsg.Port_status _ | Ofmsg.Barrier_reply ->
+      (* Controller-to-switch direction only; a controller never sends
+         these. Ignore rather than fail, as a real agent would. *)
+      ()
+
+let receive t bytes =
+  if Process.is_alive t.proc then
+    match Ofmsg.decode bytes with
+    | Ok (msg, xid) -> handle t msg xid
+    | Error err -> tracef t "decode error: %s" err
+
+let create ?trace proc ~dpid ~ports endpoint =
+  let port_numbers = List.map fst ports in
+  if List.length (List.sort_uniq Int.compare port_numbers) <> List.length ports
+  then invalid_arg "Switch.create: duplicate port numbers";
+  let t =
+    {
+      proc;
+      dpid;
+      table = Flow_table.create ();
+      endpoint;
+      port_to_link = ports;
+      trace;
+      flow_mod_hooks = [];
+      packet_out_hooks = [];
+      expired_hooks = [];
+      flow_stats_provider = None;
+      port_stats_provider = None;
+      packet_ins = 0;
+      flow_mods = 0;
+      started = false;
+      down_ports = Hashtbl.create 4;
+    }
+  in
+  Channel.set_receiver endpoint (fun bytes -> receive t bytes);
+  t
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    send t Ofmsg.Hello;
+    ignore
+      (Process.every t.proc (Time.of_sec 1.0) (fun () ->
+           let gone = Flow_table.expire t.table ~now:(now t) in
+           List.iter
+             (fun e -> List.iter (fun f -> f e) t.expired_hooks)
+             gone))
+  end
+
+let dpid t = t.dpid
+let table t = t.table
+let ports t = t.port_to_link
+
+let is_port_down t port = Hashtbl.mem t.down_ports port
+
+let set_port_down t port =
+  if not (Hashtbl.mem t.down_ports port) then begin
+    Hashtbl.replace t.down_ports port ();
+    tracef t "port %d down" port;
+    send t (Ofmsg.Port_status { Ofmsg.pst_reason = 1; pst_port = port })
+  end
+
+let set_port_up t port =
+  if Hashtbl.mem t.down_ports port then begin
+    Hashtbl.remove t.down_ports port;
+    tracef t "port %d up" port;
+    send t (Ofmsg.Port_status { Ofmsg.pst_reason = 0; pst_port = port })
+  end
+
+let link_of_port t port =
+  if Hashtbl.mem t.down_ports port then None
+  else List.assoc_opt port t.port_to_link
+
+let port_of_link t link =
+  List.find_map
+    (fun (p, l) -> if l = link then Some p else None)
+    t.port_to_link
+
+let lookup t fields = Flow_table.lookup t.table fields
+
+let packet_in t ~in_port ?(reason = 0) data =
+  t.packet_ins <- t.packet_ins + 1;
+  send t
+    (Ofmsg.Packet_in
+       {
+         buffer_id = 0xFFFFFFFF;
+         total_len = Bytes.length data;
+         in_port;
+         reason;
+         data;
+       })
+
+let on_flow_mod t f = t.flow_mod_hooks <- t.flow_mod_hooks @ [ f ]
+let on_packet_out t f = t.packet_out_hooks <- t.packet_out_hooks @ [ f ]
+let on_expired t f = t.expired_hooks <- t.expired_hooks @ [ f ]
+let set_flow_stats_provider t f = t.flow_stats_provider <- Some f
+let set_port_stats_provider t f = t.port_stats_provider <- Some f
+let packet_ins_sent t = t.packet_ins
+let flow_mods_received t = t.flow_mods

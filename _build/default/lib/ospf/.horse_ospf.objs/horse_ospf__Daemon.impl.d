@@ -1,0 +1,1 @@
+lib/ospf/daemon.ml: Channel Format Horse_emulation Horse_engine Horse_net Ipv4 List Lsdb Option Ospf_msg Prefix Printf Process Sched Time Trace

@@ -1,0 +1,1 @@
+lib/ospf/daemon.mli: Channel Format Horse_emulation Horse_engine Horse_net Ipv4 Lsdb Prefix Process Time Trace

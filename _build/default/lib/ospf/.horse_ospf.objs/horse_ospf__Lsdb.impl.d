@@ -1,0 +1,1 @@
+lib/ospf/lsdb.ml: Hashtbl Horse_net Ipv4 List Option Ospf_msg Prefix

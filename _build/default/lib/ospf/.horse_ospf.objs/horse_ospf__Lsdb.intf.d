@@ -1,0 +1,1 @@
+lib/ospf/lsdb.mli: Horse_net Ipv4 Ospf_msg Prefix

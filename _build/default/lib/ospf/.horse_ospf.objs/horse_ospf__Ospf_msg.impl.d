@@ -1,0 +1,1 @@
+lib/ospf/ospf_msg.ml: Bytes Checksum Format Horse_net Int32 Ipv4 List Prefix Printf Wire

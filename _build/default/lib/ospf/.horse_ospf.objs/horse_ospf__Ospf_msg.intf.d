@@ -1,0 +1,1 @@
+lib/ospf/ospf_msg.mli: Bytes Format Horse_net Ipv4 Prefix

@@ -1,0 +1,326 @@
+open Horse_net
+open Horse_engine
+open Horse_emulation
+
+type config = {
+  router_id : Ipv4.t;
+  hello_interval : Time.t;
+  dead_interval : Time.t;
+  stub_prefixes : (Prefix.t * int) list;
+  spf_delay : Time.t;
+  processing_delay : Time.t;
+}
+
+let default_config ~router_id =
+  {
+    router_id;
+    hello_interval = Time.of_sec 2.0;
+    dead_interval = Time.of_sec 8.0;
+    stub_prefixes = [];
+    spf_delay = Time.of_ms 10;
+    processing_delay = Time.of_us 50;
+  }
+
+type neighbor_state = Down | Init | Full
+
+let pp_neighbor_state fmt s =
+  Format.pp_print_string fmt
+    (match s with Down -> "Down" | Init -> "Init" | Full -> "Full")
+
+type iface = {
+  iface_id : int;
+  endpoint : Channel.endpoint;
+  metric : int;
+  mutable nbr_id : Ipv4.t option;
+  mutable nbr_state : neighbor_state;
+  mutable last_hello : Time.t;
+}
+
+type counters = {
+  hellos_sent : int;
+  hellos_received : int;
+  updates_sent : int;
+  updates_received : int;
+  acks_sent : int;
+  spf_runs : int;
+  lsa_originations : int;
+}
+
+type t = {
+  proc : Process.t;
+  cfg : config;
+  db : Lsdb.t;
+  trace : Trace.t option;
+  mutable ifaces : iface list;  (* reversed *)
+  mutable next_iface : int;
+  mutable seq : int;
+  mutable started : bool;
+  mutable spf_pending : bool;
+  mutable route_cache : Lsdb.route list;
+  mutable route_hooks : (Lsdb.route list -> unit) list;
+  mutable nbr_hooks : (int -> neighbor_state -> unit) list;
+  mutable hellos_sent : int;
+  mutable hellos_received : int;
+  mutable updates_sent : int;
+  mutable updates_received : int;
+  mutable acks_sent : int;
+  mutable spf_runs : int;
+  mutable lsa_originations : int;
+}
+
+let now t = Sched.now (Process.scheduler t.proc)
+
+let tracef t fmt =
+  match t.trace with
+  | Some trace -> Trace.addf trace ~at:(now t) ~label:"ospf" fmt
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let router_id t = t.cfg.router_id
+let lsdb t = t.db
+let iface_list t = List.rev t.ifaces
+
+let find_iface t id =
+  match List.find_opt (fun i -> i.iface_id = id) t.ifaces with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Ospf.Daemon: unknown interface %d" id)
+
+let neighbor_state t id = (find_iface t id).nbr_state
+
+let full_neighbors t =
+  List.length (List.filter (fun i -> i.nbr_state = Full) t.ifaces)
+
+let interface_of_neighbor t rid =
+  List.find_map
+    (fun i ->
+      match i.nbr_id with
+      | Some r when Ipv4.equal r rid && i.nbr_state = Full -> Some i.iface_id
+      | Some _ | None -> None)
+    t.ifaces
+
+let routes t = t.route_cache
+let on_routes_change t f = t.route_hooks <- t.route_hooks @ [ f ]
+let on_neighbor_change t f = t.nbr_hooks <- t.nbr_hooks @ [ f ]
+
+let counters t =
+  {
+    hellos_sent = t.hellos_sent;
+    hellos_received = t.hellos_received;
+    updates_sent = t.updates_sent;
+    updates_received = t.updates_received;
+    acks_sent = t.acks_sent;
+    spf_runs = t.spf_runs;
+    lsa_originations = t.lsa_originations;
+  }
+
+(* --- sending --------------------------------------------------------- *)
+
+let send t iface msg =
+  (match msg with
+  | Ospf_msg.Hello _ -> t.hellos_sent <- t.hellos_sent + 1
+  | Ospf_msg.Ls_update _ -> t.updates_sent <- t.updates_sent + 1
+  | Ospf_msg.Ls_ack _ -> t.acks_sent <- t.acks_sent + 1);
+  Channel.send iface.endpoint (Ospf_msg.encode ~router_id:t.cfg.router_id msg)
+
+let send_hello t iface =
+  send t iface
+    (Ospf_msg.Hello
+       {
+         hello_interval_s = int_of_float (Time.to_sec t.cfg.hello_interval);
+         dead_interval_s = int_of_float (Time.to_sec t.cfg.dead_interval);
+         neighbors = Option.to_list iface.nbr_id;
+       })
+
+let flood t ?except lsas =
+  List.iter
+    (fun iface ->
+      if iface.nbr_state = Full && Some iface.iface_id <> except then
+        send t iface (Ospf_msg.Ls_update lsas))
+    t.ifaces
+
+(* --- SPF scheduling --------------------------------------------------- *)
+
+let routes_equal a b =
+  List.equal
+    (fun (x : Lsdb.route) y ->
+      Prefix.equal x.Lsdb.prefix y.Lsdb.prefix
+      && x.Lsdb.cost = y.Lsdb.cost
+      && List.equal Ipv4.equal x.Lsdb.next_hops y.Lsdb.next_hops)
+    a b
+
+let run_spf t =
+  t.spf_pending <- false;
+  t.spf_runs <- t.spf_runs + 1;
+  let fresh = Lsdb.routes t.db ~self:t.cfg.router_id in
+  if not (routes_equal fresh t.route_cache) then begin
+    t.route_cache <- fresh;
+    tracef t "routing table changed: %d routes" (List.length fresh);
+    List.iter (fun f -> f fresh) t.route_hooks
+  end
+
+let schedule_spf t =
+  if not t.spf_pending then begin
+    t.spf_pending <- true;
+    Process.after t.proc t.cfg.spf_delay (fun () -> run_spf t)
+  end
+
+(* --- LSA origination --------------------------------------------------- *)
+
+let originate t =
+  t.seq <- t.seq + 1;
+  t.lsa_originations <- t.lsa_originations + 1;
+  let p2p =
+    List.filter_map
+      (fun iface ->
+        match (iface.nbr_state, iface.nbr_id) with
+        | Full, Some neighbor ->
+            Some (Ospf_msg.Point_to_point { neighbor; metric = iface.metric })
+        | (Full | Init | Down), _ -> None)
+      (iface_list t)
+  in
+  let stubs =
+    List.map
+      (fun (prefix, metric) -> Ospf_msg.Stub { prefix; metric })
+      t.cfg.stub_prefixes
+  in
+  let lsa =
+    { Ospf_msg.adv_router = t.cfg.router_id; seq = t.seq; links = p2p @ stubs }
+  in
+  ignore (Lsdb.install t.db lsa);
+  flood t [ lsa ];
+  schedule_spf t
+
+(* --- receiving ---------------------------------------------------------- *)
+
+let set_neighbor_state t iface state =
+  if iface.nbr_state <> state then begin
+    tracef t "interface %d neighbor %s -> %a" iface.iface_id
+      (match iface.nbr_id with Some r -> Ipv4.to_string r | None -> "?")
+      pp_neighbor_state state;
+    iface.nbr_state <- state;
+    List.iter (fun f -> f iface.iface_id state) t.nbr_hooks
+  end
+
+let handle_hello t iface sender (h : Ospf_msg.hello) =
+  t.hellos_received <- t.hellos_received + 1;
+  iface.last_hello <- now t;
+  iface.nbr_id <- Some sender;
+  let sees_us = List.exists (Ipv4.equal t.cfg.router_id) h.Ospf_msg.neighbors in
+  match (iface.nbr_state, sees_us) with
+  | Full, true -> ()
+  | (Down | Init), true ->
+      set_neighbor_state t iface Full;
+      (* Adjacency up: re-originate (the new link) and synchronise the
+         new neighbour with our whole database. *)
+      originate t;
+      let db = Lsdb.lsas t.db in
+      if db <> [] then send t iface (Ospf_msg.Ls_update db)
+  | (Down | Init | Full), false -> set_neighbor_state t iface Init
+
+let handle_update t iface lsas =
+  t.updates_received <- t.updates_received + 1;
+  let to_ack = ref [] in
+  List.iter
+    (fun (lsa : Ospf_msg.lsa) ->
+      (* Never accept somebody else's version of our own LSA. *)
+      if not (Ipv4.equal lsa.Ospf_msg.adv_router t.cfg.router_id) then begin
+        match Lsdb.install t.db lsa with
+        | Lsdb.Newer ->
+            to_ack := (lsa.Ospf_msg.adv_router, lsa.Ospf_msg.seq) :: !to_ack;
+            flood t ~except:iface.iface_id [ lsa ];
+            schedule_spf t
+        | Lsdb.Duplicate ->
+            to_ack := (lsa.Ospf_msg.adv_router, lsa.Ospf_msg.seq) :: !to_ack
+        | Lsdb.Older -> ()
+      end)
+    lsas;
+  if !to_ack <> [] then send t iface (Ospf_msg.Ls_ack (List.rev !to_ack))
+
+let handle t iface sender msg =
+  match (msg : Ospf_msg.t) with
+  | Ospf_msg.Hello h -> handle_hello t iface sender h
+  | Ospf_msg.Ls_update lsas -> handle_update t iface lsas
+  | Ospf_msg.Ls_ack _ -> () (* channels are reliable; no retransmit state *)
+
+let receive t iface bytes =
+  if Process.is_alive t.proc then
+    let process () =
+      match Ospf_msg.decode bytes with
+      | Ok (sender, msg) -> handle t iface sender msg
+      | Error err -> tracef t "decode error: %s" err
+    in
+    if Time.equal t.cfg.processing_delay Time.zero then process ()
+    else Process.after t.proc t.cfg.processing_delay process
+
+let check_dead t =
+  List.iter
+    (fun iface ->
+      match iface.nbr_state with
+      | Down -> ()
+      | Init | Full ->
+          if Time.(Time.sub (now t) iface.last_hello > t.cfg.dead_interval)
+          then begin
+            let was_full = iface.nbr_state = Full in
+            set_neighbor_state t iface Down;
+            if was_full then originate t
+          end)
+    t.ifaces
+
+(* --- lifecycle ------------------------------------------------------------ *)
+
+let create ?trace proc cfg =
+  {
+    proc;
+    cfg;
+    db = Lsdb.create ();
+    trace;
+    ifaces = [];
+    next_iface = 0;
+    seq = 0;
+    started = false;
+    spf_pending = false;
+    route_cache = [];
+    route_hooks = [];
+    nbr_hooks = [];
+    hellos_sent = 0;
+    hellos_received = 0;
+    updates_sent = 0;
+    updates_received = 0;
+    acks_sent = 0;
+    spf_runs = 0;
+    lsa_originations = 0;
+  }
+
+let add_interface ?(metric = 1) t endpoint =
+  let iface =
+    {
+      iface_id = t.next_iface;
+      endpoint;
+      metric;
+      nbr_id = None;
+      nbr_state = Down;
+      last_hello = Time.zero;
+    }
+  in
+  t.next_iface <- t.next_iface + 1;
+  t.ifaces <- iface :: t.ifaces;
+  Channel.set_receiver endpoint (fun bytes -> receive t iface bytes);
+  Channel.set_on_close endpoint (fun () ->
+      if Process.is_alive t.proc && iface.nbr_state <> Down then begin
+        let was_full = iface.nbr_state = Full in
+        set_neighbor_state t iface Down;
+        if was_full then originate t
+      end);
+  iface.iface_id
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    originate t (* stub-only LSA until adjacencies form *);
+    List.iter (fun iface -> send_hello t iface) (iface_list t);
+    ignore
+      (Process.every t.proc t.cfg.hello_interval (fun () ->
+           List.iter (fun iface -> send_hello t iface) (iface_list t);
+           check_dead t));
+    tracef t "daemon %a started with %d interfaces" Ipv4.pp t.cfg.router_id
+      (List.length t.ifaces)
+  end

@@ -1,0 +1,1 @@
+lib/p4/agent.ml: Channel Format Horse_emulation Horse_engine Int Interp List Process Runtime Sched Trace

@@ -1,0 +1,1 @@
+lib/p4/agent.mli: Channel Horse_emulation Horse_engine Interp Process Prog

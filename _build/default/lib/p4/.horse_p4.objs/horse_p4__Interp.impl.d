@@ -1,0 +1,1 @@
+lib/p4/interp.ml: Format Hashtbl Int Int64 List Option Printf Prog Result

@@ -1,0 +1,1 @@
+lib/p4/interp.mli: Prog

@@ -1,0 +1,1 @@
+lib/p4/prog.ml: Format List Printf Result String

@@ -1,0 +1,1 @@
+lib/p4/runtime.ml: Bytes Char Format Horse_net Int Interp List Printf String

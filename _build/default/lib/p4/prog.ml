@@ -1,0 +1,286 @@
+type expr =
+  | Const of int
+  | Field of string
+  | Param of string
+  | Add of expr * expr
+  | Xor of expr * expr
+  | Mod of expr * expr
+  | Hash of string list
+
+type stmt =
+  | Set_field of string * expr
+  | Drop
+  | Forward of expr
+  | Count of string
+
+type action_def = {
+  action_name : string;
+  params : (string * int) list;
+  body : stmt list;
+}
+
+type match_kind = Exact | Lpm | Ternary
+
+type table_def = {
+  table_name : string;
+  keys : (string * match_kind) list;
+  action_refs : string list;
+  default_action : string * int list;
+}
+
+type control =
+  | Apply of string
+  | Seq of control list
+  | If of expr * control * control
+  | Nop
+
+type t = {
+  name : string;
+  fields : (string * int) list;
+  actions : action_def list;
+  tables : table_def list;
+  counters : string list;
+  pipeline : control;
+}
+
+let field_width t name = List.assoc_opt name t.fields
+
+let find_table t name =
+  List.find_opt (fun tb -> String.equal tb.table_name name) t.tables
+
+let find_action t name =
+  List.find_opt (fun a -> String.equal a.action_name name) t.actions
+
+(* --- validation ------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let unique what names =
+  if List.length (List.sort_uniq String.compare names) = List.length names then
+    Ok ()
+  else err "p4: duplicate %s name" what
+
+let rec check_expr t ~params e =
+  match e with
+  | Const _ -> Ok ()
+  | Field f ->
+      if List.mem_assoc f t.fields then Ok () else err "p4: unknown field %s" f
+  | Param p ->
+      if List.mem_assoc p params then Ok ()
+      else err "p4: unknown action parameter %s" p
+  | Add (a, b) | Xor (a, b) | Mod (a, b) ->
+      let* () = check_expr t ~params a in
+      check_expr t ~params b
+  | Hash fields ->
+      if fields = [] then err "p4: hash of no fields"
+      else
+        List.fold_left
+          (fun acc f ->
+            let* () = acc in
+            if List.mem_assoc f t.fields then Ok ()
+            else err "p4: hash over unknown field %s" f)
+          (Ok ()) fields
+
+let check_stmt t ~params = function
+  | Set_field (f, e) ->
+      if not (List.mem_assoc f t.fields) then err "p4: set of unknown field %s" f
+      else check_expr t ~params e
+  | Drop -> Ok ()
+  | Forward e -> check_expr t ~params e
+  | Count c ->
+      if List.mem c t.counters then Ok () else err "p4: unknown counter %s" c
+
+let check_action t a =
+  List.fold_left
+    (fun acc s ->
+      let* () = acc in
+      check_stmt t ~params:a.params s)
+    (Ok ()) a.body
+
+let check_table t tb =
+  let* () =
+    List.fold_left
+      (fun acc (f, _) ->
+        let* () = acc in
+        if List.mem_assoc f t.fields then Ok ()
+        else err "p4: table %s keys unknown field %s" tb.table_name f)
+      (Ok ()) tb.keys
+  in
+  let* () =
+    List.fold_left
+      (fun acc a ->
+        let* () = acc in
+        match find_action t a with
+        | Some _ -> Ok ()
+        | None -> err "p4: table %s references unknown action %s" tb.table_name a)
+      (Ok ()) tb.action_refs
+  in
+  let name, args = tb.default_action in
+  if not (List.mem name tb.action_refs) then
+    err "p4: table %s default action %s not permitted" tb.table_name name
+  else
+    match find_action t name with
+    | Some a when List.length a.params = List.length args -> Ok ()
+    | Some _ -> err "p4: table %s default action arity mismatch" tb.table_name
+    | None -> err "p4: unknown default action %s" name
+
+let rec check_control t = function
+  | Nop -> Ok ()
+  | Apply name -> (
+      match find_table t name with
+      | Some _ -> Ok ()
+      | None -> err "p4: pipeline applies unknown table %s" name)
+  | Seq cs ->
+      List.fold_left
+        (fun acc c ->
+          let* () = acc in
+          check_control t c)
+        (Ok ()) cs
+  | If (cond, yes, no) ->
+      let* () = check_expr t ~params:[] cond in
+      let* () = check_control t yes in
+      check_control t no
+
+let validate t =
+  let* () = unique "field" (List.map fst t.fields) in
+  let* () = unique "action" (List.map (fun a -> a.action_name) t.actions) in
+  let* () = unique "table" (List.map (fun tb -> tb.table_name) t.tables) in
+  let* () = unique "counter" t.counters in
+  let* () =
+    List.fold_left
+      (fun acc (f, w) ->
+        let* () = acc in
+        if w >= 1 && w <= 62 then Ok ()
+        else err "p4: field %s width %d outside [1,62]" f w)
+      (Ok ()) t.fields
+  in
+  let* () =
+    List.fold_left
+      (fun acc a ->
+        let* () = acc in
+        check_action t a)
+      (Ok ()) t.actions
+  in
+  let* () =
+    List.fold_left
+      (fun acc tb ->
+        let* () = acc in
+        check_table t tb)
+      (Ok ()) t.tables
+  in
+  check_control t t.pipeline
+
+(* --- pretty printing ------------------------------------------------- *)
+
+let rec pp_expr fmt = function
+  | Const n -> Format.pp_print_int fmt n
+  | Field f -> Format.fprintf fmt "meta.%s" f
+  | Param p -> Format.pp_print_string fmt p
+  | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_expr a pp_expr b
+  | Xor (a, b) -> Format.fprintf fmt "(%a ^ %a)" pp_expr a pp_expr b
+  | Mod (a, b) -> Format.fprintf fmt "(%a %% %a)" pp_expr a pp_expr b
+  | Hash fs -> Format.fprintf fmt "hash(%s)" (String.concat ", " fs)
+
+let pp_stmt fmt = function
+  | Set_field (f, e) -> Format.fprintf fmt "meta.%s = %a;" f pp_expr e
+  | Drop -> Format.pp_print_string fmt "mark_to_drop();"
+  | Forward e -> Format.fprintf fmt "standard_metadata.egress_spec = %a;" pp_expr e
+  | Count c -> Format.fprintf fmt "%s.count();" c
+
+let pp_kind fmt = function
+  | Exact -> Format.pp_print_string fmt "exact"
+  | Lpm -> Format.pp_print_string fmt "lpm"
+  | Ternary -> Format.pp_print_string fmt "ternary"
+
+let rec pp_control fmt = function
+  | Nop -> Format.pp_print_string fmt "/* nop */"
+  | Apply name -> Format.fprintf fmt "%s.apply();" name
+  | Seq cs ->
+      Format.pp_print_list ~pp_sep:Format.pp_print_space pp_control fmt cs
+  | If (c, y, n) ->
+      Format.fprintf fmt "if (%a != 0) { %a } else { %a }" pp_expr c pp_control
+        y pp_control n
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>// program %s@," t.name;
+  List.iter (fun (f, w) -> Format.fprintf fmt "bit<%d> %s;@," w f) t.fields;
+  List.iter
+    (fun a ->
+      Format.fprintf fmt "action %s(%s) {@," a.action_name
+        (String.concat ", "
+           (List.map (fun (p, w) -> Printf.sprintf "bit<%d> %s" w p) a.params));
+      List.iter (fun s -> Format.fprintf fmt "  %a@," pp_stmt s) a.body;
+      Format.fprintf fmt "}@,")
+    t.actions;
+  List.iter
+    (fun tb ->
+      Format.fprintf fmt "table %s {@,  key = {" tb.table_name;
+      List.iter
+        (fun (f, k) -> Format.fprintf fmt " meta.%s: %a;" f pp_kind k)
+        tb.keys;
+      Format.fprintf fmt " }@,  actions = { %s }@,}@,"
+        (String.concat "; " tb.action_refs))
+    t.tables;
+  Format.fprintf fmt "apply { %a }@]" pp_control t.pipeline
+
+(* --- the demonstration's router, in P4 ------------------------------- *)
+
+let ecmp_router =
+  {
+    name = "ecmp_router";
+    fields =
+      [
+        ("dst", 32);
+        ("src", 32);
+        ("sport", 16);
+        ("dport", 16);
+        ("proto", 8);
+        ("group", 16);
+        ("member", 16);
+      ];
+    actions =
+      [
+        {
+          action_name = "forward";
+          params = [ ("port", 16) ];
+          body = [ Count "routed"; Forward (Param "port") ];
+        };
+        {
+          action_name = "set_group";
+          params = [ ("gid", 16); ("size", 16) ];
+          body =
+            [
+              Set_field ("group", Param "gid");
+              Set_field
+                ( "member",
+                  Mod (Hash [ "src"; "dst"; "proto"; "sport"; "dport" ], Param "size")
+                );
+            ];
+        };
+        { action_name = "discard"; params = []; body = [ Drop ] };
+      ];
+    tables =
+      [
+        {
+          table_name = "ipv4_lpm";
+          keys = [ ("dst", Lpm) ];
+          action_refs = [ "forward"; "set_group"; "discard" ];
+          default_action = ("discard", []);
+        };
+        {
+          table_name = "ecmp_select";
+          keys = [ ("group", Exact); ("member", Exact) ];
+          action_refs = [ "forward"; "discard" ];
+          default_action = ("discard", []);
+        };
+      ];
+    counters = [ "routed" ];
+    pipeline =
+      Seq
+        [
+          Apply "ipv4_lpm";
+          If (Field "group", Apply "ecmp_select", Nop);
+        ];
+  }

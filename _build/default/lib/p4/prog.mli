@@ -1,0 +1,82 @@
+(** P4-style programmable data-plane programs.
+
+    The Horse paper's future work: "we plan to also support P4
+    switches." This module defines a P4₁₆-flavoured abstract pipeline:
+    named metadata fields of fixed bit widths, parameterised actions
+    built from primitive statements, match-action tables (exact / LPM
+    / ternary keys), counters, and a control block sequencing the
+    tables with conditionals. {!Interp} executes programs;
+    {!Runtime} programs their tables over a control channel.
+
+    Programs are static descriptions — validation ({!validate})
+    checks all cross-references and widths once, so the interpreter
+    can trust them. *)
+
+(** Expressions over metadata fields and action parameters. *)
+type expr =
+  | Const of int
+  | Field of string
+  | Param of string
+  | Add of expr * expr
+  | Xor of expr * expr
+  | Mod of expr * expr  (** modulo; x mod 0 = 0 *)
+  | Hash of string list
+      (** deterministic hash of the named fields' current values *)
+
+(** Primitive action statements. *)
+type stmt =
+  | Set_field of string * expr
+  | Drop
+  | Forward of expr  (** set the egress port *)
+  | Count of string  (** bump a named counter *)
+
+type action_def = {
+  action_name : string;
+  params : (string * int) list;  (** name, bit width *)
+  body : stmt list;
+}
+
+type match_kind = Exact | Lpm | Ternary
+
+type table_def = {
+  table_name : string;
+  keys : (string * match_kind) list;  (** field name, kind *)
+  action_refs : string list;  (** actions this table may invoke *)
+  default_action : string * int list;  (** action name, argument values *)
+}
+
+(** The control block: which tables apply, in what order. *)
+type control =
+  | Apply of string
+  | Seq of control list
+  | If of expr * control * control  (** condition: non-zero = true *)
+  | Nop
+
+type t = {
+  name : string;
+  fields : (string * int) list;  (** metadata fields: name, bit width *)
+  actions : action_def list;
+  tables : table_def list;
+  counters : string list;
+  pipeline : control;
+}
+
+val validate : t -> (unit, string) result
+(** Checks that every field, action, table, counter and parameter
+    reference resolves, that widths are in [1, 62], and that names are
+    unique. *)
+
+val field_width : t -> string -> int option
+val find_table : t -> string -> table_def option
+val find_action : t -> string -> action_def option
+
+val pp : Format.formatter -> t -> unit
+(** A P4-ish source rendering, for documentation and debugging. *)
+
+(** A ready-made program: IPv4 LPM routing with hash-based ECMP group
+    member selection — the fabric data plane of the demonstration,
+    expressed as P4. Fields: [dst] (32), [src] (32), [sport]/[dport]
+    (16), [proto] (8), [group] (16), [hash] (16). Tables:
+    [ipv4_lpm] (LPM on [dst] → [set_group] or [forward]) and
+    [ecmp_select] (exact on [group], [hash] → [forward]). *)
+val ecmp_router : t

@@ -1,0 +1,1 @@
+lib/stats/ascii.ml: Array Buffer Float Format Horse_engine List Printf Series Stdlib String Time

@@ -1,0 +1,1 @@
+lib/stats/csv.ml: Array Buffer Format Horse_engine List Printf Series String Time

@@ -1,0 +1,1 @@
+lib/stats/series.ml: Array Format Horse_engine List Time

@@ -1,0 +1,1 @@
+lib/topo/fat_tree.ml: Array Horse_engine Horse_net Ipv4 Mac Prefix Printf Topology

@@ -1,0 +1,1 @@
+lib/topo/fat_tree.mli: Horse_engine Horse_net Ipv4 Prefix Topology

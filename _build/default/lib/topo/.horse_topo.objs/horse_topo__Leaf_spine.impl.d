@@ -1,0 +1,1 @@
+lib/topo/leaf_spine.ml: Array Horse_engine Horse_net Ipv4 Mac Option Prefix Printf Topology

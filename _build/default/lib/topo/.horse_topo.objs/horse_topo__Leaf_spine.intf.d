@@ -1,0 +1,1 @@
+lib/topo/leaf_spine.mli: Horse_engine Horse_net Ipv4 Prefix Topology

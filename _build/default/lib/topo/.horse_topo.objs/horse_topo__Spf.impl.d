@@ -1,0 +1,1 @@
+lib/topo/spf.ml: Array Int List Topology

@@ -1,0 +1,1 @@
+lib/topo/spf.mli: Topology

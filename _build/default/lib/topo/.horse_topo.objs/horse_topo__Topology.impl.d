@@ -1,0 +1,1 @@
+lib/topo/topology.ml: Array Format Horse_engine Horse_net Ipv4 List Mac Option Printf String

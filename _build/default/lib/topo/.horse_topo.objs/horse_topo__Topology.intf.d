@@ -1,0 +1,1 @@
+lib/topo/topology.mli: Format Horse_engine Horse_net Ipv4 Mac

@@ -1,0 +1,1 @@
+lib/topo/wan.ml: Array Horse_engine Horse_net Ipv4 List Mac Option Prefix Printf Topology

@@ -1,0 +1,1 @@
+lib/topo/wan.mli: Horse_engine Horse_net Ipv4 Prefix Topology

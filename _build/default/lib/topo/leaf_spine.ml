@@ -1,0 +1,61 @@
+open Horse_net
+
+type t = {
+  topo : Topology.t;
+  leaves : Topology.node array;
+  spines : Topology.node array;
+  hosts : Topology.node array;
+}
+
+let build ?(capacity = 1e9) ?uplink_capacity ?(delay = Horse_engine.Time.of_us 10)
+    ~leaves ~spines ~hosts_per_leaf () =
+  if leaves < 1 || spines < 1 || hosts_per_leaf < 1 then
+    invalid_arg "Leaf_spine.build: dimensions must be positive";
+  if leaves > 254 || spines > 254 || hosts_per_leaf > 250 then
+    invalid_arg "Leaf_spine.build: dimensions exceed the addressing scheme";
+  let uplink_capacity = Option.value uplink_capacity ~default:capacity in
+  let topo = Topology.create () in
+  let leaf_nodes =
+    Array.init leaves (fun l ->
+        Topology.add_node topo
+          ~name:(Printf.sprintf "leaf-%d" l)
+          ~ip:(Ipv4.of_octets 10 128 l 1) Topology.Switch)
+  in
+  let spine_nodes =
+    Array.init spines (fun s ->
+        Topology.add_node topo
+          ~name:(Printf.sprintf "spine-%d" s)
+          ~ip:(Ipv4.of_octets 10 129 s 1) Topology.Switch)
+  in
+  let hosts =
+    Array.init (leaves * hosts_per_leaf) (fun i ->
+        let l = i / hosts_per_leaf and h = i mod hosts_per_leaf in
+        Topology.add_node topo
+          ~name:(Printf.sprintf "h-l%d-%d" l h)
+          ~ip:(Ipv4.of_octets 10 128 l (h + 2))
+          ~mac:(Mac.of_index (200000 + i))
+          Topology.Host)
+  in
+  Array.iteri
+    (fun i host ->
+      ignore
+        (Topology.add_duplex topo ~delay ~capacity host
+           leaf_nodes.(i / hosts_per_leaf)))
+    hosts;
+  Array.iter
+    (fun leaf ->
+      Array.iter
+        (fun spine ->
+          ignore
+            (Topology.add_duplex topo ~delay ~capacity:uplink_capacity leaf spine))
+        spine_nodes)
+    leaf_nodes;
+  { topo; leaves = leaf_nodes; spines = spine_nodes; hosts }
+
+let host_ip t i =
+  match t.hosts.(i).Topology.ip with Some ip -> ip | None -> assert false
+
+let leaf_of_host t i =
+  t.leaves.(i / (Array.length t.hosts / Array.length t.leaves))
+
+let leaf_prefix _t l = Prefix.make (Ipv4.of_octets 10 128 l 0) 24

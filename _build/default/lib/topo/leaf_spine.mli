@@ -1,0 +1,36 @@
+(** Two-tier leaf-spine (folded Clos) fabrics — the other standard
+    data-centre topology, for experiments beyond the paper's
+    Fat-Tree.
+
+    Every leaf connects to every spine; hosts hang off the leaves.
+    Between hosts on different leaves there are exactly [spines]
+    equal-cost paths. Hosts are addressed [10.128.leaf.(h+2)], leaves
+    [10.128.leaf.1], spines [10.129.spine.1]. *)
+
+open Horse_net
+
+type t = {
+  topo : Topology.t;
+  leaves : Topology.node array;
+  spines : Topology.node array;
+  hosts : Topology.node array;  (** leaf-major order *)
+}
+
+val build :
+  ?capacity:float ->
+  ?uplink_capacity:float ->
+  ?delay:Horse_engine.Time.t ->
+  leaves:int ->
+  spines:int ->
+  hosts_per_leaf:int ->
+  unit ->
+  t
+(** Default host links 1 Gbps; uplinks default to [capacity] too (set
+    [uplink_capacity] for oversubscribed fabrics).
+    @raise Invalid_argument on non-positive dimensions or more than
+    250 hosts per leaf / 254 leaves or spines (addressing limits). *)
+
+val host_ip : t -> int -> Ipv4.t
+val leaf_of_host : t -> int -> Topology.node
+val leaf_prefix : t -> int -> Prefix.t
+(** The /24 containing leaf [i]'s hosts. *)

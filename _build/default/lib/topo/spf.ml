@@ -1,0 +1,165 @@
+type path = Topology.link list
+
+let path_nodes = function
+  | [] -> []
+  | first :: _ as links ->
+      first.Topology.src :: List.map (fun l -> l.Topology.dst) links
+
+let path_length = List.length
+
+type tree = { src : int; dist : int array; preds : Topology.link list array }
+
+(* Dijkstra with a simple leftist-free binary heap on (dist, node).
+   Stale heap entries are skipped via the dist check. *)
+module Heap = struct
+  type t = { mutable a : (int * int) array; mutable len : int }
+
+  let create () = { a = Array.make 64 (0, 0); len = 0 }
+
+  let push h x =
+    if h.len = Array.length h.a then begin
+      let bigger = Array.make (2 * h.len) (0, 0) in
+      Array.blit h.a 0 bigger 0 h.len;
+      h.a <- bigger
+    end;
+    h.a.(h.len) <- x;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && fst h.a.((!i - 1) / 2) > fst h.a.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < h.len && fst h.a.(l) < fst h.a.(!s) then s := l;
+        if r < h.len && fst h.a.(r) < fst h.a.(!s) then s := r;
+        if !s = !i then continue := false
+        else begin
+          let tmp = h.a.(!s) in
+          h.a.(!s) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !s
+        end
+      done;
+      Some top
+    end
+end
+
+let shortest_tree ?(weight = fun _ -> 1) ?(usable = fun _ -> true) topo ~src =
+  let n = Topology.n_nodes topo in
+  let dist = Array.make n max_int in
+  let preds = Array.make n [] in
+  let heap = Heap.create () in
+  dist.(src) <- 0;
+  Heap.push heap (0, src);
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if d = dist.(u) then
+          List.iter
+            (fun (l : Topology.link) ->
+              if usable l then begin
+              let w = weight l in
+              if w <= 0 then invalid_arg "Spf.shortest_tree: weight <= 0";
+              let nd = d + w in
+              let v = l.Topology.dst in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                preds.(v) <- [ l ];
+                Heap.push heap (nd, v)
+              end
+              else if nd = dist.(v) then preds.(v) <- l :: preds.(v)
+              end)
+            (Topology.out_links topo u);
+        loop ()
+  in
+  loop ();
+  (* Deterministic order: predecessors sorted by link id. *)
+  Array.iteri
+    (fun i ps ->
+      preds.(i) <-
+        List.sort_uniq
+          (fun (a : Topology.link) b -> Int.compare a.Topology.link_id b.Topology.link_id)
+          ps)
+    preds;
+  { src; dist; preds }
+
+let distance tree v =
+  if v < 0 || v >= Array.length tree.dist || tree.dist.(v) = max_int then None
+  else Some tree.dist.(v)
+
+let first_path tree topo ~dst =
+  ignore topo;
+  if dst = tree.src then Some []
+  else if dst < 0 || dst >= Array.length tree.dist || tree.dist.(dst) = max_int
+  then None
+  else
+    let rec walk v acc =
+      if v = tree.src then Some acc
+      else
+        match tree.preds.(v) with
+        | [] -> None
+        | l :: _ -> walk l.Topology.src (l :: acc)
+    in
+    walk dst []
+
+let ecmp_paths ?(max_paths = 64) tree topo ~dst =
+  ignore topo;
+  if
+    dst = tree.src || dst < 0
+    || dst >= Array.length tree.dist
+    || tree.dist.(dst) = max_int
+  then []
+  else begin
+    (* Enumerate the predecessor DAG depth-first; link-id ordering of
+       [preds] makes the result deterministic. *)
+    let found = ref [] in
+    let count = ref 0 in
+    let rec walk v suffix =
+      if !count < max_paths then
+        if v = tree.src then begin
+          found := suffix :: !found;
+          incr count
+        end
+        else
+          List.iter
+            (fun (l : Topology.link) -> walk l.Topology.src (l :: suffix))
+            tree.preds.(v)
+    in
+    walk dst [];
+    List.rev !found
+  end
+
+let all_pairs_hops topo =
+  let n = Topology.n_nodes topo in
+  let d = Array.make_matrix n n max_int in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- 0
+  done;
+  List.iter
+    (fun (l : Topology.link) -> d.(l.Topology.src).(l.Topology.dst) <- 1)
+    (Topology.links topo);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if d.(i).(k) < max_int && d.(k).(j) < max_int then
+          let via = d.(i).(k) + d.(k).(j) in
+          if via < d.(i).(j) then d.(i).(j) <- via
+      done
+    done
+  done;
+  d

@@ -1,0 +1,45 @@
+(** Shortest paths and equal-cost multipath enumeration.
+
+    Paths are hop-count shortest by default (every link has weight 1,
+    matching how the demonstration's fabrics route); a custom link
+    weight can be supplied. A path is the list of directed links from
+    source to destination, in order. *)
+
+type path = Topology.link list
+
+val path_nodes : path -> int list
+(** Node ids visited, source first. Empty path gives []. *)
+
+val path_length : path -> int
+
+type tree = {
+  src : int;
+  dist : int array;  (** [max_int] where unreachable *)
+  preds : Topology.link list array;
+      (** for each node, every in-link lying on some shortest path *)
+}
+
+val shortest_tree :
+  ?weight:(Topology.link -> int) ->
+  ?usable:(Topology.link -> bool) ->
+  Topology.t ->
+  src:int ->
+  tree
+(** Dijkstra from [src]. [weight] defaults to [fun _ -> 1] and must be
+    positive; links for which [usable] (default: everything) is
+    [false] are ignored — the hook for administratively-down links. *)
+
+val distance : tree -> int -> int option
+(** Distance to a node, [None] if unreachable. *)
+
+val first_path : tree -> Topology.t -> dst:int -> path option
+(** One (deterministic) shortest path from the tree's source. *)
+
+val ecmp_paths : ?max_paths:int -> tree -> Topology.t -> dst:int -> path list
+(** All distinct equal-cost shortest paths, in a deterministic order,
+    truncated to [max_paths] (default 64). Empty if unreachable or
+    [dst = src]. *)
+
+val all_pairs_hops : Topology.t -> int array array
+(** Floyd–Warshall hop-count matrix ([max_int] = unreachable); an
+    O(n^3) oracle for tests. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Horse_baseline Horse_engine Mininet_model Time

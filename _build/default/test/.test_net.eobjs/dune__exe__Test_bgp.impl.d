@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Bytes Channel Horse_bgp Horse_emulation Horse_engine Horse_net Ipv4 List Msg Policy Prefix Process QCheck2 QCheck_alcotest Rib Sched Speaker Time

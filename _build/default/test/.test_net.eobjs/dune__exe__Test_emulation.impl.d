@@ -1,0 +1,1 @@
+test/test_emulation.ml: Alcotest Bytes Channel Horse_emulation Horse_engine List Process Sched Time

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Event_queue Format Horse_engine Int List QCheck2 QCheck_alcotest Rng Sched Time Trace

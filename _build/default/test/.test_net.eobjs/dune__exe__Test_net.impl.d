@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Bytes Checksum Flow_key Headers Horse_net Int64 Ipv4 List Mac Option Packet Prefix QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Ascii Csv Float Format Histogram Horse_engine Horse_stats List QCheck2 QCheck_alcotest Series String Summary Time

@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array Fat_tree Horse_net Horse_topo Ipv4 Leaf_spine List Option Prefix Printf QCheck2 QCheck_alcotest Spf Topology Wan

@@ -1,0 +1,635 @@
+(* Tests for horse_dataplane: LPM forwarding, max-min fair share, the
+   fluid engine, and the per-packet baseline engine. *)
+
+open Horse_net
+open Horse_engine
+open Horse_topo
+open Horse_dataplane
+
+let check = Alcotest.check
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Fwd (longest prefix match) ---------------------------------------- *)
+
+let test_fwd_lpm_order () =
+  let t = Fwd.create () in
+  Fwd.set_route t Prefix.any ~next_hops:[ 1 ];
+  Fwd.set_route t (Prefix.of_string_exn "10.0.0.0/8") ~next_hops:[ 2 ];
+  Fwd.set_route t (Prefix.of_string_exn "10.1.0.0/16") ~next_hops:[ 3 ];
+  Fwd.set_route t (Prefix.of_string_exn "10.1.2.3/32") ~next_hops:[ 4 ];
+  let lookup s = Fwd.lookup t (Ipv4.of_string_exn s) in
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "/32 wins" (Some [ 4 ])
+    (lookup "10.1.2.3");
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "/16" (Some [ 3 ])
+    (lookup "10.1.9.9");
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "/8" (Some [ 2 ])
+    (lookup "10.200.0.1");
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "default" (Some [ 1 ])
+    (lookup "8.8.8.8")
+
+let test_fwd_remove_and_replace () =
+  let t = Fwd.create () in
+  let p = Prefix.of_string_exn "192.168.0.0/24" in
+  Fwd.set_route t p ~next_hops:[ 5; 3; 5 ];
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "dedup + sort"
+    (Some [ 3; 5 ])
+    (Fwd.lookup t (Ipv4.of_octets 192 168 0 1));
+  check Alcotest.int "count" 1 (Fwd.route_count t);
+  Fwd.set_route t p ~next_hops:[ 9 ];
+  check Alcotest.int "replace keeps count" 1 (Fwd.route_count t);
+  Fwd.remove_route t p;
+  check Alcotest.int "removed" 0 (Fwd.route_count t);
+  Fwd.remove_route t p (* idempotent *);
+  check Alcotest.bool "no match" true
+    (Fwd.lookup t (Ipv4.of_octets 192 168 0 1) = None)
+
+let test_fwd_lookup_select () =
+  let t = Fwd.create () in
+  Fwd.set_route t Prefix.any ~next_hops:[ 10; 20; 30 ];
+  check (Alcotest.option Alcotest.int) "selects by hash mod" (Some 20)
+    (Fwd.lookup_select t Ipv4.any ~hash:7);
+  check (Alcotest.option Alcotest.int) "hash 0" (Some 10)
+    (Fwd.lookup_select t Ipv4.any ~hash:0)
+
+let test_fwd_empty_group_rejected () =
+  let t = Fwd.create () in
+  Alcotest.check_raises "empty next hops"
+    (Invalid_argument "Fwd.set_route: empty next-hop set") (fun () ->
+      Fwd.set_route t Prefix.any ~next_hops:[])
+
+(* LPM vs naive oracle. *)
+let prop_fwd_matches_naive =
+  qtest "fwd: lookup matches the naive longest-match oracle"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 30)
+           (pair int32 (int_range 0 32)))
+        int32)
+    (fun (routes, addr32) ->
+      let t = Fwd.create () in
+      let routes =
+        List.mapi
+          (fun i (a, len) -> (Prefix.make (Ipv4.of_int32 a) len, [ i + 1 ]))
+          routes
+      in
+      (* Later set_route calls overwrite equal prefixes, mirroring the
+         oracle's preference for the last binding. *)
+      List.iter (fun (p, hops) -> Fwd.set_route t p ~next_hops:hops) routes;
+      let addr = Ipv4.of_int32 addr32 in
+      let naive =
+        List.fold_left
+          (fun acc (p, hops) ->
+            if Prefix.mem addr p then
+              (* Equal-length matching prefixes are identical, and the
+                 last binding wins (replace semantics). *)
+              match acc with
+              | Some (best, _) when Prefix.length best > Prefix.length p -> acc
+              | Some _ | None -> Some (p, hops)
+            else acc)
+          None routes
+      in
+      match (Fwd.lookup t addr, naive) with
+      | None, None -> true
+      | Some got, Some (_, want) -> got = want
+      | Some _, None | None, Some _ -> false)
+
+(* --- Fair share --------------------------------------------------------- *)
+
+let capacity_all c _ = c
+
+let test_fair_share_single_bottleneck () =
+  (* Three flows share one 9 Gbps link: 3 Gbps each. *)
+  let flows =
+    Array.make 3 { Fair_share.demand = 10e9; links = [ 0 ] }
+  in
+  let rates = Fair_share.compute ~capacity:(capacity_all 9e9) flows in
+  Array.iter (fun r -> check (Alcotest.float 1.0) "equal share" 3e9 r) rates
+
+let test_fair_share_demand_limited () =
+  (* One small flow keeps its demand; the rest split the remainder. *)
+  let flows =
+    [|
+      { Fair_share.demand = 1e9; links = [ 0 ] };
+      { Fair_share.demand = 10e9; links = [ 0 ] };
+      { Fair_share.demand = 10e9; links = [ 0 ] };
+    |]
+  in
+  let rates = Fair_share.compute ~capacity:(capacity_all 9e9) flows in
+  check (Alcotest.float 1.0) "small keeps demand" 1e9 rates.(0);
+  check (Alcotest.float 1.0) "big splits remainder" 4e9 rates.(1);
+  check (Alcotest.float 1.0) "big splits remainder" 4e9 rates.(2)
+
+let test_fair_share_two_bottlenecks () =
+  (* Classic example: link0 cap 1, flows A(link0), B(link0+link1),
+     link1 cap 10. A and B get 0.5 each on link0; B is bottlenecked
+     there. *)
+  let flows =
+    [|
+      { Fair_share.demand = 10.0; links = [ 0 ] };
+      { Fair_share.demand = 10.0; links = [ 0; 1 ] };
+    |]
+  in
+  let capacity = function 0 -> 1.0 | _ -> 10.0 in
+  let rates = Fair_share.compute ~capacity flows in
+  check (Alcotest.float 1e-9) "A" 0.5 rates.(0);
+  check (Alcotest.float 1e-9) "B" 0.5 rates.(1)
+
+let test_fair_share_cascade () =
+  (* Water-filling across two links: flow C crosses only link1 and
+     should pick up what B cannot use.
+     link0 cap 1 (A, B), link1 cap 10 (B, C):
+     A = B = 0.5; C = 9.5 capped at demand 2 -> 2. *)
+  let flows =
+    [|
+      { Fair_share.demand = 10.0; links = [ 0 ] };
+      { Fair_share.demand = 10.0; links = [ 0; 1 ] };
+      { Fair_share.demand = 2.0; links = [ 1 ] };
+    |]
+  in
+  let capacity = function 0 -> 1.0 | _ -> 10.0 in
+  let rates = Fair_share.compute ~capacity flows in
+  check (Alcotest.float 1e-9) "A" 0.5 rates.(0);
+  check (Alcotest.float 1e-9) "B" 0.5 rates.(1);
+  check (Alcotest.float 1e-9) "C demand-capped" 2.0 rates.(2)
+
+let test_fair_share_empty_path () =
+  let flows = [| { Fair_share.demand = 5.0; links = [] } |] in
+  let rates = Fair_share.compute ~capacity:(capacity_all 1.0) flows in
+  check (Alcotest.float 1e-9) "unconstrained = demand" 5.0 rates.(0)
+
+let test_fair_share_zero_demand () =
+  let flows = [| { Fair_share.demand = 0.0; links = [ 0 ] } |] in
+  let rates = Fair_share.compute ~capacity:(capacity_all 1.0) flows in
+  check (Alcotest.float 1e-9) "zero demand" 0.0 rates.(0)
+
+let gen_fair_share_case =
+  let open QCheck2.Gen in
+  let* n_links = int_range 1 6 in
+  let* caps = array_size (return n_links) (float_range 0.5 10.0) in
+  let* n_flows = int_range 1 12 in
+  let* flows =
+    list_size (return n_flows)
+      (let* demand = float_range 0.1 5.0 in
+       let* path_len = int_range 1 n_links in
+       let* links = list_size (return path_len) (int_range 0 (n_links - 1)) in
+       return { Fair_share.demand; links = List.sort_uniq Int.compare links })
+  in
+  return (caps, Array.of_list flows)
+
+let prop_fair_share_feasible =
+  qtest "fair share: allocation is feasible and demand-capped"
+    gen_fair_share_case (fun (caps, flows) ->
+      let capacity l = caps.(l) in
+      let rates = Fair_share.compute ~capacity flows in
+      let demand_ok =
+        Array.for_all2
+          (fun r (f : Fair_share.flow_input) ->
+            r >= -1e-9 && r <= f.Fair_share.demand +. 1e-9)
+          rates flows
+      in
+      let load_ok =
+        List.for_all
+          (fun (l, load) -> load <= caps.(l) +. 1e-6)
+          (Fair_share.link_loads flows rates)
+      in
+      demand_ok && load_ok)
+
+let prop_fair_share_maxmin_bottleneck =
+  (* Max-min optimality witness: every flow is either demand-capped
+     or crosses a saturated link on which it has the maximal rate. *)
+  qtest "fair share: every flow is demand- or bottleneck-limited"
+    gen_fair_share_case (fun (caps, flows) ->
+      let capacity l = caps.(l) in
+      let rates = Fair_share.compute ~capacity flows in
+      let loads = Fair_share.link_loads flows rates in
+      let load l = List.assoc l loads in
+      let ok = ref true in
+      Array.iteri
+        (fun i (f : Fair_share.flow_input) ->
+          let demand_capped = rates.(i) >= f.Fair_share.demand -. 1e-6 in
+          let bottlenecked =
+            List.exists
+              (fun l ->
+                load l >= caps.(l) -. 1e-6
+                && Array.for_all2
+                     (fun r (g : Fair_share.flow_input) ->
+                       (not (List.mem l g.Fair_share.links))
+                       || r <= rates.(i) +. 1e-6)
+                     rates flows)
+              f.Fair_share.links
+          in
+          if not (demand_capped || bottlenecked) then ok := false)
+        flows;
+      !ok)
+
+(* --- Fluid engine -------------------------------------------------------- *)
+
+(* A 2-host dumbbell: h0 - s0 - s1 - h1, all 1 Gbps. *)
+let dumbbell () =
+  let topo = Topology.create () in
+  let h0 = Topology.add_node topo ~ip:(Ipv4.of_octets 10 0 0 1) Topology.Host in
+  let s0 = Topology.add_node topo Topology.Switch in
+  let s1 = Topology.add_node topo Topology.Switch in
+  let h1 = Topology.add_node topo ~ip:(Ipv4.of_octets 10 0 1 1) Topology.Host in
+  let l0, _ = Topology.add_duplex topo ~capacity:1e9 h0 s0 in
+  let l1, _ = Topology.add_duplex topo ~capacity:1e9 s0 s1 in
+  let l2, _ = Topology.add_duplex topo ~capacity:1e9 s1 h1 in
+  (topo, h0, h1, [ l0; l1; l2 ])
+
+let key_i i =
+  Flow_key.make
+    ~src:(Ipv4.of_octets 10 0 0 1)
+    ~dst:(Ipv4.of_octets 10 0 1 1)
+    ~src_port:(1000 + i) ~dst_port:(2000 + i) ()
+
+let test_fluid_single_flow_bits () =
+  let topo, _, _, path = dumbbell () in
+  let sched = Sched.create () in
+  let fluid = Fluid.create sched topo in
+  let flow = ref None in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         flow := Some (Fluid.start_flow ~demand:1e9 fluid ~key:(key_i 0) ~path)));
+  ignore (Sched.run ~until:(Time.of_sec 10.0) sched);
+  match !flow with
+  | None -> Alcotest.fail "flow not started"
+  | Some f ->
+      check (Alcotest.float 1e6) "rate is full demand" 1e9 (Fluid.current_rate fluid f);
+      check (Alcotest.float 1e7) "10 Gbit delivered in 10 s" 1e10
+        (Fluid.delivered_bits fluid f)
+
+let test_fluid_sharing_and_stop () =
+  let topo, _, _, path = dumbbell () in
+  let sched = Sched.create () in
+  let fluid = Fluid.create sched topo in
+  let f1 = ref None and f2 = ref None in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         f1 := Some (Fluid.start_flow ~demand:1e9 fluid ~key:(key_i 1) ~path)));
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 2.0) (fun () ->
+         f2 := Some (Fluid.start_flow ~demand:1e9 fluid ~key:(key_i 2) ~path)));
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 6.0) (fun () ->
+         Fluid.stop_flow fluid (Option.get !f2)));
+  ignore (Sched.run ~until:(Time.of_sec 8.0) sched);
+  let f1 = Option.get !f1 and f2 = Option.get !f2 in
+  (* f1: 2s at 1G, 4s at 0.5G, 2s at 1G = 6 Gbit.
+     f2: 4s at 0.5G = 2 Gbit. *)
+  check (Alcotest.float 2e7) "f1 bits" 6e9 (Fluid.delivered_bits fluid f1);
+  check (Alcotest.float 2e7) "f2 bits" 2e9 (Fluid.delivered_bits fluid f2);
+  check (Alcotest.float 1.0) "f1 back to full rate" 1e9
+    (Fluid.current_rate fluid f1);
+  check (Alcotest.float 1e-9) "stopped rate" 0.0 (Fluid.current_rate fluid f2);
+  check Alcotest.int "one active flow" 1 (Fluid.flow_count fluid)
+
+let test_fluid_reroute () =
+  (* Diamond: h0-s0, s0-s1a-s2, s0-s1b-s2, s2-h1; reroute moves load. *)
+  let topo = Topology.create () in
+  let h0 = Topology.add_node topo ~ip:(Ipv4.of_octets 10 0 0 1) Topology.Host in
+  let s0 = Topology.add_node topo Topology.Switch in
+  let sa = Topology.add_node topo Topology.Switch in
+  let sb = Topology.add_node topo Topology.Switch in
+  let s2 = Topology.add_node topo Topology.Switch in
+  let h1 = Topology.add_node topo ~ip:(Ipv4.of_octets 10 0 1 1) Topology.Host in
+  let l_in, _ = Topology.add_duplex topo ~capacity:10e9 h0 s0 in
+  let l0a, _ = Topology.add_duplex topo ~capacity:1e9 s0 sa in
+  let la2, _ = Topology.add_duplex topo ~capacity:1e9 sa s2 in
+  let l0b, _ = Topology.add_duplex topo ~capacity:1e9 s0 sb in
+  let lb2, _ = Topology.add_duplex topo ~capacity:1e9 sb s2 in
+  let l_out, _ = Topology.add_duplex topo ~capacity:10e9 s2 h1 in
+  let path_a = [ l_in; l0a; la2; l_out ] in
+  let path_b = [ l_in; l0b; lb2; l_out ] in
+  let sched = Sched.create () in
+  let fluid = Fluid.create sched topo in
+  let f1 = ref None and f2 = ref None in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         f1 := Some (Fluid.start_flow ~demand:1e9 fluid ~key:(key_i 1) ~path:path_a);
+         f2 := Some (Fluid.start_flow ~demand:1e9 fluid ~key:(key_i 2) ~path:path_a)));
+  (* Both collide on path A: 0.5 Gbps each. At t=5 move f2 to B. *)
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 5.0) (fun () ->
+         Fluid.set_path fluid (Option.get !f2) path_b));
+  ignore (Sched.run ~until:(Time.of_sec 10.0) sched);
+  let f1 = Option.get !f1 and f2 = Option.get !f2 in
+  check (Alcotest.float 1.0) "f1 full after reroute" 1e9 (Fluid.current_rate fluid f1);
+  check (Alcotest.float 1.0) "f2 full after reroute" 1e9 (Fluid.current_rate fluid f2);
+  (* 5s at 0.5 + 5s at 1.0 = 7.5 Gbit each *)
+  check (Alcotest.float 2e7) "f1 bits" 7.5e9 (Fluid.delivered_bits fluid f1);
+  check (Alcotest.float 2e7) "f2 bits" 7.5e9 (Fluid.delivered_bits fluid f2);
+  check (Alcotest.float 1.0) "link a carries f1 only" 1e9
+    (Fluid.link_load fluid l0a.Topology.link_id);
+  check (Alcotest.float 1e-6) "utilization" 1.0
+    (Fluid.link_utilization fluid l0a.Topology.link_id)
+
+let test_finite_flow_exact_completion () =
+  let topo, _, _, path = dumbbell () in
+  let sched = Sched.create () in
+  let fluid = Fluid.create sched topo in
+  let completed = ref [] in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         ignore
+           (Fluid.start_finite_flow ~demand:1e9 fluid ~key:(key_i 0) ~path
+              ~size_bits:1e9 ~on_complete:(fun f ->
+                completed := (Time.to_sec (Sched.now sched), f) :: !completed))));
+  ignore (Sched.run ~until:(Time.of_sec 5.0) sched);
+  match !completed with
+  | [ (at, f) ] ->
+      check (Alcotest.float 1e-6) "1 Gbit at 1 Gbps completes at 1s" 1.0 at;
+      check (Alcotest.float 1e3) "delivered exactly the size" 1e9
+        f.Flow.delivered_bits;
+      check Alcotest.bool "flow stopped" false f.Flow.active;
+      check Alcotest.int "no active flows left" 0 (Fluid.flow_count fluid);
+      check (Alcotest.float 1e4) "total accounts completed flows" 1e9
+        (Fluid.total_delivered_bits fluid)
+  | other -> Alcotest.failf "expected one completion, got %d" (List.length other)
+
+let test_finite_flows_sharing_eta_reaim () =
+  (* Two finite flows share the bottleneck at 0.5 Gbps each; when the
+     small one finishes the big one's completion must be re-aimed to
+     the faster rate.
+     small: 0.5 Gbit -> done at t=1. big: 1.5 Gbit: 0.5 by t=1, then
+     1 Gbit at full rate -> done at t=2. *)
+  let topo, _, _, path = dumbbell () in
+  let sched = Sched.create () in
+  let fluid = Fluid.create sched topo in
+  let times = ref [] in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         ignore
+           (Fluid.start_finite_flow ~demand:1e9 fluid ~key:(key_i 1) ~path
+              ~size_bits:0.5e9 ~on_complete:(fun _ ->
+                times := ("small", Time.to_sec (Sched.now sched)) :: !times));
+         ignore
+           (Fluid.start_finite_flow ~demand:1e9 fluid ~key:(key_i 2) ~path
+              ~size_bits:1.5e9 ~on_complete:(fun _ ->
+                times := ("big", Time.to_sec (Sched.now sched)) :: !times))));
+  ignore (Sched.run ~until:(Time.of_sec 5.0) sched);
+  match List.rev !times with
+  | [ ("small", t1); ("big", t2) ] ->
+      check (Alcotest.float 1e-5) "small at 1s" 1.0 t1;
+      check (Alcotest.float 1e-5) "big re-aimed to 2s" 2.0 t2
+  | other -> Alcotest.failf "unexpected completions (%d)" (List.length other)
+
+let test_finite_flow_stop_before_completion () =
+  let topo, _, _, path = dumbbell () in
+  let sched = Sched.create () in
+  let fluid = Fluid.create sched topo in
+  let fired = ref 0 in
+  let flow = ref None in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         flow :=
+           Some
+             (Fluid.start_finite_flow ~demand:1e9 fluid ~key:(key_i 0) ~path
+                ~size_bits:10e9 ~on_complete:(fun _ -> incr fired))));
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 2.0) (fun () ->
+         Fluid.stop_flow fluid (Option.get !flow)));
+  ignore (Sched.run ~until:(Time.of_sec 20.0) sched);
+  check Alcotest.int "manual stop suppresses completion" 0 !fired;
+  check (Alcotest.float 1e4) "partial delivery recorded" 2e9
+    (Option.get !flow).Flow.delivered_bits
+
+let test_fluid_sampling () =
+  let topo, _, _, path = dumbbell () in
+  let sched = Sched.create () in
+  let fluid = Fluid.create sched topo in
+  Fluid.start_sampling fluid ~every:(Time.of_sec 1.0);
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         ignore (Fluid.start_flow ~demand:1e9 fluid ~key:(key_i 0) ~path)));
+  ignore (Sched.run ~until:(Time.of_sec 5.0) sched);
+  let series = Fluid.aggregate_series fluid in
+  check Alcotest.int "samples at 0..5s" 6 (Horse_stats.Series.length series);
+  check (Alcotest.float 1.0) "sampled aggregate" 1e9
+    (Horse_stats.Series.max_value series);
+  (* per-host series exists for the destination *)
+  let topo_dst = 3 (* h1 in dumbbell *) in
+  check Alcotest.bool "host series" true (Fluid.host_series fluid topo_dst <> None)
+
+let test_fluid_validation () =
+  let topo, _, _, path = dumbbell () in
+  let sched = Sched.create () in
+  let fluid = Fluid.create sched topo in
+  Alcotest.check_raises "bad demand"
+    (Invalid_argument "Fluid.start_flow: demand <= 0") (fun () ->
+      ignore (Fluid.start_flow ~demand:0.0 fluid ~key:(key_i 0) ~path));
+  Alcotest.check_raises "discontiguous path"
+    (Invalid_argument "Fluid: discontiguous path") (fun () ->
+      ignore
+        (Fluid.start_flow fluid ~key:(key_i 0) ~path:[ List.nth path 0; List.nth path 2 ]))
+
+(* --- Packet engine -------------------------------------------------------- *)
+
+let test_packet_engine_delivery () =
+  let topo, h0, h1, path = dumbbell () in
+  let sched = Sched.create () in
+  let engine = Packet_engine.create sched topo () in
+  (* Static routes along the dumbbell. *)
+  let dst_ip = Ipv4.of_octets 10 0 1 1 in
+  List.iteri
+    (fun i (l : Topology.link) ->
+      let node = if i = 0 then h0.Topology.id else l.Topology.src in
+      Fwd.set_route (Packet_engine.table engine node) (Prefix.host dst_ip)
+        ~next_hops:[ l.Topology.link_id ])
+    path;
+  let key = key_i 0 in
+  (* 100 Mbps of 1250-byte packets for 1 s = 10^4 packets... keep it
+     small: 1 Mbps -> 100 packets. *)
+  ignore
+    (Packet_engine.start_stream engine ~key ~at:h0.Topology.id ~rate:1e6
+       ~pkt_bytes:1250);
+  ignore (Sched.run ~until:(Time.of_sec 1.0) sched);
+  check Alcotest.int "all delivered" (Packet_engine.tx_packets engine / 3)
+    (Packet_engine.rx_packets engine);
+  check Alcotest.int "no drops" 0 (Packet_engine.drops engine);
+  check Alcotest.bool "bytes at destination" true
+    (Packet_engine.rx_bytes engine h1.Topology.id > 0);
+  check Alcotest.int "nothing at source" 0
+    (Packet_engine.rx_bytes engine h0.Topology.id)
+
+let test_packet_engine_matches_fluid_uncongested () =
+  (* On an uncongested path the packet engine and the fluid model must
+     agree on delivered volume (within one packet). *)
+  let rate = 8e6 and pkt_bytes = 1000 and seconds = 2.0 in
+  let topo, h0, _, path = dumbbell () in
+  let sched = Sched.create () in
+  let engine = Packet_engine.create sched topo () in
+  let dst_ip = Ipv4.of_octets 10 0 1 1 in
+  List.iteri
+    (fun i (l : Topology.link) ->
+      let node = if i = 0 then h0.Topology.id else l.Topology.src in
+      Fwd.set_route (Packet_engine.table engine node) (Prefix.host dst_ip)
+        ~next_hops:[ l.Topology.link_id ])
+    path;
+  ignore
+    (Packet_engine.start_stream engine ~key:(key_i 0) ~at:h0.Topology.id ~rate
+       ~pkt_bytes);
+  ignore (Sched.run ~until:(Time.of_sec seconds) sched);
+  let packet_bits = float_of_int (Packet_engine.total_rx_bytes engine) *. 8.0 in
+  let sched2 = Sched.create () in
+  let fluid = Fluid.create sched2 topo in
+  let flow = ref None in
+  ignore
+    (Sched.schedule_at sched2 Time.zero (fun () ->
+         flow := Some (Fluid.start_flow ~demand:rate fluid ~key:(key_i 0) ~path)));
+  ignore (Sched.run ~until:(Time.of_sec seconds) sched2);
+  let fluid_bits = Fluid.delivered_bits fluid (Option.get !flow) in
+  check
+    (Alcotest.float (float_of_int (pkt_bytes * 8 * 2)))
+    "engines agree" fluid_bits packet_bits
+
+let test_packet_engine_tail_drop () =
+  (* Two 1 Gbps streams into one 1 Gbps link with a small queue: about
+     half the packets must drop. *)
+  let topo = Topology.create () in
+  let h0 = Topology.add_node topo ~ip:(Ipv4.of_octets 10 9 0 1) Topology.Host in
+  let h1 = Topology.add_node topo ~ip:(Ipv4.of_octets 10 9 0 2) Topology.Host in
+  let s = Topology.add_node topo Topology.Switch in
+  let h2 = Topology.add_node topo ~ip:(Ipv4.of_octets 10 9 0 3) Topology.Host in
+  let l0, _ = Topology.add_duplex topo ~capacity:1e9 h0 s in
+  let l1, _ = Topology.add_duplex topo ~capacity:1e9 h1 s in
+  let l2, _ = Topology.add_duplex topo ~capacity:1e9 s h2 in
+  let sched = Sched.create () in
+  let engine = Packet_engine.create ~queue_pkts:10 sched topo () in
+  let dst = Ipv4.of_octets 10 9 0 3 in
+  Fwd.set_route (Packet_engine.table engine h0.Topology.id) (Prefix.host dst)
+    ~next_hops:[ l0.Topology.link_id ];
+  Fwd.set_route (Packet_engine.table engine h1.Topology.id) (Prefix.host dst)
+    ~next_hops:[ l1.Topology.link_id ];
+  Fwd.set_route (Packet_engine.table engine s.Topology.id) (Prefix.host dst)
+    ~next_hops:[ l2.Topology.link_id ];
+  let mk i src =
+    ignore
+      (Packet_engine.start_stream engine
+         ~key:
+           (Flow_key.make ~src ~dst ~src_port:(7000 + i) ~dst_port:(8000 + i) ())
+         ~at:(if i = 0 then h0.Topology.id else h1.Topology.id)
+         ~rate:1e9 ~pkt_bytes:1500)
+  in
+  mk 0 (Ipv4.of_octets 10 9 0 1);
+  mk 1 (Ipv4.of_octets 10 9 0 2);
+  ignore (Sched.run ~until:(Time.of_ms 100) sched);
+  let rx = Packet_engine.rx_packets engine in
+  let drops = Packet_engine.drops engine in
+  check Alcotest.bool "significant drops" true (drops > rx / 4);
+  (* Delivered rate close to the bottleneck capacity. *)
+  let delivered_rate =
+    float_of_int (Packet_engine.total_rx_bytes engine) *. 8.0 /. 0.1
+  in
+  check Alcotest.bool "bottleneck saturated" true
+    (delivered_rate > 0.9e9 && delivered_rate < 1.05e9)
+
+let test_packet_engine_latency () =
+  (* Store-and-forward over 3 links: delay = 3 x (tx + prop).
+     1250 B at 1 Gbps = 10 us tx; prop 10 us -> 60 us end to end. *)
+  let topo, h0, _, path = dumbbell () in
+  let sched = Sched.create () in
+  let engine = Packet_engine.create sched topo () in
+  let dst_ip = Ipv4.of_octets 10 0 1 1 in
+  List.iteri
+    (fun i (l : Topology.link) ->
+      let node = if i = 0 then h0.Topology.id else l.Topology.src in
+      Fwd.set_route (Packet_engine.table engine node) (Prefix.host dst_ip)
+        ~next_hops:[ l.Topology.link_id ])
+    path;
+  Packet_engine.inject engine ~at:h0.Topology.id ~key:(key_i 0) ~bytes_len:1250;
+  ignore (Sched.run ~until:(Time.of_ms 10) sched);
+  check Alcotest.int "delivered" 1 (Packet_engine.rx_packets engine);
+  check (Alcotest.float 1e-9) "exact store-and-forward latency" 60e-6
+    (Packet_engine.mean_delay engine);
+  check (Alcotest.float 1e-9) "max equals mean for one packet" 60e-6
+    (Packet_engine.max_delay engine)
+
+let test_packet_engine_queueing_delay () =
+  (* Back-to-back burst into one link: the n-th packet waits behind
+     n-1 transmissions, so mean delay grows beyond the unloaded
+     latency. *)
+  let topo, h0, _, path = dumbbell () in
+  let sched = Sched.create () in
+  let engine = Packet_engine.create sched topo () in
+  let dst_ip = Ipv4.of_octets 10 0 1 1 in
+  List.iteri
+    (fun i (l : Topology.link) ->
+      let node = if i = 0 then h0.Topology.id else l.Topology.src in
+      Fwd.set_route (Packet_engine.table engine node) (Prefix.host dst_ip)
+        ~next_hops:[ l.Topology.link_id ])
+    path;
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         for _ = 1 to 10 do
+           Packet_engine.inject engine ~at:h0.Topology.id ~key:(key_i 0)
+             ~bytes_len:1250
+         done));
+  ignore (Sched.run ~until:(Time.of_ms 10) sched);
+  check Alcotest.int "all delivered" 10 (Packet_engine.rx_packets engine);
+  check Alcotest.bool "queueing inflates the tail" true
+    (Packet_engine.max_delay engine > 100e-6);
+  check Alcotest.bool "mean above unloaded latency" true
+    (Packet_engine.mean_delay engine > 60e-6)
+
+let test_packet_engine_no_route_drops () =
+  let topo, h0, _, _ = dumbbell () in
+  let sched = Sched.create () in
+  let engine = Packet_engine.create sched topo () in
+  Packet_engine.inject engine ~at:h0.Topology.id ~key:(key_i 0) ~bytes_len:100;
+  ignore (Sched.run ~until:(Time.of_ms 10) sched);
+  check Alcotest.int "dropped" 1 (Packet_engine.drops engine);
+  check Alcotest.int "not delivered" 0 (Packet_engine.rx_packets engine)
+
+let () =
+  Alcotest.run "horse_dataplane"
+    [
+      ( "fwd",
+        [
+          Alcotest.test_case "lpm order" `Quick test_fwd_lpm_order;
+          Alcotest.test_case "remove/replace" `Quick test_fwd_remove_and_replace;
+          Alcotest.test_case "lookup_select" `Quick test_fwd_lookup_select;
+          Alcotest.test_case "empty group rejected" `Quick
+            test_fwd_empty_group_rejected;
+          prop_fwd_matches_naive;
+        ] );
+      ( "fair_share",
+        [
+          Alcotest.test_case "single bottleneck" `Quick
+            test_fair_share_single_bottleneck;
+          Alcotest.test_case "demand limited" `Quick test_fair_share_demand_limited;
+          Alcotest.test_case "two bottlenecks" `Quick test_fair_share_two_bottlenecks;
+          Alcotest.test_case "cascade" `Quick test_fair_share_cascade;
+          Alcotest.test_case "empty path" `Quick test_fair_share_empty_path;
+          Alcotest.test_case "zero demand" `Quick test_fair_share_zero_demand;
+          prop_fair_share_feasible;
+          prop_fair_share_maxmin_bottleneck;
+        ] );
+      ( "fluid",
+        [
+          Alcotest.test_case "single flow bits" `Quick test_fluid_single_flow_bits;
+          Alcotest.test_case "sharing and stop" `Quick test_fluid_sharing_and_stop;
+          Alcotest.test_case "reroute" `Quick test_fluid_reroute;
+          Alcotest.test_case "finite flow exact completion" `Quick
+            test_finite_flow_exact_completion;
+          Alcotest.test_case "finite flows re-aim on sharing" `Quick
+            test_finite_flows_sharing_eta_reaim;
+          Alcotest.test_case "manual stop of finite flow" `Quick
+            test_finite_flow_stop_before_completion;
+          Alcotest.test_case "sampling" `Quick test_fluid_sampling;
+          Alcotest.test_case "validation" `Quick test_fluid_validation;
+        ] );
+      ( "packet_engine",
+        [
+          Alcotest.test_case "delivery" `Quick test_packet_engine_delivery;
+          Alcotest.test_case "agrees with fluid" `Quick
+            test_packet_engine_matches_fluid_uncongested;
+          Alcotest.test_case "tail drop at bottleneck" `Quick
+            test_packet_engine_tail_drop;
+          Alcotest.test_case "no route drops" `Quick
+            test_packet_engine_no_route_drops;
+          Alcotest.test_case "exact latency" `Quick test_packet_engine_latency;
+          Alcotest.test_case "queueing delay" `Quick
+            test_packet_engine_queueing_delay;
+        ] );
+    ]

@@ -1,0 +1,433 @@
+(* Tests for horse_engine: virtual time, RNG, event queue, and the
+   hybrid DES/FTI scheduler. *)
+
+open Horse_engine
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Time ------------------------------------------------------------ *)
+
+let test_time_conversions () =
+  check Alcotest.int "of_ms" 1500000 (Time.to_us (Time.of_ms 1500));
+  check (Alcotest.float 1e-9) "of_sec" 2.5 (Time.to_sec (Time.of_sec 2.5));
+  check Alcotest.int "add" 3000 (Time.to_us (Time.add (Time.of_ms 1) (Time.of_ms 2)));
+  check Alcotest.int "sub negative" (-1000)
+    (Time.to_us (Time.sub (Time.of_ms 1) (Time.of_ms 2)));
+  check Alcotest.bool "compare" true Time.(Time.of_ms 1 < Time.of_ms 2)
+
+let test_time_pp () =
+  let s t = Format.asprintf "%a" Time.pp t in
+  check Alcotest.string "seconds" "2s" (s (Time.of_sec 2.0));
+  check Alcotest.string "millis" "250ms" (s (Time.of_ms 250));
+  check Alcotest.string "micros" "10us" (s (Time.of_us 10));
+  check Alcotest.string "fractional" "1.500s" (s (Time.of_ms 1500))
+
+(* --- Rng ------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 7 and b = Rng.create 8 in
+  let same = ref true in
+  for _ = 1 to 16 do
+    if Rng.int a 1_000_000 <> Rng.int b 1_000_000 then same := false
+  done;
+  check Alcotest.bool "different seeds diverge" false !same
+
+let prop_rng_int_bounds =
+  qtest "rng: int within bounds"
+    QCheck2.Gen.(pair (int_bound 1000) (int_range 1 500))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int rng bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let prop_rng_permutation_valid =
+  qtest "rng: permutation is a bijection"
+    QCheck2.Gen.(pair (int_bound 1000) (int_range 1 60))
+    (fun (seed, n) ->
+      let p = Rng.permutation (Rng.create seed) n in
+      let seen = Array.make n false in
+      Array.iter (fun v -> seen.(v) <- true) p;
+      Array.for_all (fun b -> b) seen)
+
+let prop_rng_derangement_no_fixpoint =
+  qtest "rng: derangement has no fixed point"
+    QCheck2.Gen.(pair (int_bound 1000) (int_range 2 60))
+    (fun (seed, n) ->
+      let d = Rng.derangement (Rng.create seed) n in
+      let ok = ref true in
+      Array.iteri (fun i v -> if i = v then ok := false) d;
+      !ok)
+
+let prop_rng_float_bounds =
+  qtest "rng: float within bounds" (QCheck2.Gen.int_bound 1000) (fun seed ->
+      let rng = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Rng.float rng 3.5 in
+        if v < 0.0 || v >= 3.5 then ok := false
+      done;
+      !ok)
+
+(* --- Event queue ------------------------------------------------------ *)
+
+let drain_all q =
+  let rec go () =
+    match Event_queue.pop q with
+    | Some (_, action) ->
+        action ();
+        go ()
+    | None -> ()
+  in
+  go ()
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  let out = ref [] in
+  let note label () = out := label :: !out in
+  ignore (Event_queue.schedule q (Time.of_ms 5) (note "c"));
+  ignore (Event_queue.schedule q (Time.of_ms 1) (note "a"));
+  ignore (Event_queue.schedule q (Time.of_ms 3) (note "b"));
+  drain_all q;
+  check (Alcotest.list Alcotest.string) "time order" [ "a"; "b"; "c" ]
+    (List.rev !out)
+
+let test_queue_fifo_same_time () =
+  let q = Event_queue.create () in
+  let out = ref [] in
+  for i = 1 to 50 do
+    ignore (Event_queue.schedule q (Time.of_ms 7) (fun () -> out := i :: !out))
+  done;
+  drain_all q;
+  check (Alcotest.list Alcotest.int) "insertion order preserved"
+    (List.init 50 (fun i -> i + 1))
+    (List.rev !out)
+
+let test_queue_cancel () =
+  let q = Event_queue.create () in
+  let fired = ref false in
+  let h = Event_queue.schedule q (Time.of_ms 1) (fun () -> fired := true) in
+  ignore (Event_queue.schedule q (Time.of_ms 2) (fun () -> ()));
+  Event_queue.cancel h;
+  check Alcotest.bool "cancelled flag" true (Event_queue.is_cancelled h);
+  check Alcotest.int "size excludes cancelled" 1 (Event_queue.size q);
+  drain_all q;
+  check Alcotest.bool "cancelled never ran" false !fired
+
+let test_queue_pop_until () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.schedule q (Time.of_ms 10) (fun () -> ()));
+  check Alcotest.bool "nothing before 5ms" true
+    (Event_queue.pop_until q (Time.of_ms 5) = None);
+  check Alcotest.bool "available at 10ms" true
+    (Event_queue.pop_until q (Time.of_ms 10) <> None)
+
+let prop_queue_sorted =
+  qtest "event queue: pops in non-decreasing time order"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_bound 10_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter
+        (fun us -> ignore (Event_queue.schedule q (Time.of_us us) (fun () -> ())))
+        times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (at, _) -> Time.(at >= last) && drain at
+      in
+      drain Time.zero)
+
+(* --- Hybrid scheduler -------------------------------------------------- *)
+
+let test_des_jumps () =
+  let sched = Sched.create () in
+  let seen = ref [] in
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 100.0) (fun () ->
+         seen := Time.to_sec (Sched.now sched) :: !seen));
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 900.0) (fun () ->
+         seen := Time.to_sec (Sched.now sched) :: !seen));
+  let stats = Sched.run ~until:(Time.of_sec 1000.0) sched in
+  check (Alcotest.list (Alcotest.float 1e-6)) "clock jumped to events"
+    [ 100.0; 900.0 ] (List.rev !seen);
+  check Alcotest.int "two events" 2 stats.Sched.events_executed;
+  check Alcotest.int "no FTI at all" 0 stats.Sched.fti_increments;
+  check (Alcotest.float 1e-6) "finished exactly at until" 1000.0
+    (Time.to_sec stats.Sched.end_time)
+
+let test_fti_transition_and_return () =
+  let config =
+    {
+      Sched.default_config with
+      Sched.fti_increment = Time.of_ms 1;
+      quiet_timeout = Time.of_ms 100;
+    }
+  in
+  let sched = Sched.create ~config () in
+  ignore
+    (Sched.schedule_at sched (Time.of_ms 50) (fun () ->
+         Sched.control_activity ~reason:"test" sched));
+  let stats = Sched.run ~until:(Time.of_sec 1.0) sched in
+  match stats.Sched.transitions with
+  | [ to_fti; to_des ] ->
+      check Alcotest.string "first transition" "FTI"
+        (Sched.mode_to_string to_fti.Sched.to_mode);
+      check (Alcotest.float 1e-6) "enters FTI at the event" 0.05
+        (Time.to_sec to_fti.Sched.at);
+      check Alcotest.string "second transition" "DES"
+        (Sched.mode_to_string to_des.Sched.to_mode);
+      check (Alcotest.float 2e-3) "returns after quiet timeout" 0.15
+        (Time.to_sec to_des.Sched.at);
+      check Alcotest.bool "increment count" true
+        (stats.Sched.fti_increments >= 99 && stats.Sched.fti_increments <= 102);
+      check (Alcotest.float 5e-3) "virtual time in FTI" 0.1
+        (Time.to_sec stats.Sched.virtual_in_fti)
+  | transitions ->
+      Alcotest.failf "expected 2 transitions, got %d" (List.length transitions)
+
+let test_activity_refreshes_quiet_timer () =
+  let config =
+    { Sched.default_config with Sched.quiet_timeout = Time.of_ms 50 }
+  in
+  let sched = Sched.create ~config () in
+  List.iter
+    (fun ms ->
+      ignore
+        (Sched.schedule_at sched (Time.of_ms ms) (fun () ->
+             Sched.control_activity sched)))
+    [ 10; 40; 70; 100 ];
+  let stats = Sched.run ~until:(Time.of_ms 300) sched in
+  check Alcotest.int "exactly one FTI entry and one exit" 2
+    (List.length stats.Sched.transitions);
+  match List.rev stats.Sched.transitions with
+  | exit_t :: _ ->
+      check (Alcotest.float 3e-3) "exit 50ms after last activity" 0.15
+        (Time.to_sec exit_t.Sched.at)
+  | [] -> Alcotest.fail "no transitions"
+
+let test_pollers_only_in_fti () =
+  let config =
+    { Sched.default_config with Sched.quiet_timeout = Time.of_ms 20 }
+  in
+  let sched = Sched.create ~config () in
+  let polls = ref 0 in
+  Sched.add_poller sched (fun () -> incr polls);
+  ignore (Sched.schedule_at sched (Time.of_ms 500) (fun () -> ()));
+  ignore (Sched.run ~until:(Time.of_sec 1.0) sched);
+  check Alcotest.int "no polls in pure DES run" 0 !polls;
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 1.1) (fun () ->
+         Sched.control_activity sched));
+  ignore (Sched.run ~until:(Time.of_sec 2.0) sched);
+  check Alcotest.bool "pollers ticked during FTI" true (!polls >= 20)
+
+let test_events_during_fti_execute () =
+  let config =
+    { Sched.default_config with Sched.quiet_timeout = Time.of_ms 30 }
+  in
+  let sched = Sched.create ~config () in
+  let fired_at = ref [] in
+  ignore
+    (Sched.schedule_at sched (Time.of_ms 1) (fun () ->
+         Sched.control_activity sched;
+         ignore
+           (Sched.schedule_after sched (Time.of_ms 5) (fun () ->
+                fired_at := Time.to_ms (Sched.now sched) :: !fired_at))));
+  ignore (Sched.run ~until:(Time.of_ms 200) sched);
+  match !fired_at with
+  | [ at ] -> check Alcotest.bool "fired near 6ms" true (at >= 6.0 && at < 8.0)
+  | other -> Alcotest.failf "expected one firing, got %d" (List.length other)
+
+let test_recurring_and_cancel () =
+  let sched = Sched.create () in
+  let count = ref 0 in
+  let r = Sched.every sched (Time.of_ms 10) (fun () -> incr count) in
+  ignore
+    (Sched.schedule_at sched (Time.of_ms 55) (fun () -> Sched.cancel_recurring r));
+  ignore (Sched.run ~until:(Time.of_ms 200) sched);
+  check Alcotest.int "fired at 10..50" 5 !count
+
+let test_recurring_cadence_no_drift () =
+  let sched = Sched.create () in
+  let times = ref [] in
+  let _r =
+    Sched.every sched (Time.of_ms 100) (fun () ->
+        times := Time.to_ms (Sched.now sched) :: !times)
+  in
+  ignore (Sched.run ~until:(Time.of_ms 1000) sched);
+  check
+    (Alcotest.list (Alcotest.float 1e-6))
+    "fixed cadence"
+    [ 100.; 200.; 300.; 400.; 500.; 600.; 700.; 800.; 900.; 1000. ]
+    (List.rev !times)
+
+let test_schedule_in_past_clamps () =
+  let sched = Sched.create () in
+  let at = ref (-1.0) in
+  ignore
+    (Sched.schedule_at sched (Time.of_ms 100) (fun () ->
+         ignore
+           (Sched.schedule_at sched (Time.of_ms 1) (fun () ->
+                at := Time.to_ms (Sched.now sched)))));
+  ignore (Sched.run ~until:(Time.of_ms 200) sched);
+  check (Alcotest.float 1e-6) "clamped to now" 100.0 !at
+
+let test_stop () =
+  let sched = Sched.create () in
+  let executed = ref 0 in
+  ignore
+    (Sched.schedule_at sched (Time.of_ms 1) (fun () ->
+         incr executed;
+         Sched.stop sched));
+  ignore (Sched.schedule_at sched (Time.of_ms 2) (fun () -> incr executed));
+  ignore (Sched.run ~until:(Time.of_sec 1.0) sched);
+  check Alcotest.int "stopped after first event" 1 !executed
+
+let test_start_in_fti () =
+  let config =
+    {
+      Sched.default_config with
+      Sched.start_in_fti = true;
+      quiet_timeout = Time.of_ms 10;
+    }
+  in
+  let sched = Sched.create ~config () in
+  let stats = Sched.run ~until:(Time.of_ms 100) sched in
+  check Alcotest.int "one transition to DES" 1
+    (List.length stats.Sched.transitions);
+  check Alcotest.bool "some increments" true (stats.Sched.fti_increments >= 10)
+
+let test_fti_wall_cost_exceeds_des () =
+  (* The paper's core claim in miniature: the same quiet virtual hour
+     costs far less wall time in DES than in FTI. *)
+  let run ~start_in_fti ~quiet_timeout =
+    let config =
+      {
+        Sched.default_config with
+        Sched.start_in_fti;
+        quiet_timeout;
+        fti_increment = Time.of_ms 1;
+      }
+    in
+    let sched = Sched.create ~config () in
+    Sched.run ~until:(Time.of_sec 3600.0) sched
+  in
+  let des = run ~start_in_fti:false ~quiet_timeout:(Time.of_sec 1.0) in
+  let fti = run ~start_in_fti:true ~quiet_timeout:(Time.of_sec 7200.0) in
+  check Alcotest.int "DES: no increments" 0 des.Sched.fti_increments;
+  check Alcotest.int "FTI: one increment per millisecond" 3_600_000
+    fti.Sched.fti_increments;
+  check Alcotest.bool "FTI costs more wall time" true
+    (fti.Sched.wall_total > des.Sched.wall_total)
+
+let test_rerun_continues () =
+  let sched = Sched.create () in
+  ignore (Sched.schedule_at sched (Time.of_ms 10) (fun () -> ()));
+  let s1 = Sched.run ~until:(Time.of_ms 100) sched in
+  ignore (Sched.schedule_at sched (Time.of_ms 150) (fun () -> ()));
+  let s2 = Sched.run ~until:(Time.of_ms 200) sched in
+  check (Alcotest.float 1e-6) "first run ends at horizon" 0.1
+    (Time.to_sec s1.Sched.end_time);
+  check (Alcotest.float 1e-6) "second run continues" 0.2
+    (Time.to_sec s2.Sched.end_time);
+  check Alcotest.int "cumulative events" 2 s2.Sched.events_executed
+
+let prop_sched_matches_reference =
+  (* Random one-shot schedules: the DES engine must execute exactly
+     the reference order (sort by time, ties by insertion). *)
+  qtest ~count:100 "sched: DES execution order matches reference simulator"
+    QCheck2.Gen.(list_size (int_range 0 60) (int_bound 5_000))
+    (fun times_us ->
+      let sched = Sched.create () in
+      let order = ref [] in
+      List.iteri
+        (fun i us ->
+          ignore
+            (Sched.schedule_at sched (Time.of_us us) (fun () ->
+                 order := (i, Time.to_us (Sched.now sched)) :: !order)))
+        times_us;
+      ignore (Sched.run sched);
+      let got = List.rev !order in
+      let want =
+        List.mapi (fun i us -> (i, us)) times_us
+        |> List.stable_sort (fun (_, a) (_, b) -> Int.compare a b)
+      in
+      got = want)
+
+(* --- Trace ------------------------------------------------------------ *)
+
+let test_trace () =
+  let trace = Trace.create () in
+  Trace.add trace ~at:(Time.of_ms 1) ~label:"bgp" "hello";
+  Trace.addf trace ~at:(Time.of_ms 2) ~label:"cm" "msg %d" 42;
+  check Alcotest.int "length" 2 (Trace.length trace);
+  (match Trace.entries trace with
+  | [ a; b ] ->
+      check Alcotest.string "first" "hello" a.Trace.detail;
+      check Alcotest.string "second formatted" "msg 42" b.Trace.detail
+  | _ -> Alcotest.fail "expected two entries");
+  check Alcotest.int "by_label" 1 (List.length (Trace.by_label trace "bgp"));
+  Trace.clear trace;
+  check Alcotest.int "cleared" 0 (Trace.length trace)
+
+let () =
+  Alcotest.run "horse_engine"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "pretty printing" `Quick test_time_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          prop_rng_int_bounds;
+          prop_rng_permutation_valid;
+          prop_rng_derangement_no_fixpoint;
+          prop_rng_float_bounds;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "time order" `Quick test_queue_order;
+          Alcotest.test_case "fifo at same time" `Quick test_queue_fifo_same_time;
+          Alcotest.test_case "cancel" `Quick test_queue_cancel;
+          Alcotest.test_case "pop_until" `Quick test_queue_pop_until;
+          prop_queue_sorted;
+        ] );
+      ( "hybrid_sched",
+        [
+          Alcotest.test_case "DES jumps" `Quick test_des_jumps;
+          Alcotest.test_case "FTI transition and return" `Quick
+            test_fti_transition_and_return;
+          Alcotest.test_case "activity refreshes quiet timer" `Quick
+            test_activity_refreshes_quiet_timer;
+          Alcotest.test_case "pollers only in FTI" `Quick test_pollers_only_in_fti;
+          Alcotest.test_case "events during FTI" `Quick
+            test_events_during_fti_execute;
+          Alcotest.test_case "recurring + cancel" `Quick test_recurring_and_cancel;
+          Alcotest.test_case "recurring cadence" `Quick
+            test_recurring_cadence_no_drift;
+          Alcotest.test_case "past schedule clamps" `Quick
+            test_schedule_in_past_clamps;
+          Alcotest.test_case "stop" `Quick test_stop;
+          Alcotest.test_case "start in FTI" `Quick test_start_in_fti;
+          Alcotest.test_case "FTI wall cost exceeds DES" `Slow
+            test_fti_wall_cost_exceeds_des;
+          Alcotest.test_case "re-run continues" `Quick test_rerun_continues;
+          prop_sched_matches_reference;
+        ] );
+      ("trace", [ Alcotest.test_case "basics" `Quick test_trace ]);
+    ]

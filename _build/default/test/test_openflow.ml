@@ -1,0 +1,518 @@
+(* Tests for horse_openflow: match semantics, the message codec, the
+   flow table, and the switch agent over an emulated channel. *)
+
+open Horse_net
+open Horse_engine
+open Horse_emulation
+open Horse_openflow
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let ip = Ipv4.of_string_exn
+let p = Prefix.of_string_exn
+
+let key_ab =
+  Flow_key.make ~src:(ip "10.0.0.2") ~dst:(ip "10.1.0.2") ~src_port:1111
+    ~dst_port:2222 ()
+
+let fields ?(in_port = 1) key = Ofmatch.fields_of_key ~in_port key
+
+(* --- Ofmatch ------------------------------------------------------------ *)
+
+let test_match_any () =
+  check Alcotest.bool "any matches" true (Ofmatch.matches Ofmatch.any (fields key_ab))
+
+let test_match_exact_5tuple () =
+  let m = Ofmatch.exact_5tuple key_ab in
+  check Alcotest.bool "matches its own key" true (Ofmatch.matches m (fields key_ab));
+  let other = { key_ab with Flow_key.src_port = 1112 } in
+  check Alcotest.bool "different port misses" false
+    (Ofmatch.matches m (fields other));
+  let other = { key_ab with Flow_key.dst = ip "10.1.0.3" } in
+  check Alcotest.bool "different dst misses" false
+    (Ofmatch.matches m (fields other))
+
+let test_match_prefix () =
+  let m = Ofmatch.to_dst (p "10.1.0.0/16") in
+  check Alcotest.bool "in prefix" true (Ofmatch.matches m (fields key_ab));
+  let outside = { key_ab with Flow_key.dst = ip "10.2.0.2" } in
+  check Alcotest.bool "outside prefix" false (Ofmatch.matches m (fields outside))
+
+let test_match_in_port () =
+  let m = { Ofmatch.any with Ofmatch.m_in_port = Some 3 } in
+  check Alcotest.bool "right port" true
+    (Ofmatch.matches m (fields ~in_port:3 key_ab));
+  check Alcotest.bool "wrong port" false
+    (Ofmatch.matches m (fields ~in_port:4 key_ab))
+
+let gen_match =
+  let open QCheck2.Gen in
+  let opt g = option g in
+  let* m_in_port = opt (int_range 1 48) in
+  let* m_eth_type = opt (oneofl [ 0x0800; 0x0806 ]) in
+  let* m_ip_src =
+    opt (map2 (fun a l -> Prefix.make (Ipv4.of_int32 a) l) int32 (int_range 1 32))
+  in
+  let* m_ip_dst =
+    opt (map2 (fun a l -> Prefix.make (Ipv4.of_int32 a) l) int32 (int_range 1 32))
+  in
+  let* m_ip_proto = opt (int_range 0 255) in
+  let* m_tp_src = opt (int_range 0 65535) in
+  let* m_tp_dst = opt (int_range 0 65535) in
+  let* m_eth_src = opt (map (fun i -> Mac.of_index i) (int_bound 100000)) in
+  let* m_eth_dst = opt (map (fun i -> Mac.of_index i) (int_bound 100000)) in
+  return
+    {
+      Ofmatch.m_in_port;
+      m_eth_src;
+      m_eth_dst;
+      m_eth_type;
+      m_ip_src;
+      m_ip_dst;
+      m_ip_proto;
+      m_tp_src;
+      m_tp_dst;
+    }
+
+let prop_match_codec_roundtrip =
+  qtest "ofmatch: 40-byte codec roundtrip" gen_match (fun m ->
+      let buf = Bytes.make Ofmatch.size '\000' in
+      Ofmatch.write buf 0 m;
+      match Ofmatch.read buf 0 with
+      | Ok m' -> Ofmatch.equal m m'
+      | Error _ -> false)
+
+let prop_match_exact_key_matches =
+  let gen_key =
+    let open QCheck2.Gen in
+    let* src = map Ipv4.of_int32 int32 in
+    let* dst = map Ipv4.of_int32 int32 in
+    let* sp = int_range 0 65535 in
+    let* dp = int_range 0 65535 in
+    return (Flow_key.make ~src ~dst ~src_port:sp ~dst_port:dp ())
+  in
+  qtest "ofmatch: exact_5tuple matches exactly its key" gen_key (fun k ->
+      Ofmatch.matches (Ofmatch.exact_5tuple k) (Ofmatch.fields_of_key k))
+
+(* --- Ofmsg codec --------------------------------------------------------- *)
+
+let gen_actions =
+  QCheck2.Gen.(
+    list_size (int_range 0 3)
+      (oneof
+         [
+           map (fun p -> Action.Output p) (int_range 1 48);
+           return Action.Flood;
+           map (fun n -> Action.To_controller n) (int_range 0 1024);
+         ]))
+
+let gen_msg =
+  let open QCheck2.Gen in
+  oneof
+    [
+      oneofl
+        [
+          Ofmsg.Hello;
+          Ofmsg.Echo_request;
+          Ofmsg.Echo_reply;
+          Ofmsg.Features_request;
+          Ofmsg.Barrier_request;
+          Ofmsg.Barrier_reply;
+        ];
+      (let* dpid = int_bound 1_000_000 in
+       let* n_ports = int_range 0 64 in
+       return (Ofmsg.Features_reply { dpid; n_ports }));
+      (let* pst_reason = int_range 0 2 in
+       let* pst_port = int_range 1 48 in
+       return (Ofmsg.Port_status { Ofmsg.pst_reason; pst_port }));
+      (let* in_port = int_range 0 48 in
+       let* data = map Bytes.of_string (string_size (int_range 0 80)) in
+       return
+         (Ofmsg.Packet_in
+            {
+              buffer_id = 0xFFFFFFFF;
+              total_len = Bytes.length data;
+              in_port;
+              reason = 0;
+              data;
+            }));
+      (let* po_in_port = int_range 0 48 in
+       let* po_actions = gen_actions in
+       let* po_data = map Bytes.of_string (string_size (int_range 0 80)) in
+       return (Ofmsg.Packet_out { po_in_port; po_actions; po_data }));
+      (let* match_ = gen_match in
+       let* command = oneofl [ Ofmsg.Add; Ofmsg.Modify; Ofmsg.Delete ] in
+       let* priority = int_range 0 65535 in
+       let* idle = int_range 0 3600 in
+       let* hard = int_range 0 3600 in
+       let* cookie = int_bound 1_000_000 in
+       let* actions = gen_actions in
+       return
+         (Ofmsg.Flow_mod
+            {
+              Ofmsg.match_;
+              cookie;
+              command;
+              idle_timeout_s = idle;
+              hard_timeout_s = hard;
+              priority;
+              actions;
+            }));
+      (let* m = gen_match in
+       return (Ofmsg.Stats_request (Ofmsg.Flow_stats_req m)));
+      (let* port = oneof [ int_range 1 48; return 0xFFFF ] in
+       return (Ofmsg.Stats_request (Ofmsg.Port_stats_req port)));
+      (let* entries =
+         list_size (int_range 0 4)
+           (let* fs_match = gen_match in
+            let* fs_priority = int_range 0 65535 in
+            let* fs_cookie = int_bound 1_000_000 in
+            let* fs_packets = int_bound 1_000_000_000 in
+            let* fs_bytes = int_bound 1_000_000_000 in
+            let* fs_duration_s = int_bound 100000 in
+            let* fs_actions = gen_actions in
+            return
+              {
+                Ofmsg.fs_match;
+                fs_priority;
+                fs_cookie;
+                fs_packets;
+                fs_bytes;
+                fs_duration_s;
+                fs_actions;
+              })
+       in
+       return (Ofmsg.Stats_reply (Ofmsg.Flow_stats_rep entries)));
+      (let* entries =
+         list_size (int_range 0 6)
+           (let* ps_port = int_range 1 48 in
+            let* a = int_bound 1_000_000 in
+            let* b = int_bound 1_000_000 in
+            let* c = int_bound 1_000_000_000 in
+            let* d = int_bound 1_000_000_000 in
+            return
+              {
+                Ofmsg.ps_port;
+                ps_rx_packets = a;
+                ps_tx_packets = b;
+                ps_rx_bytes = c;
+                ps_tx_bytes = d;
+              })
+       in
+       return (Ofmsg.Stats_reply (Ofmsg.Port_stats_rep entries)));
+    ]
+
+let prop_ofmsg_roundtrip =
+  qtest ~count:500 "ofmsg: encode/decode roundtrip"
+    (QCheck2.Gen.pair gen_msg (QCheck2.Gen.int_bound 0xFFFF))
+    (fun (m, xid) ->
+      match Ofmsg.decode (Ofmsg.encode ~xid m) with
+      | Ok (m', xid') -> Ofmsg.equal m m' && xid = xid'
+      | Error _ -> false)
+
+let prop_ofmsg_decode_total =
+  qtest ~count:500 "ofmsg: decoder never raises on arbitrary bytes"
+    QCheck2.Gen.(map Bytes.of_string (string_size (int_range 0 120)))
+    (fun junk -> match Ofmsg.decode junk with Ok _ | Error _ -> true)
+
+let prop_ofmsg_decode_total_mutated =
+  qtest ~count:300 "ofmsg: decoder never raises on mutated messages"
+    (QCheck2.Gen.triple gen_msg (QCheck2.Gen.int_bound 300) (QCheck2.Gen.int_bound 255))
+    (fun (m, pos, v) ->
+      let buf = Ofmsg.encode m in
+      if Bytes.length buf > 0 then
+        Bytes.set_uint8 buf (pos mod Bytes.length buf) v;
+      match Ofmsg.decode buf with Ok _ | Error _ -> true)
+
+let test_ofmsg_header () =
+  let buf = Ofmsg.encode ~xid:0xABCD Ofmsg.Hello in
+  check Alcotest.int "version 1.0" 0x01 (Bytes.get_uint8 buf 0);
+  check Alcotest.int "type hello" 0 (Bytes.get_uint8 buf 1);
+  check Alcotest.int "length" 8 (Bytes.get_uint16_be buf 2);
+  check Alcotest.int "xid" 0xABCD (Int32.to_int (Bytes.get_int32_be buf 4))
+
+(* --- Flow table ------------------------------------------------------------ *)
+
+let flow_mod ?(command = Ofmsg.Add) ?(priority = 10) ?(idle = 0) ?(hard = 0)
+    ?(cookie = 0) match_ actions =
+  {
+    Ofmsg.match_;
+    cookie;
+    command;
+    idle_timeout_s = idle;
+    hard_timeout_s = hard;
+    priority;
+    actions;
+  }
+
+let test_table_priority () =
+  let t = Flow_table.create () in
+  let now = Time.zero in
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~priority:1 Ofmatch.any [ Action.Output 1 ]);
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~priority:100 (Ofmatch.exact_5tuple key_ab) [ Action.Output 2 ]);
+  (match Flow_table.lookup t (fields key_ab) with
+  | Some e -> check Alcotest.int "high priority wins" 100 e.Flow_table.priority
+  | None -> Alcotest.fail "no match");
+  let other = { key_ab with Flow_key.dst_port = 9 } in
+  match Flow_table.lookup t (fields other) with
+  | Some e -> check Alcotest.int "fallback to low priority" 1 e.Flow_table.priority
+  | None -> Alcotest.fail "wildcard should match"
+
+let test_table_add_replaces () =
+  let t = Flow_table.create () in
+  let now = Time.zero in
+  Flow_table.apply_flow_mod t ~now (flow_mod Ofmatch.any [ Action.Output 1 ]);
+  Flow_table.apply_flow_mod t ~now (flow_mod Ofmatch.any [ Action.Output 2 ]);
+  check Alcotest.int "single entry" 1 (Flow_table.size t);
+  match Flow_table.lookup t (fields key_ab) with
+  | Some e ->
+      check Alcotest.bool "latest actions" true
+        (List.equal Action.equal [ Action.Output 2 ] e.Flow_table.actions)
+  | None -> Alcotest.fail "missing"
+
+let test_table_modify_and_delete () =
+  let t = Flow_table.create () in
+  let now = Time.zero in
+  let m = Ofmatch.exact_5tuple key_ab in
+  Flow_table.apply_flow_mod t ~now (flow_mod m [ Action.Output 1 ]);
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~command:Ofmsg.Modify m [ Action.Output 7 ]);
+  (match Flow_table.lookup t (fields key_ab) with
+  | Some e ->
+      check Alcotest.bool "modified" true
+        (List.equal Action.equal [ Action.Output 7 ] e.Flow_table.actions)
+  | None -> Alcotest.fail "missing");
+  (* Loose delete: wildcard removes everything overlapping. *)
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~command:Ofmsg.Delete Ofmatch.any []);
+  check Alcotest.int "cleared" 0 (Flow_table.size t)
+
+let test_table_timeouts () =
+  let t = Flow_table.create () in
+  Flow_table.apply_flow_mod t ~now:Time.zero
+    (flow_mod ~hard:10 Ofmatch.any [ Action.Output 1 ]);
+  Flow_table.apply_flow_mod t ~now:Time.zero
+    (flow_mod ~priority:20 ~idle:5 (Ofmatch.exact_5tuple key_ab)
+       [ Action.Output 2 ]);
+  check Alcotest.int "both live at 4s" 0
+    (List.length (Flow_table.expire t ~now:(Time.of_sec 4.0)));
+  (* Keep the idle entry alive by accounting traffic at t=4. *)
+  (match Flow_table.lookup t (fields key_ab) with
+  | Some e -> Flow_table.account e ~now:(Time.of_sec 4.0) ~packets:1 ~bytes:100
+  | None -> Alcotest.fail "entry missing");
+  check Alcotest.int "still live at 8s" 0
+    (List.length (Flow_table.expire t ~now:(Time.of_sec 8.0)));
+  (* At 10s: hard timeout fires for the first, idle (9-4=5) for the
+     second. *)
+  let gone = Flow_table.expire t ~now:(Time.of_sec 10.0) in
+  check Alcotest.int "both expired" 2 (List.length gone);
+  check Alcotest.int "table empty" 0 (Flow_table.size t)
+
+let test_table_equal_priority_fifo () =
+  let t = Flow_table.create () in
+  let now = Time.zero in
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~cookie:1 (Ofmatch.to_dst (p "10.1.0.0/16")) [ Action.Output 1 ]);
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~cookie:2 (Ofmatch.to_dst (p "10.0.0.0/8")) [ Action.Output 2 ]);
+  match Flow_table.lookup t (fields key_ab) with
+  | Some e -> check Alcotest.int "older entry wins ties" 1 e.Flow_table.cookie
+  | None -> Alcotest.fail "no match"
+
+(* --- Switch agent ----------------------------------------------------------- *)
+
+(* A switch agent plus a raw test controller endpoint. *)
+let switch_rig () =
+  let sched = Sched.create () in
+  let chan = Channel.create sched ~latency:(Time.of_ms 1) () in
+  let sw_end, ctrl_end = Channel.endpoints chan in
+  let proc = Process.create sched ~name:"sw" in
+  let agent =
+    Switch.create proc ~dpid:42 ~ports:[ (1, 100); (2, 200) ] sw_end
+  in
+  let inbox = ref [] in
+  Channel.set_receiver ctrl_end (fun bytes ->
+      match Ofmsg.decode bytes with
+      | Ok (msg, xid) -> inbox := (msg, xid) :: !inbox
+      | Error e -> Alcotest.failf "controller decode error: %s" e);
+  (sched, agent, ctrl_end, inbox)
+
+let run sched until = ignore (Sched.run ~until sched)
+
+let test_switch_handshake () =
+  let sched, _agent, ctrl_end, inbox = switch_rig () in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Channel.send ctrl_end (Ofmsg.encode Ofmsg.Hello);
+         Channel.send ctrl_end (Ofmsg.encode ~xid:7 Ofmsg.Features_request)));
+  run sched (Time.of_ms 100);
+  let replies = List.rev !inbox in
+  check Alcotest.bool "features reply with dpid" true
+    (List.exists
+       (fun (m, xid) ->
+         match m with
+         | Ofmsg.Features_reply { dpid; n_ports } ->
+             dpid = 42 && n_ports = 2 && xid = 7
+         | _ -> false)
+       replies)
+
+let test_switch_flow_mod_and_lookup () =
+  let sched, agent, ctrl_end, _ = switch_rig () in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Channel.send ctrl_end
+           (Ofmsg.encode
+              (Ofmsg.Flow_mod
+                 (flow_mod (Ofmatch.exact_5tuple key_ab) [ Action.Output 2 ])))));
+  run sched (Time.of_ms 100);
+  check Alcotest.int "flow mod received" 1 (Switch.flow_mods_received agent);
+  (match Switch.lookup agent (fields key_ab) with
+  | Some e ->
+      check Alcotest.bool "actions" true
+        (List.equal Action.equal [ Action.Output 2 ] e.Flow_table.actions)
+  | None -> Alcotest.fail "installed entry not found");
+  check (Alcotest.option Alcotest.int) "port->link" (Some 200)
+    (Switch.link_of_port agent 2);
+  check (Alcotest.option Alcotest.int) "link->port" (Some 1)
+    (Switch.port_of_link agent 100)
+
+let test_switch_packet_in_and_stats () =
+  let sched, agent, ctrl_end, inbox = switch_rig () in
+  Switch.set_flow_stats_provider agent (fun _ -> (3, 4096));
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Channel.send ctrl_end
+           (Ofmsg.encode
+              (Ofmsg.Flow_mod
+                 (flow_mod (Ofmatch.exact_5tuple key_ab) [ Action.Output 1 ])))));
+  ignore
+    (Sched.schedule_at sched (Time.of_ms 10) (fun () ->
+         Switch.packet_in agent ~in_port:1 (Bytes.of_string "frame");
+         Channel.send ctrl_end
+           (Ofmsg.encode ~xid:9
+              (Ofmsg.Stats_request (Ofmsg.Flow_stats_req Ofmatch.any)))));
+  run sched (Time.of_ms 100);
+  check Alcotest.int "one packet_in" 1 (Switch.packet_ins_sent agent);
+  let got_packet_in =
+    List.exists
+      (fun (m, _) ->
+        match m with
+        | Ofmsg.Packet_in pi ->
+            pi.Ofmsg.in_port = 1 && Bytes.to_string pi.Ofmsg.data = "frame"
+        | _ -> false)
+      !inbox
+  in
+  check Alcotest.bool "controller saw packet_in" true got_packet_in;
+  let stats_ok =
+    List.exists
+      (fun (m, xid) ->
+        match m with
+        | Ofmsg.Stats_reply (Ofmsg.Flow_stats_rep [ fs ]) ->
+            xid = 9 && fs.Ofmsg.fs_bytes = 4096 && fs.Ofmsg.fs_packets = 3
+        | _ -> false)
+      !inbox
+  in
+  check Alcotest.bool "stats served by provider" true stats_ok
+
+let test_switch_expiry_hook () =
+  let sched, agent, ctrl_end, _ = switch_rig () in
+  let expired = ref [] in
+  Switch.on_expired agent (fun e -> expired := e :: !expired);
+  Switch.start agent;
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Channel.send ctrl_end
+           (Ofmsg.encode
+              (Ofmsg.Flow_mod
+                 (flow_mod ~hard:2 (Ofmatch.exact_5tuple key_ab) [ Action.Output 1 ])))));
+  run sched (Time.of_sec 5.0);
+  check Alcotest.int "expired exactly once" 1 (List.length !expired);
+  check Alcotest.int "table empty" 0 (Flow_table.size (Switch.table agent))
+
+let test_switch_port_down () =
+  let sched, agent, _ctrl_end, inbox = switch_rig () in
+  check (Alcotest.option Alcotest.int) "port up" (Some 200)
+    (Switch.link_of_port agent 2);
+  Switch.set_port_down agent 2;
+  Switch.set_port_down agent 2 (* idempotent: one notification *);
+  ignore (Sched.run ~until:(Time.of_ms 50) sched);
+  check Alcotest.bool "down port unresolvable" true
+    (Switch.link_of_port agent 2 = None);
+  check Alcotest.bool "marked down" true (Switch.is_port_down agent 2);
+  check Alcotest.int "one PORT_STATUS delete" 1
+    (List.length
+       (List.filter
+          (fun (m, _) ->
+            match m with
+            | Ofmsg.Port_status ps ->
+                ps.Ofmsg.pst_port = 2 && ps.Ofmsg.pst_reason = 1
+            | _ -> false)
+          !inbox));
+  Switch.set_port_up agent 2;
+  ignore (Sched.run ~until:(Time.of_ms 100) sched);
+  check (Alcotest.option Alcotest.int) "port back" (Some 200)
+    (Switch.link_of_port agent 2);
+  check Alcotest.bool "PORT_STATUS add seen" true
+    (List.exists
+       (fun (m, _) ->
+         match m with
+         | Ofmsg.Port_status ps -> ps.Ofmsg.pst_port = 2 && ps.Ofmsg.pst_reason = 0
+         | _ -> false)
+       !inbox)
+
+let test_switch_echo_and_barrier () =
+  let sched, _agent, ctrl_end, inbox = switch_rig () in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Channel.send ctrl_end (Ofmsg.encode ~xid:5 Ofmsg.Echo_request);
+         Channel.send ctrl_end (Ofmsg.encode ~xid:6 Ofmsg.Barrier_request)));
+  run sched (Time.of_ms 50);
+  check Alcotest.bool "echo reply" true
+    (List.exists (fun (m, x) -> m = Ofmsg.Echo_reply && x = 5) !inbox);
+  check Alcotest.bool "barrier reply" true
+    (List.exists (fun (m, x) -> m = Ofmsg.Barrier_reply && x = 6) !inbox)
+
+let () =
+  Alcotest.run "horse_openflow"
+    [
+      ( "match",
+        [
+          Alcotest.test_case "any" `Quick test_match_any;
+          Alcotest.test_case "exact 5-tuple" `Quick test_match_exact_5tuple;
+          Alcotest.test_case "prefix" `Quick test_match_prefix;
+          Alcotest.test_case "in_port" `Quick test_match_in_port;
+          prop_match_codec_roundtrip;
+          prop_match_exact_key_matches;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "header" `Quick test_ofmsg_header;
+          prop_ofmsg_roundtrip;
+          prop_ofmsg_decode_total;
+          prop_ofmsg_decode_total_mutated;
+        ] );
+      ( "flow_table",
+        [
+          Alcotest.test_case "priority" `Quick test_table_priority;
+          Alcotest.test_case "add replaces" `Quick test_table_add_replaces;
+          Alcotest.test_case "modify and delete" `Quick test_table_modify_and_delete;
+          Alcotest.test_case "timeouts" `Quick test_table_timeouts;
+          Alcotest.test_case "equal priority fifo" `Quick
+            test_table_equal_priority_fifo;
+        ] );
+      ( "switch",
+        [
+          Alcotest.test_case "handshake" `Quick test_switch_handshake;
+          Alcotest.test_case "flow mod + lookup" `Quick
+            test_switch_flow_mod_and_lookup;
+          Alcotest.test_case "packet_in + stats provider" `Quick
+            test_switch_packet_in_and_stats;
+          Alcotest.test_case "expiry hook" `Quick test_switch_expiry_hook;
+          Alcotest.test_case "echo + barrier" `Quick test_switch_echo_and_barrier;
+          Alcotest.test_case "port down/up" `Quick test_switch_port_down;
+        ] );
+    ]

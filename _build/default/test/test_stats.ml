@@ -1,0 +1,185 @@
+(* Tests for horse_stats: series, summaries, CSV, ASCII rendering. *)
+
+open Horse_engine
+open Horse_stats
+
+let check = Alcotest.check
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let series_of samples =
+  let s = Series.create () in
+  List.iter (fun (ms, v) -> Series.add s (Time.of_ms ms) v) samples;
+  s
+
+let test_series_basics () =
+  let s = series_of [ (0, 1.0); (100, 2.0); (200, 3.0) ] in
+  check Alcotest.int "length" 3 (Series.length s);
+  check (Alcotest.float 1e-9) "mean" 2.0 (Series.mean s);
+  check (Alcotest.float 1e-9) "max" 3.0 (Series.max_value s);
+  check Alcotest.bool "last" true
+    (match Series.last s with Some (_, v) -> v = 3.0 | None -> false)
+
+let test_series_monotonic () =
+  let s = series_of [ (100, 1.0) ] in
+  Alcotest.check_raises "non-monotonic rejected"
+    (Invalid_argument "Series.add: non-monotonic timestamp") (fun () ->
+      Series.add s (Time.of_ms 50) 2.0)
+
+let test_series_integrate () =
+  (* 1.0 for 100ms, then 3.0 for 100ms -> 0.1 + 0.3 = 0.4 *)
+  let s = series_of [ (0, 1.0); (100, 3.0); (200, 99.0) ] in
+  check (Alcotest.float 1e-9) "step integral" 0.4 (Series.integrate s)
+
+let test_series_between_and_map () =
+  let s = series_of [ (0, 1.0); (100, 2.0); (200, 3.0); (300, 4.0) ] in
+  let mid = Series.between s (Time.of_ms 100) (Time.of_ms 200) in
+  check Alcotest.int "between" 2 (Series.length mid);
+  let doubled = Series.map s ~f:(fun v -> 2.0 *. v) in
+  check (Alcotest.float 1e-9) "map mean" 5.0 (Series.mean doubled)
+
+let test_series_merge_sum () =
+  let a = series_of [ (0, 1.0); (100, 2.0) ] in
+  let b = series_of [ (0, 10.0); (100, 20.0) ] in
+  let sum = Series.merge_sum [ a; b ] in
+  check (Alcotest.list (Alcotest.float 1e-9)) "pointwise" [ 11.0; 22.0 ]
+    (Series.values sum);
+  let short = series_of [ (0, 1.0) ] in
+  Alcotest.check_raises "grid mismatch"
+    (Invalid_argument "Series.merge_sum: length mismatch") (fun () ->
+      ignore (Series.merge_sum [ a; short ]))
+
+let prop_series_integrate_constant =
+  qtest "series: integral of a constant is value * span"
+    QCheck2.Gen.(pair (int_range 1 50) (float_range 0.0 100.0))
+    (fun (n, v) ->
+      let s = Series.create () in
+      for i = 0 to n do
+        Series.add s (Time.of_ms (100 * i)) v
+      done;
+      Float.abs (Series.integrate s -. (v *. 0.1 *. float_of_int n)) < 1e-6)
+
+let test_summary () =
+  let s = Summary.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  check Alcotest.int "count" 8 s.Summary.count;
+  check (Alcotest.float 1e-9) "mean" 5.0 s.Summary.mean;
+  check (Alcotest.float 1e-9) "stddev" 2.0 s.Summary.stddev;
+  check (Alcotest.float 1e-9) "min" 2.0 s.Summary.min;
+  check (Alcotest.float 1e-9) "max" 9.0 s.Summary.max;
+  let empty = Summary.of_list [] in
+  check Alcotest.int "empty count" 0 empty.Summary.count
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check (Alcotest.float 1e-9) "p0" 1.0 (Summary.percentile xs 0.0);
+  check (Alcotest.float 1e-9) "p50" 3.0 (Summary.percentile xs 50.0);
+  check (Alcotest.float 1e-9) "p100" 5.0 (Summary.percentile xs 100.0);
+  check (Alcotest.float 1e-9) "p25 interpolates" 2.0 (Summary.percentile xs 25.0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Summary.percentile: p outside [0,100]") (fun () ->
+      ignore (Summary.percentile xs 101.0))
+
+let test_csv () =
+  let a = series_of [ (0, 1.0); (500, 2.0) ] in
+  let b = series_of [ (0, 3.0); (500, 4.0) ] in
+  let out = Format.asprintf "%t" (fun fmt -> Csv.write_series fmt [ ("a", a); ("b", b) ]) in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  check Alcotest.int "rows" 3 (List.length lines);
+  check Alcotest.string "header" "time_s,a,b" (List.hd lines);
+  check Alcotest.string "first row" "0.000000,1,3" (List.nth lines 1)
+
+let test_csv_escaping () =
+  let out =
+    Format.asprintf "%t" (fun fmt ->
+        Csv.write_rows fmt ~header:[ "x" ] [ [ "a,b" ]; [ "q\"uote" ] ])
+  in
+  check Alcotest.bool "comma quoted" true
+    (String.length out > 0
+    && String.split_on_char '\n' out |> fun lines ->
+       List.nth lines 1 = "\"a,b\"" && List.nth lines 2 = "\"q\"\"uote\"")
+
+let test_sparkline () =
+  check Alcotest.string "empty" "" (Ascii.sparkline []);
+  let line = Ascii.sparkline [ 0.0; 1.0 ] in
+  check Alcotest.bool "two glyphs" true (String.length line > 0);
+  (* constant series should not crash (zero range) *)
+  ignore (Ascii.sparkline [ 5.0; 5.0; 5.0 ])
+
+let test_plot_and_bars_render () =
+  let s = series_of [ (0, 0.0); (1000, 5.0); (2000, 2.5) ] in
+  let out = Format.asprintf "%t" (fun fmt -> Ascii.plot fmt [ ("demo", s) ]) in
+  check Alcotest.bool "plot mentions legend" true
+    (String.length out > 100
+    &&
+    let contains_sub s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    contains_sub out "demo");
+  let bars =
+    Format.asprintf "%t" (fun fmt ->
+        Ascii.bar_chart fmt [ ("horse", 10.0); ("mininet", 50.0) ])
+  in
+  check Alcotest.bool "bar chart renders" true (String.length bars > 20)
+
+let test_histogram_buckets () =
+  let h = Histogram.create_log ~buckets_per_decade:1 ~lo:1.0 ~hi:1000.0 () in
+  Histogram.add_list h [ 0.5; 1.5; 2.0; 15.0; 500.0; 5000.0 ];
+  check Alcotest.int "total" 6 (Histogram.count h);
+  check Alcotest.int "underflow" 1 (Histogram.underflow h);
+  check Alcotest.int "overflow" 1 (Histogram.overflow h);
+  (match Histogram.buckets h with
+  | [ (_, _, a); (_, _, b); (_, _, c) ] ->
+      check Alcotest.int "1-10" 2 a;
+      check Alcotest.int "10-100" 1 b;
+      check Alcotest.int "100-1000" 1 c
+  | bs -> Alcotest.failf "expected 3 buckets, got %d" (List.length bs));
+  let out = Format.asprintf "%a" Histogram.pp h in
+  check Alcotest.bool "renders" true (String.length out > 20)
+
+let prop_histogram_conserves =
+  qtest "histogram: buckets + under + over = total"
+    QCheck2.Gen.(list_size (int_range 0 300) (float_range 0.0001 100000.0))
+    (fun vs ->
+      let h = Histogram.create_log ~lo:0.001 ~hi:10000.0 () in
+      Histogram.add_list h vs;
+      let bucketed =
+        List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Histogram.buckets h)
+      in
+      bucketed + Histogram.underflow h + Histogram.overflow h = Histogram.count h
+      && Histogram.count h = List.length vs)
+
+let () =
+  Alcotest.run "horse_stats"
+    [
+      ( "series",
+        [
+          Alcotest.test_case "basics" `Quick test_series_basics;
+          Alcotest.test_case "monotonic enforcement" `Quick test_series_monotonic;
+          Alcotest.test_case "integrate" `Quick test_series_integrate;
+          Alcotest.test_case "between/map" `Quick test_series_between_and_map;
+          Alcotest.test_case "merge_sum" `Quick test_series_merge_sum;
+          prop_series_integrate_constant;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "moments" `Quick test_summary;
+          Alcotest.test_case "percentiles" `Quick test_percentile;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "series export" `Quick test_csv;
+          Alcotest.test_case "escaping" `Quick test_csv_escaping;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "log buckets" `Quick test_histogram_buckets;
+          prop_histogram_conserves;
+        ] );
+      ( "ascii",
+        [
+          Alcotest.test_case "sparkline" `Quick test_sparkline;
+          Alcotest.test_case "plot and bars" `Quick test_plot_and_bars_render;
+        ] );
+    ]
