@@ -18,11 +18,29 @@ let fmt = Format.std_formatter
 
 let section title = Format.fprintf fmt "@.== %s ==@.@." title
 
+(* Machine-readable telemetry snapshot for one benchmark run: the full
+   registry (metrics + spans) as one JSON object in results/. *)
+let write_snapshot name reg =
+  (try Unix.mkdir "results" 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Printf.sprintf "results/BENCH_%s.json" name in
+  let oc = open_out path in
+  output_string oc
+    (Horse_telemetry.Json.to_string (Horse_telemetry.Export.json reg));
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "telemetry snapshot written to %s@." path
+
 (* ------------------------------------------------------------------ *)
 (* FIG1: DES/FTI mode transitions for two BGP routers (paper Fig. 1)  *)
 (* ------------------------------------------------------------------ *)
 
-type fig1_outcome = { stats : Sched.stats; messages : int; bytes : int }
+type fig1_outcome = {
+  stats : Sched.stats;
+  messages : int;
+  bytes : int;
+  registry : Horse_telemetry.Registry.t;
+}
 
 let run_fig1 ?(quiet_timeout = Time.of_sec 1.0) ?(fti_increment = Time.of_ms 1)
     ?(prefixes_per_router = 10) ?(duration = Time.of_sec 30.0)
@@ -44,6 +62,7 @@ let run_fig1 ?(quiet_timeout = Time.of_sec 1.0) ?(fti_increment = Time.of_ms 1)
     stats;
     messages = Connection_manager.messages_observed (Experiment.cm exp);
     bytes = Connection_manager.bytes_observed (Experiment.cm exp);
+    registry = Experiment.registry exp;
   }
 
 let fig1 ~full =
@@ -70,7 +89,8 @@ let fig1 ~full =
   Format.fprintf fmt
     "@.shape check: FTI covers %.1f%% of virtual time but %.1f%% of wall time@."
     (100.0 *. v_fti /. Float.max 1e-9 (v_fti +. v_des))
-    (100.0 *. w_fti /. Float.max 1e-9 (w_fti +. w_des))
+    (100.0 *. w_fti /. Float.max 1e-9 (w_fti +. w_des));
+  write_snapshot "fig1" o.registry
 
 (* ------------------------------------------------------------------ *)
 (* FIG3: execution time, Horse vs Mininet-like baseline (paper Fig.3) *)
@@ -214,6 +234,12 @@ let te ~full =
          (Scenario.te_name te, r.Scenario.aggregate))
        results);
   Format.fprintf fmt "@.series written to %s@." path;
+  List.iter
+    (fun (te, (r : Scenario.result)) ->
+      write_snapshot
+        (Printf.sprintf "te_%s_p%d" (Scenario.te_name te) pods)
+        r.Scenario.registry)
+    results;
   Format.fprintf fmt
     "@.shape check: hedera >= sdn 5-tuple ecmp >= bgp src/dst ecmp in mean \
      aggregate rate@."

@@ -36,6 +36,36 @@ let sched_config quiet_timeout increment_ms =
     fti_increment = Time.of_sec (increment_ms /. 1000.0);
   }
 
+(* --- telemetry output -------------------------------------------------- *)
+
+let metrics_out_arg =
+  let doc = "Write the final metrics snapshot to $(docv) (Prometheus text)." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc = "Write the metric + span event stream to $(docv) (JSON lines)." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let report_arg =
+  let doc = "Print the human run report (counters, gauges, histograms, spans)." in
+  Arg.(value & flag & info [ "report" ] ~doc)
+
+(* Shared epilogue: export the registry as requested by the three
+   flags above. *)
+let emit_telemetry ~metrics_out ~trace_out ~report reg =
+  let module Export = Horse_telemetry.Export in
+  let write what pp path =
+    try
+      Export.to_file ~path pp reg;
+      Format.printf "%s written to %s@." what path
+    with Sys_error msg ->
+      Format.eprintf "horse: cannot write %s: %s@." what msg;
+      exit 1
+  in
+  Option.iter (write "metrics" Export.prometheus) metrics_out;
+  Option.iter (write "trace" Export.jsonl) trace_out;
+  if report then Format.printf "@.%a@." Horse_stats.Report.pp reg
+
 (* --- te ----------------------------------------------------------------- *)
 
 let te_conv =
@@ -59,7 +89,8 @@ let te_cmd =
     let doc = "Write the aggregate-rate series to $(docv)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run pods te duration seed quiet_timeout increment csv =
+  let run pods te duration seed quiet_timeout increment csv metrics_out
+      trace_out report =
     let result =
       Scenario.run_fat_tree_te ~seed
         ~config:(sched_config quiet_timeout increment)
@@ -74,14 +105,16 @@ let te_cmd =
         Horse_stats.Csv.save_series ~path
           [ (Scenario.te_name te, result.Scenario.aggregate) ];
         Format.printf "series written to %s@." path)
-      csv
+      csv;
+    emit_telemetry ~metrics_out ~trace_out ~report result.Scenario.registry
   in
   let doc = "Run one fat-tree traffic-engineering experiment on Horse." in
   Cmd.v
     (Cmd.info "te" ~doc)
     Term.(
       const run $ pods_arg $ te_arg $ duration_arg $ seed_arg
-      $ quiet_timeout_arg $ increment_arg $ csv_arg)
+      $ quiet_timeout_arg $ increment_arg $ csv_arg $ metrics_out_arg
+      $ trace_out_arg $ report_arg)
 
 (* --- fig1 ---------------------------------------------------------------- *)
 
@@ -90,7 +123,8 @@ let fig1_cmd =
     let doc = "Prefixes originated by each router." in
     Arg.(value & opt int 10 & info [ "prefixes" ] ~docv:"N" ~doc)
   in
-  let run duration quiet_timeout increment prefixes =
+  let run duration quiet_timeout increment prefixes metrics_out trace_out
+      report =
     let wan = Wan.linear 2 in
     let exp =
       Experiment.create ~config:(sched_config quiet_timeout increment) wan.Wan.topo
@@ -111,12 +145,15 @@ let fig1_cmd =
         Format.printf "  [%a] %a -> %a (%s)@." Time.pp tr.Sched.at Sched.pp_mode
           tr.Sched.from_mode Sched.pp_mode tr.Sched.to_mode tr.Sched.reason)
       stats.Sched.transitions;
-    Format.printf "@.%a@." Sched.pp_stats stats
+    Format.printf "@.%a@." Sched.pp_stats stats;
+    emit_telemetry ~metrics_out ~trace_out ~report (Experiment.registry exp)
   in
   let doc = "Two-router BGP mode-transition demo (the paper's Figure 1)." in
   Cmd.v
     (Cmd.info "fig1" ~doc)
-    Term.(const run $ duration_arg $ quiet_timeout_arg $ increment_arg $ prefixes_arg)
+    Term.(
+      const run $ duration_arg $ quiet_timeout_arg $ increment_arg
+      $ prefixes_arg $ metrics_out_arg $ trace_out_arg $ report_arg)
 
 (* --- baseline ------------------------------------------------------------- *)
 
@@ -184,7 +221,8 @@ let wan_cmd =
     in
     Arg.(value & opt (some int) None & info [ "kill" ] ~docv:"ROUTER" ~doc)
   in
-  let run wan_kind duration seed quiet_timeout increment kill =
+  let run wan_kind duration seed quiet_timeout increment kill metrics_out
+      trace_out report =
     let wan =
       match wan_kind with
       | `Abilene -> Wan.abilene ()
@@ -295,14 +333,16 @@ let wan_cmd =
           Horse_stats.Series.map
             (Horse_dataplane.Fluid.aggregate_series fluid)
             ~f:(fun v -> v /. 1e9) );
-      ]
+      ];
+    emit_telemetry ~metrics_out ~trace_out ~report (Experiment.registry exp)
   in
   let doc = "Run BGP + fluid traffic on a WAN topology (optionally kill a router)." in
   Cmd.v
     (Cmd.info "wan" ~doc)
     Term.(
       const run $ topo_arg $ duration_arg $ seed_arg $ quiet_timeout_arg
-      $ increment_arg $ fail_arg)
+      $ increment_arg $ fail_arg $ metrics_out_arg $ trace_out_arg
+      $ report_arg)
 
 (* --- topo ------------------------------------------------------------------ *)
 

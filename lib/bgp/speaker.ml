@@ -1,6 +1,9 @@
 open Horse_net
 open Horse_engine
 open Horse_emulation
+module Registry = Horse_telemetry.Registry
+module Counter = Registry.Counter
+module Gauge = Registry.Gauge
 
 type peer_state = Idle | OpenSent | OpenConfirm | Established
 
@@ -66,11 +69,57 @@ type peer = {
   mutable advertised : Prefix_set.t;
 }
 
+(* Registry handles shared by every speaker on the same scheduler:
+   message counters are aggregates labeled by direction and type, the
+   RIB gauge is per-router. *)
+type metrics = {
+  tx_open : Counter.t;
+  tx_update : Counter.t;
+  tx_keepalive : Counter.t;
+  tx_notification : Counter.t;
+  rx_open : Counter.t;
+  rx_update : Counter.t;
+  rx_keepalive : Counter.t;
+  rx_notification : Counter.t;
+  m_decode : Counter.t;
+  g_established : Gauge.t;
+  g_rib : Gauge.t;
+}
+
+let make_metrics reg ~router_id =
+  let msg dir ty =
+    Registry.counter reg ~subsystem:"bgp"
+      ~help:"BGP messages by direction and type"
+      ~labels:[ ("dir", dir); ("type", ty) ]
+      "messages_total"
+  in
+  {
+    tx_open = msg "tx" "open";
+    tx_update = msg "tx" "update";
+    tx_keepalive = msg "tx" "keepalive";
+    tx_notification = msg "tx" "notification";
+    rx_open = msg "rx" "open";
+    rx_update = msg "rx" "update";
+    rx_keepalive = msg "rx" "keepalive";
+    rx_notification = msg "rx" "notification";
+    m_decode =
+      Registry.counter reg ~subsystem:"bgp" ~help:"Undecodable BGP messages"
+        "decode_errors_total";
+    g_established =
+      Registry.gauge reg ~subsystem:"bgp"
+        ~help:"Currently established BGP sessions" "established_sessions";
+    g_rib =
+      Registry.gauge reg ~subsystem:"bgp" ~help:"Loc-RIB prefixes per router"
+        ~labels:[ ("router", Ipv4.to_string router_id) ]
+        "rib_routes";
+  }
+
 type t = {
   proc : Process.t;
   cfg : config;
   rib : Rib.t;
   trace : Trace.t option;
+  m : metrics;
   mutable peers : peer list;  (* reversed insertion order *)
   mutable next_peer_id : int;
   mutable rib_hooks : (Prefix.t -> Rib.route list -> unit) list;
@@ -103,6 +152,10 @@ let create ?trace proc cfg =
       cfg;
       rib = Rib.create ();
       trace;
+      m =
+        make_metrics
+          (Sched.registry (Process.scheduler proc))
+          ~router_id:cfg.router_id;
       peers = [];
       next_peer_id = 0;
       rib_hooks = [];
@@ -160,10 +213,18 @@ let counters t =
 
 let send_msg t peer msg =
   (match msg with
-  | Msg.Open _ -> t.opens_sent <- t.opens_sent + 1
-  | Msg.Update _ -> t.updates_sent <- t.updates_sent + 1
-  | Msg.Keepalive -> t.keepalives_sent <- t.keepalives_sent + 1
-  | Msg.Notification _ -> t.notifications_sent <- t.notifications_sent + 1);
+  | Msg.Open _ ->
+      t.opens_sent <- t.opens_sent + 1;
+      Counter.incr t.m.tx_open
+  | Msg.Update _ ->
+      t.updates_sent <- t.updates_sent + 1;
+      Counter.incr t.m.tx_update
+  | Msg.Keepalive ->
+      t.keepalives_sent <- t.keepalives_sent + 1;
+      Counter.incr t.m.tx_keepalive
+  | Msg.Notification _ ->
+      t.notifications_sent <- t.notifications_sent + 1;
+      Counter.incr t.m.tx_notification);
   Channel.send peer.endpoint (Msg.encode msg)
 
 (* Export-time attribute rewrite (eBGP): prepend our ASN, set
@@ -275,6 +336,7 @@ let refresh_and_propagate t prefix =
   match Rib.refresh ~multipath:t.cfg.multipath t.rib prefix with
   | Rib.Unchanged -> ()
   | Rib.Changed routes ->
+      Gauge.set t.m.g_rib (float_of_int (Rib.loc_rib_size t.rib));
       notify_rib_change t prefix routes;
       enqueue_prefix t prefix
 
@@ -288,6 +350,7 @@ let start_keepalive t peer =
 
 let session_established t peer =
   peer.state <- Established;
+  Gauge.add t.m.g_established 1.0;
   tracef t "session to AS%d established" peer.remote_asn;
   start_keepalive t peer;
   List.iter (fun f -> f peer.id) t.established_hooks;
@@ -301,6 +364,7 @@ let session_established t peer =
 let session_down t peer ~reason =
   if peer.state <> Idle then begin
     tracef t "session to AS%d down (%s)" peer.remote_asn reason;
+    if peer.state = Established then Gauge.add t.m.g_established (-1.0);
     peer.state <- Idle;
     Option.iter Sched.cancel_recurring peer.keepalive_timer;
     peer.keepalive_timer <- None;
@@ -331,6 +395,7 @@ let handle_open t peer (o : Msg.open_msg) =
 
 let handle_update t peer (u : Msg.update) =
   t.updates_received <- t.updates_received + 1;
+  Counter.incr t.m.rx_update;
   let affected = ref Prefix_set.empty in
   List.iter
     (fun prefix ->
@@ -358,15 +423,19 @@ let handle_update t peer (u : Msg.update) =
 let handle_message t peer msg =
   peer.last_rx <- now t;
   match msg with
-  | Msg.Open o -> handle_open t peer o
+  | Msg.Open o ->
+      Counter.incr t.m.rx_open;
+      handle_open t peer o
   | Msg.Keepalive -> (
       t.keepalives_received <- t.keepalives_received + 1;
+      Counter.incr t.m.rx_keepalive;
       match peer.state with
       | OpenConfirm -> session_established t peer
       | Idle | OpenSent | Established -> ())
   | Msg.Update u ->
       if peer.state = Established then handle_update t peer u
   | Msg.Notification { code; subcode } ->
+      Counter.incr t.m.rx_notification;
       session_down t peer
         ~reason:(Printf.sprintf "notification %d/%d received" code subcode)
 
@@ -375,6 +444,7 @@ let process_message t peer bytes =
   | Ok msg -> handle_message t peer msg
   | Error err ->
       t.decode_errors <- t.decode_errors + 1;
+      Counter.incr t.m.m_decode;
       tracef t "decode error from AS%d: %s" peer.remote_asn err;
       send_msg t peer (Msg.Notification { code = 1; subcode = 0 });
       session_down t peer ~reason:"message decode error"

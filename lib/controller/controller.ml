@@ -1,6 +1,9 @@
 open Horse_engine
 open Horse_openflow
 open Horse_emulation
+module Registry = Horse_telemetry.Registry
+module Counter = Registry.Counter
+module Gauge = Registry.Gauge
 
 type pending = Flow_stats of (Ofmsg.flow_stats list -> unit)
              | Port_stats of (Ofmsg.port_stats list -> unit)
@@ -23,9 +26,13 @@ type t = {
   mutable port_status_hooks : (sw -> Ofmsg.port_status -> unit) list;
   mutable flow_mods : int;
   mutable packet_ins : int;
+  m_flow_mods : Counter.t;
+  m_packet_ins : Counter.t;
+  g_switches : Gauge.t;
 }
 
 let create ?trace proc =
+  let reg = Sched.registry (Process.scheduler proc) in
   {
     proc;
     trace;
@@ -37,6 +44,16 @@ let create ?trace proc =
     port_status_hooks = [];
     flow_mods = 0;
     packet_ins = 0;
+    m_flow_mods =
+      Registry.counter reg ~subsystem:"controller"
+        ~help:"FLOW_MOD messages sent by the controller" "flow_mods_total";
+    m_packet_ins =
+      Registry.counter reg ~subsystem:"controller"
+        ~help:"PACKET_IN messages received by the controller"
+        "packet_ins_total";
+    g_switches =
+      Registry.gauge reg ~subsystem:"controller"
+        ~help:"Switch connections currently up" "switches_up";
   }
 
 let process t = t.proc
@@ -65,11 +82,13 @@ let handle t sw msg xid =
       sw.sw_dpid <- dpid;
       if not sw.up then begin
         sw.up <- true;
+        Gauge.add t.g_switches 1.0;
         tracef t "switch dpid=%d up" dpid;
         List.iter (fun f -> f sw) t.up_hooks
       end
   | Ofmsg.Packet_in pi ->
       t.packet_ins <- t.packet_ins + 1;
+      Counter.incr t.m_packet_ins;
       List.iter (fun f -> f sw pi) t.packet_in_hooks
   | Ofmsg.Port_status ps -> List.iter (fun f -> f sw ps) t.port_status_hooks
   | Ofmsg.Stats_reply reply -> (
@@ -122,6 +141,7 @@ let on_port_status t f = t.port_status_hooks <- t.port_status_hooks @ [ f ]
 
 let send_flow_mod t sw fm =
   t.flow_mods <- t.flow_mods + 1;
+  Counter.incr t.m_flow_mods;
   send_xid sw (fresh_xid t) (Ofmsg.Flow_mod fm)
 
 let send_packet_out t sw po = send_xid sw (fresh_xid t) (Ofmsg.Packet_out po)

@@ -11,8 +11,8 @@ type t = {
   exp_rng : Rng.t;
 }
 
-let create ?config ?(seed = 42) topo =
-  let sched = Sched.create ?config () in
+let create ?config ?registry ?(seed = 42) topo =
+  let sched = Sched.create ?config ?registry () in
   let trace = Trace.create () in
   {
     sched;
@@ -24,6 +24,7 @@ let create ?config ?(seed = 42) topo =
   }
 
 let scheduler t = t.sched
+let registry t = Sched.registry t.sched
 let topology t = t.exp_topo
 let cm t = t.exp_cm
 let fluid t = t.exp_fluid
@@ -32,7 +33,7 @@ let rng t = t.exp_rng
 
 let at t time f = ignore (Sched.schedule_at t.sched time (fun () -> f ()))
 
-let run ?until t = Sched.run ?until t.sched
+let run ?until t = Sched.with_span t.sched ~name:"run" (fun () -> Sched.run ?until t.sched)
 
 let permutation_pairs t hosts =
   let n = Array.length hosts in

@@ -14,11 +14,22 @@ open Horse_dataplane
 
 type t
 
-val create : ?config:Sched.config -> ?seed:int -> Topology.t -> t
+val create :
+  ?config:Sched.config ->
+  ?registry:Horse_telemetry.Registry.t ->
+  ?seed:int ->
+  Topology.t ->
+  t
 (** Default scheduler config: 1 ms FTI increment, 1 s quiet timeout.
-    Default seed 42. *)
+    Default seed 42. A fresh telemetry registry is created unless one
+    is supplied. *)
 
 val scheduler : t -> Sched.t
+
+(** The scheduler's telemetry registry — every subsystem attached to
+    this experiment registers its metrics here; {!run} is bracketed in
+    a ["run"] span. *)
+val registry : t -> Horse_telemetry.Registry.t
 val topology : t -> Topology.t
 val cm : t -> Connection_manager.t
 val fluid : t -> Fluid.t

@@ -225,6 +225,12 @@ let when_converged ?(check_every = Time.of_ms 50) t k =
       let check () =
         if (not t.converged_fired) && is_converged t then begin
           t.converged_fired <- true;
+          Horse_telemetry.Registry.Gauge.set
+            (Horse_telemetry.Registry.gauge (Sched.registry t.sched)
+               ~subsystem:"bgp"
+               ~help:"Virtual time at which the fabric converged, seconds"
+               "convergence_seconds")
+            (Time.to_sec (Sched.now t.sched));
           Option.iter Sched.cancel_recurring !recurring;
           List.iter (fun k -> k ()) (List.rev t.converged_hooks);
           t.converged_hooks <- []

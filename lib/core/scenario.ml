@@ -30,6 +30,7 @@ type result = {
   control_messages : int;
   control_bytes : int;
   flows_started : int;
+  registry : Horse_telemetry.Registry.t;
 }
 
 (* The demonstration's flow set: one UDP flow per server towards a
@@ -184,10 +185,11 @@ let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
             converged_at = None;
           }
         in
-        (match te with
-        | Bgp_ecmp -> setup_bgp rt ft
-        | P4_ecmp -> setup_p4 rt ft
-        | Sdn_ecmp | Hedera_gff | Hedera_annealing -> setup_sdn rt ft te);
+        Sched.with_span (Experiment.scheduler exp) ~name:"setup" (fun () ->
+            match te with
+            | Bgp_ecmp -> setup_bgp rt ft
+            | P4_ecmp -> setup_p4 rt ft
+            | Sdn_ecmp | Hedera_gff | Hedera_annealing -> setup_sdn rt ft te);
         Fluid.start_sampling (Experiment.fluid exp) ~every:sample_every;
         rt)
   in
@@ -215,6 +217,7 @@ let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
     control_messages = Connection_manager.messages_observed (Experiment.cm rt.exp);
     control_bytes = Connection_manager.bytes_observed (Experiment.cm rt.exp);
     flows_started = Flow_key.Table.length rt.started;
+    registry = Experiment.registry rt.exp;
   }
 
 let pp_result fmt r =

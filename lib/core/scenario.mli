@@ -41,6 +41,8 @@ type result = {
   control_messages : int;
   control_bytes : int;
   flows_started : int;
+  registry : Horse_telemetry.Registry.t;
+      (** the experiment's telemetry registry, for exporters *)
 }
 
 val run_fat_tree_te :

@@ -1,6 +1,43 @@
 open Horse_net
 open Horse_engine
 open Horse_topo
+module Registry = Horse_telemetry.Registry
+module Counter = Registry.Counter
+module Gauge = Registry.Gauge
+module Histogram = Horse_telemetry.Histogram
+
+type metrics = {
+  m_started : Counter.t;
+  m_stopped : Counter.t;
+  m_recomputes : Counter.t;
+  g_active : Gauge.t;
+  h_duration : Histogram.t;
+  h_recompute_wall : Histogram.t;
+}
+
+let make_metrics reg =
+  {
+    m_started =
+      Registry.counter reg ~subsystem:"fluid" ~help:"Fluid flows started"
+        "flows_started_total";
+    m_stopped =
+      Registry.counter reg ~subsystem:"fluid"
+        ~help:"Fluid flows stopped or completed" "flows_stopped_total";
+    m_recomputes =
+      Registry.counter reg ~subsystem:"fluid"
+        ~help:"Max-min fair-share reallocations" "recomputes_total";
+    g_active =
+      Registry.gauge reg ~subsystem:"fluid" ~help:"Currently active fluid flows"
+        "active_flows";
+    h_duration =
+      Registry.histogram reg ~subsystem:"fluid"
+        ~help:"Virtual lifetime of stopped flows, seconds" ~lo:1e-4 ~hi:1e3
+        "flow_duration_seconds";
+    h_recompute_wall =
+      Registry.histogram reg ~subsystem:"fluid"
+        ~help:"Wall-clock cost of one fair-share recompute, seconds" ~lo:1e-7
+        ~hi:1.0 "recompute_wall_seconds";
+  }
 
 type finite_state = {
   size : float;
@@ -11,6 +48,7 @@ type finite_state = {
 type t = {
   sched : Sched.t;
   topo : Topology.t;
+  m : metrics;
   mutable rev_flows : Flow.t list;  (* newest first, including stopped *)
   mutable n_active : int;
   mutable next_id : int;
@@ -26,6 +64,7 @@ let create sched topo =
   {
     sched;
     topo;
+    m = make_metrics (Sched.registry sched);
     rev_flows = [];
     n_active = 0;
     next_id = 0;
@@ -64,6 +103,7 @@ let integrate_flow now (f : Flow.t) =
    max-min over the active flows, then re-aim the completion events of
    finite flows whose ETA changed. *)
 let rec recompute t =
+  let wall0 = Unix.gettimeofday () in
   let now = Sched.now t.sched in
   (* Stopped flows were integrated when they stopped; only active
      flows accrue bits. *)
@@ -82,7 +122,9 @@ let rec recompute t =
   in
   Array.iteri (fun i (f : Flow.t) -> f.Flow.rate <- rates.(i)) active;
   t.recomputes <- t.recomputes + 1;
-  Array.iter (fun f -> aim_completion t f) active
+  Counter.incr t.m.m_recomputes;
+  Array.iter (fun f -> aim_completion t f) active;
+  Histogram.add t.m.h_recompute_wall (Unix.gettimeofday () -. wall0)
 
 and aim_completion t (f : Flow.t) =
   match Hashtbl.find_opt t.finite f.Flow.id with
@@ -116,6 +158,10 @@ and stop_flow t (f : Flow.t) =
     f.Flow.rate <- 0.0;
     f.Flow.stopped_at <- Some (Sched.now t.sched);
     t.n_active <- t.n_active - 1;
+    Counter.incr t.m.m_stopped;
+    Gauge.set t.m.g_active (float_of_int t.n_active);
+    Histogram.add t.m.h_duration
+      (Time.to_sec (Time.sub (Sched.now t.sched) f.Flow.started));
     t.completed_bits <- t.completed_bits +. f.Flow.delivered_bits;
     (match Hashtbl.find_opt t.finite f.Flow.id with
     | Some fin ->
@@ -155,6 +201,8 @@ let start_flow ?(demand = 1e9) t ~key ~path =
   t.next_id <- t.next_id + 1;
   t.rev_flows <- f :: t.rev_flows;
   t.n_active <- t.n_active + 1;
+  Counter.incr t.m.m_started;
+  Gauge.set t.m.g_active (float_of_int t.n_active);
   recompute t;
   f
 

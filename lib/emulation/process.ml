@@ -8,7 +8,14 @@ type t = {
   mutable kill_hooks : (unit -> unit) list;  (* reversed *)
 }
 
+let alive_gauge sched =
+  Horse_telemetry.Registry.gauge
+    (Sched.registry sched)
+    ~subsystem:"emulation" ~help:"Emulated processes currently alive"
+    "alive_processes"
+
 let create sched ~name =
+  Horse_telemetry.Registry.Gauge.add (alive_gauge sched) 1.0;
   { proc_name = name; sched; alive = true; recurrings = []; kill_hooks = [] }
 
 let name t = t.proc_name
@@ -24,13 +31,25 @@ let every t ?start_after period f =
   t.recurrings <- r :: t.recurrings;
   r
 
-let tick t f = Sched.add_poller t.sched (fun () -> if t.alive then f ())
+let tick t f =
+  let m_ticks =
+    Horse_telemetry.Registry.counter
+      (Sched.registry t.sched)
+      ~subsystem:"emulation" ~help:"FTI poller invocations across processes"
+      "poll_ticks_total"
+  in
+  Sched.add_poller t.sched (fun () ->
+      if t.alive then begin
+        Horse_telemetry.Registry.Counter.incr m_ticks;
+        f ()
+      end)
 
 let on_kill t f = t.kill_hooks <- f :: t.kill_hooks
 
 let kill t =
   if t.alive then begin
     t.alive <- false;
+    Horse_telemetry.Registry.Gauge.add (alive_gauge t.sched) (-1.0);
     List.iter Sched.cancel_recurring t.recurrings;
     t.recurrings <- [];
     List.iter (fun f -> f ()) (List.rev t.kill_hooks);

@@ -1,3 +1,7 @@
+module Registry = Horse_telemetry.Registry
+module Counter = Registry.Counter
+module Gauge = Registry.Gauge
+
 type mode = Des | Fti
 
 let mode_to_string = function Des -> "DES" | Fti -> "FTI"
@@ -38,50 +42,115 @@ type stats = {
   end_time : Time.t;
 }
 
+(* The scheduler's own bookkeeping lives in the telemetry registry;
+   {!stats} is a view over these metrics. Virtual residency is kept
+   exactly in integer-microsecond counters, with float-second gauges
+   mirrored for exporters. *)
+type metrics = {
+  m_events : Counter.t;
+  m_fti_increments : Counter.t;
+  m_transitions : Counter.t;
+  m_virt_des_us : Counter.t;
+  m_virt_fti_us : Counter.t;
+  g_virt_des_s : Gauge.t;
+  g_virt_fti_s : Gauge.t;
+  g_wall_des_s : Gauge.t;
+  g_wall_fti_s : Gauge.t;
+  g_wall_total_s : Gauge.t;
+  g_mode : Gauge.t;
+  g_end_time_s : Gauge.t;
+  h_fti_wall : Horse_telemetry.Histogram.t;
+}
+
+let make_metrics reg =
+  let counter = Registry.counter reg ~subsystem:"sched" in
+  let gauge = Registry.gauge reg ~subsystem:"sched" in
+  {
+    m_events =
+      counter ~help:"Events executed by the hybrid scheduler" "events_total";
+    m_fti_increments =
+      counter ~help:"Fixed-time increments stepped" "fti_increments_total";
+    m_transitions =
+      counter ~help:"DES<->FTI mode transitions" "transitions_total";
+    m_virt_des_us =
+      counter ~help:"Virtual time spent in DES mode, microseconds"
+        "virtual_in_des_us_total";
+    m_virt_fti_us =
+      counter ~help:"Virtual time spent in FTI mode, microseconds"
+        "virtual_in_fti_us_total";
+    g_virt_des_s =
+      gauge ~help:"Virtual time spent in DES mode, seconds"
+        "virtual_in_des_seconds";
+    g_virt_fti_s =
+      gauge ~help:"Virtual time spent in FTI mode, seconds"
+        "virtual_in_fti_seconds";
+    g_wall_des_s =
+      gauge ~help:"Wall time spent in DES mode, seconds" "wall_in_des_seconds";
+    g_wall_fti_s =
+      gauge ~help:"Wall time spent in FTI mode, seconds" "wall_in_fti_seconds";
+    g_wall_total_s =
+      gauge ~help:"Wall time spent inside Sched.run, seconds"
+        "wall_total_seconds";
+    g_mode = gauge ~help:"Current execution mode (0 = DES, 1 = FTI)" "mode";
+    g_end_time_s =
+      gauge ~help:"Virtual clock at the last snapshot, seconds"
+        "end_time_seconds";
+    h_fti_wall =
+      Registry.histogram reg ~subsystem:"sched"
+        ~help:"Wall-clock cost of one FTI increment, seconds" ~lo:1e-7 ~hi:1.0
+        "fti_increment_wall_seconds";
+  }
+
 type t = {
   cfg : config;
   queue : Event_queue.t;
+  reg : Registry.t;
+  m : metrics;
   mutable clock : Time.t;
   mutable cur_mode : mode;
   mutable last_activity : Time.t;
   mutable running : bool;
   mutable stop_requested : bool;
   mutable pollers : (unit -> unit) array;
-  mutable events_executed : int;
-  mutable fti_increments : int;
   mutable rev_transitions : transition list;
-  mutable virtual_in_fti : Time.t;
-  mutable virtual_in_des : Time.t;
-  mutable wall_in_fti : float;
-  mutable wall_in_des : float;
-  mutable wall_total : float;
   mutable run_start_wall : float;
 }
 
-let create ?(config = default_config) () =
+let gauge_of_mode = function Des -> 0.0 | Fti -> 1.0
+
+let create ?(config = default_config) ?registry () =
+  let reg =
+    match registry with Some reg -> reg | None -> Registry.create ()
+  in
+  let m = make_metrics reg in
+  let cur_mode = if config.start_in_fti then Fti else Des in
+  Gauge.set m.g_mode (gauge_of_mode cur_mode);
   {
     cfg = config;
     queue = Event_queue.create ();
+    reg;
+    m;
     clock = Time.zero;
-    cur_mode = (if config.start_in_fti then Fti else Des);
+    cur_mode;
     last_activity = Time.zero;
     running = false;
     stop_requested = false;
     pollers = [||];
-    events_executed = 0;
-    fti_increments = 0;
     rev_transitions = [];
-    virtual_in_fti = Time.zero;
-    virtual_in_des = Time.zero;
-    wall_in_fti = 0.0;
-    wall_in_des = 0.0;
-    wall_total = 0.0;
     run_start_wall = Wall.now ();
   }
 
 let config t = t.cfg
 let now t = t.clock
 let mode t = t.cur_mode
+let registry t = t.reg
+
+let with_span t ~name f =
+  Horse_telemetry.Span.with_span
+    (Horse_telemetry.Registry.spans t.reg)
+    ~name
+    ~now_us:(fun () -> Int64.of_int (Time.to_us t.clock))
+    f
 
 let schedule_at t at action =
   Event_queue.schedule t.queue (Time.max at t.clock) action
@@ -125,6 +194,8 @@ let record_transition t to_mode reason =
   t.rev_transitions <-
     { at = t.clock; wall; from_mode = t.cur_mode; to_mode; reason }
     :: t.rev_transitions;
+  Counter.incr t.m.m_transitions;
+  Gauge.set t.m.g_mode (gauge_of_mode to_mode);
   t.cur_mode <- to_mode
 
 let control_activity ?(reason = "control-plane activity") t =
@@ -136,28 +207,35 @@ let control_activity ?(reason = "control-plane activity") t =
 let stop t = t.stop_requested <- true
 
 let snapshot t =
+  Gauge.set t.m.g_end_time_s (Time.to_sec t.clock);
   {
-    events_executed = t.events_executed;
-    fti_increments = t.fti_increments;
+    events_executed = Counter.value t.m.m_events;
+    fti_increments = Counter.value t.m.m_fti_increments;
     transitions = List.rev t.rev_transitions;
-    virtual_in_fti = t.virtual_in_fti;
-    virtual_in_des = t.virtual_in_des;
-    wall_in_fti = t.wall_in_fti;
-    wall_in_des = t.wall_in_des;
-    wall_total = t.wall_total;
+    virtual_in_fti = Time.of_us (Counter.value t.m.m_virt_fti_us);
+    virtual_in_des = Time.of_us (Counter.value t.m.m_virt_des_us);
+    wall_in_fti = Gauge.value t.m.g_wall_fti_s;
+    wall_in_des = Gauge.value t.m.g_wall_des_s;
+    wall_total = Gauge.value t.m.g_wall_total_s;
     end_time = t.clock;
   }
 
 let account t mode0 wall0 clock0 =
   let dw = Wall.now () -. wall0 in
-  let dv = Time.sub t.clock clock0 in
-  match mode0 with
+  let dv_us = Time.to_us (Time.sub t.clock clock0) in
+  (match mode0 with
   | Des ->
-      t.wall_in_des <- t.wall_in_des +. dw;
-      t.virtual_in_des <- Time.add t.virtual_in_des dv
+      Gauge.add t.m.g_wall_des_s dw;
+      Counter.add t.m.m_virt_des_us dv_us
   | Fti ->
-      t.wall_in_fti <- t.wall_in_fti +. dw;
-      t.virtual_in_fti <- Time.add t.virtual_in_fti dv
+      Gauge.add t.m.g_wall_fti_s dw;
+      Counter.add t.m.m_virt_fti_us dv_us);
+  (* Mirror the exact microsecond counters into the exported
+     float-second gauges. *)
+  Gauge.set t.m.g_virt_des_s
+    (float_of_int (Counter.value t.m.m_virt_des_us) /. 1e6);
+  Gauge.set t.m.g_virt_fti_s
+    (float_of_int (Counter.value t.m.m_virt_fti_us) /. 1e6)
 
 (* One DES step: execute the next event (jumping the clock), or jump
    to the horizon when nothing is left before it. Returns [false] when
@@ -181,7 +259,7 @@ let des_step t until =
       | None -> false
       | Some (time, action) ->
           t.clock <- Time.max t.clock time;
-          t.events_executed <- t.events_executed + 1;
+          Counter.incr t.m.m_events;
           action ();
           true
   in
@@ -201,7 +279,7 @@ let fti_step t until =
     match Event_queue.pop_until t.queue target with
     | Some (time, action) ->
         t.clock <- Time.max t.clock time;
-        t.events_executed <- t.events_executed + 1;
+        Counter.incr t.m.m_events;
         action ();
         drain ()
     | None -> ()
@@ -209,9 +287,10 @@ let fti_step t until =
   drain ();
   Array.iter (fun poll -> poll ()) t.pollers;
   t.clock <- Time.max t.clock target;
-  t.fti_increments <- t.fti_increments + 1;
+  Counter.incr t.m.m_fti_increments;
   if t.cfg.fti_pacing > 0.0 then
     Unix.sleepf (Time.to_sec t.cfg.fti_increment /. t.cfg.fti_pacing);
+  Horse_telemetry.Histogram.add t.m.h_fti_wall (Wall.now () -. wall0);
   account t Fti wall0 clock0;
   if
     t.cur_mode = Fti
@@ -235,7 +314,7 @@ let run ?until t =
       if continue then loop ()
   in
   loop ();
-  t.wall_total <- t.wall_total +. (Wall.now () -. t.run_start_wall);
+  Gauge.add t.m.g_wall_total_s (Wall.now () -. t.run_start_wall);
   t.running <- false;
   snapshot t
 

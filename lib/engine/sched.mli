@@ -17,7 +17,13 @@
     {!control_activity}) forces FTI mode and refreshes a quiet timer;
     after a user-defined timeout with no control activity the
     scheduler falls back to DES. All transitions are recorded and
-    returned in {!stats} (this drives the Figure 1 reproduction). *)
+    returned in {!stats} (this drives the Figure 1 reproduction).
+
+    Every scheduler owns (or is given) a telemetry registry and keeps
+    its counters there — [horse_sched_events_total],
+    [horse_sched_wall_in_des_seconds] and friends; {!stats} is a view
+    over those metrics, so exporters and {!stats} can never
+    disagree. *)
 
 type t
 
@@ -72,11 +78,29 @@ val pp_timeline : Format.formatter -> stats -> unit
 (** The whole transition list, one per line, as the Figure 1
     timeline. *)
 
-val create : ?config:config -> unit -> t
+val create :
+  ?config:config -> ?registry:Horse_telemetry.Registry.t -> unit -> t
+(** Without [?registry], the scheduler creates a private registry so
+    concurrent experiments in one process never share counters. Pass
+    one explicitly (e.g. [Horse_telemetry.Registry.default ()]) to
+    aggregate across schedulers. *)
 
 val config : t -> config
 val now : t -> Time.t
 val mode : t -> mode
+
+val registry : t -> Horse_telemetry.Registry.t
+(** The registry holding this scheduler's metrics; subsystems built on
+    this scheduler (Connection Manager, speakers, the fluid data
+    plane) register their own metrics here. *)
+
+val snapshot : t -> stats
+(** The current statistics view over the registry, readable at any
+    point (including mid-run, from an event). *)
+
+val with_span : t -> name:string -> (unit -> 'a) -> 'a
+(** Brackets [f] in a telemetry span recorded against this scheduler's
+    virtual clock (and wall time); spans nest. Exception-safe. *)
 
 val schedule_at : t -> Time.t -> (unit -> unit) -> Event_queue.handle
 (** Schedules an event at an absolute virtual time; a time in the past

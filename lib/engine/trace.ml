@@ -1,26 +1,50 @@
 type entry = { at : Time.t; wall : float; label : string; detail : string }
 
-type t = { mutable rev_entries : entry list; mutable n : int; created : float }
+(* Entries live in a FIFO queue. Unbounded by default (the historical
+   behaviour); with [~capacity] the queue becomes a ring buffer that
+   drops the oldest entry on overflow and counts the drops, so
+   FTI-heavy runs can trace forever in constant memory. *)
+type t = {
+  entries_q : entry Queue.t;
+  capacity : int option;
+  mutable total : int;
+  mutable dropped : int;
+  created : float;
+}
 
-let create () = { rev_entries = []; n = 0; created = Wall.now () }
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Trace.create: capacity must be positive"
+  | Some _ | None -> ());
+  { entries_q = Queue.create (); capacity; total = 0; dropped = 0; created = Wall.now () }
 
 let add t ~at ~label detail =
-  t.rev_entries <-
-    { at; wall = Wall.now () -. t.created; label; detail } :: t.rev_entries;
-  t.n <- t.n + 1
+  (match t.capacity with
+  | Some cap when Queue.length t.entries_q >= cap ->
+      ignore (Queue.pop t.entries_q);
+      t.dropped <- t.dropped + 1
+  | Some _ | None -> ());
+  Queue.add
+    { at; wall = Wall.now () -. t.created; label; detail }
+    t.entries_q;
+  t.total <- t.total + 1
 
 let addf t ~at ~label fmt = Format.kasprintf (fun s -> add t ~at ~label s) fmt
 
-let entries t = List.rev t.rev_entries
+let entries t = List.of_seq (Queue.to_seq t.entries_q)
 
 let by_label t label =
   List.filter (fun e -> String.equal e.label label) (entries t)
 
-let length t = t.n
+let length t = Queue.length t.entries_q
+let total_added t = t.total
+let dropped t = t.dropped
+let capacity t = t.capacity
 
 let clear t =
-  t.rev_entries <- [];
-  t.n <- 0
+  Queue.clear t.entries_q;
+  t.total <- 0;
+  t.dropped <- 0
 
 let pp_entry fmt e =
   Format.fprintf fmt "[%a] %-6s %s" Time.pp e.at e.label e.detail

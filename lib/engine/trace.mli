@@ -4,7 +4,12 @@
     records. The Connection Manager logs control-plane activity here
     and the BGP/OpenFlow agents log protocol milestones; the FIG1
     harness renders the result as the paper's mode-transition
-    timeline. *)
+    timeline.
+
+    By default the log grows without bound. Pass [~capacity] to
+    {!create} for a ring buffer that retains only the newest entries
+    and counts what it dropped — the right mode for long FTI-heavy
+    runs. *)
 
 type entry = {
   at : Time.t;  (** virtual time of the record *)
@@ -15,7 +20,10 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** Unbounded without [?capacity]; a ring of at most [capacity]
+    entries otherwise.
+    @raise Invalid_argument if [capacity <= 0]. *)
 
 val add : t -> at:Time.t -> label:string -> string -> unit
 
@@ -24,12 +32,24 @@ val addf :
 (** Formatted variant of {!add}. *)
 
 val entries : t -> entry list
-(** Chronological (insertion) order. *)
+(** Retained entries, chronological (insertion) order. *)
 
 val by_label : t -> string -> entry list
 
 val length : t -> int
+(** Retained entry count (bounded by the capacity, if any). *)
+
+val total_added : t -> int
+(** Entries ever added, including dropped ones. *)
+
+val dropped : t -> int
+(** Entries evicted by the ring buffer; always 0 when unbounded. *)
+
+val capacity : t -> int option
+
 val clear : t -> unit
+(** Empties the trace and resets the {!total_added}/{!dropped}
+    counters. *)
 
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit

@@ -1,5 +1,27 @@
 open Horse_engine
 open Horse_emulation
+module Registry = Horse_telemetry.Registry
+module Counter = Registry.Counter
+module Gauge = Registry.Gauge
+
+type metrics = {
+  m_packet_ins : Counter.t;
+  m_flow_mods : Counter.t;
+  g_table : Gauge.t;
+}
+
+let make_metrics reg =
+  {
+    m_packet_ins =
+      Registry.counter reg ~subsystem:"openflow"
+        ~help:"PACKET_IN messages sent to the controller" "packet_ins_total";
+    m_flow_mods =
+      Registry.counter reg ~subsystem:"openflow"
+        ~help:"FLOW_MOD messages applied by switches" "flow_mods_total";
+    g_table =
+      Registry.gauge reg ~subsystem:"openflow"
+        ~help:"Flow-table entries across all switches" "flow_table_entries";
+  }
 
 type t = {
   proc : Process.t;
@@ -8,6 +30,7 @@ type t = {
   endpoint : Channel.endpoint;
   port_to_link : (int * int) list;
   trace : Trace.t option;
+  m : metrics;
   mutable flow_mod_hooks : (Ofmsg.flow_mod -> unit) list;
   mutable packet_out_hooks : (Ofmsg.packet_out -> unit) list;
   mutable expired_hooks : (Flow_table.entry -> unit) list;
@@ -41,7 +64,10 @@ let handle t msg xid =
   | Ofmsg.Barrier_request -> send_xid t xid Ofmsg.Barrier_reply
   | Ofmsg.Flow_mod fm ->
       t.flow_mods <- t.flow_mods + 1;
+      Counter.incr t.m.m_flow_mods;
+      let before = Flow_table.size t.table in
       Flow_table.apply_flow_mod t.table ~now:(now t) fm;
+      Gauge.add t.m.g_table (float_of_int (Flow_table.size t.table - before));
       tracef t "flow_mod applied (table size %d)" (Flow_table.size t.table);
       List.iter (fun f -> f fm) t.flow_mod_hooks
   | Ofmsg.Packet_out po -> List.iter (fun f -> f po) t.packet_out_hooks
@@ -113,6 +139,7 @@ let create ?trace proc ~dpid ~ports endpoint =
       endpoint;
       port_to_link = ports;
       trace;
+      m = make_metrics (Sched.registry (Process.scheduler proc));
       flow_mod_hooks = [];
       packet_out_hooks = [];
       expired_hooks = [];
@@ -134,6 +161,8 @@ let start t =
     ignore
       (Process.every t.proc (Time.of_sec 1.0) (fun () ->
            let gone = Flow_table.expire t.table ~now:(now t) in
+           if gone <> [] then
+             Gauge.add t.m.g_table (-.float_of_int (List.length gone));
            List.iter
              (fun e -> List.iter (fun f -> f e) t.expired_hooks)
              gone))
@@ -172,6 +201,7 @@ let lookup t fields = Flow_table.lookup t.table fields
 
 let packet_in t ~in_port ?(reason = 0) data =
   t.packet_ins <- t.packet_ins + 1;
+  Counter.incr t.m.m_packet_ins;
   send t
     (Ofmsg.Packet_in
        {

@@ -46,11 +46,53 @@ type counters = {
   lsa_originations : int;
 }
 
+module Registry = Horse_telemetry.Registry
+module Counter = Registry.Counter
+module Gauge = Registry.Gauge
+
+(* Shared registry handles: aggregates across every daemon on the
+   same scheduler, labeled by direction and message type. *)
+type metrics = {
+  tx_hello : Counter.t;
+  tx_update : Counter.t;
+  tx_ack : Counter.t;
+  rx_hello : Counter.t;
+  rx_update : Counter.t;
+  m_spf : Counter.t;
+  m_originations : Counter.t;
+  g_full : Gauge.t;
+}
+
+let make_metrics reg =
+  let msg dir ty =
+    Registry.counter reg ~subsystem:"ospf"
+      ~help:"OSPF messages by direction and type"
+      ~labels:[ ("dir", dir); ("type", ty) ]
+      "messages_total"
+  in
+  {
+    tx_hello = msg "tx" "hello";
+    tx_update = msg "tx" "ls_update";
+    tx_ack = msg "tx" "ls_ack";
+    rx_hello = msg "rx" "hello";
+    rx_update = msg "rx" "ls_update";
+    m_spf =
+      Registry.counter reg ~subsystem:"ospf" ~help:"SPF recomputations"
+        "spf_runs_total";
+    m_originations =
+      Registry.counter reg ~subsystem:"ospf" ~help:"Router-LSA originations"
+        "lsa_originations_total";
+    g_full =
+      Registry.gauge reg ~subsystem:"ospf"
+        ~help:"Adjacencies currently in state Full" "full_adjacencies";
+  }
+
 type t = {
   proc : Process.t;
   cfg : config;
   db : Lsdb.t;
   trace : Trace.t option;
+  m : metrics;
   mutable ifaces : iface list;  (* reversed *)
   mutable next_iface : int;
   mutable seq : int;
@@ -116,9 +158,15 @@ let counters t =
 
 let send t iface msg =
   (match msg with
-  | Ospf_msg.Hello _ -> t.hellos_sent <- t.hellos_sent + 1
-  | Ospf_msg.Ls_update _ -> t.updates_sent <- t.updates_sent + 1
-  | Ospf_msg.Ls_ack _ -> t.acks_sent <- t.acks_sent + 1);
+  | Ospf_msg.Hello _ ->
+      t.hellos_sent <- t.hellos_sent + 1;
+      Counter.incr t.m.tx_hello
+  | Ospf_msg.Ls_update _ ->
+      t.updates_sent <- t.updates_sent + 1;
+      Counter.incr t.m.tx_update
+  | Ospf_msg.Ls_ack _ ->
+      t.acks_sent <- t.acks_sent + 1;
+      Counter.incr t.m.tx_ack);
   Channel.send iface.endpoint (Ospf_msg.encode ~router_id:t.cfg.router_id msg)
 
 let send_hello t iface =
@@ -150,6 +198,7 @@ let routes_equal a b =
 let run_spf t =
   t.spf_pending <- false;
   t.spf_runs <- t.spf_runs + 1;
+  Counter.incr t.m.m_spf;
   let fresh = Lsdb.routes t.db ~self:t.cfg.router_id in
   if not (routes_equal fresh t.route_cache) then begin
     t.route_cache <- fresh;
@@ -168,6 +217,7 @@ let schedule_spf t =
 let originate t =
   t.seq <- t.seq + 1;
   t.lsa_originations <- t.lsa_originations + 1;
+  Counter.incr t.m.m_originations;
   let p2p =
     List.filter_map
       (fun iface ->
@@ -196,12 +246,15 @@ let set_neighbor_state t iface state =
     tracef t "interface %d neighbor %s -> %a" iface.iface_id
       (match iface.nbr_id with Some r -> Ipv4.to_string r | None -> "?")
       pp_neighbor_state state;
+    if iface.nbr_state = Full then Gauge.add t.m.g_full (-1.0)
+    else if state = Full then Gauge.add t.m.g_full 1.0;
     iface.nbr_state <- state;
     List.iter (fun f -> f iface.iface_id state) t.nbr_hooks
   end
 
 let handle_hello t iface sender (h : Ospf_msg.hello) =
   t.hellos_received <- t.hellos_received + 1;
+  Counter.incr t.m.rx_hello;
   iface.last_hello <- now t;
   iface.nbr_id <- Some sender;
   let sees_us = List.exists (Ipv4.equal t.cfg.router_id) h.Ospf_msg.neighbors in
@@ -218,6 +271,7 @@ let handle_hello t iface sender (h : Ospf_msg.hello) =
 
 let handle_update t iface lsas =
   t.updates_received <- t.updates_received + 1;
+  Counter.incr t.m.rx_update;
   let to_ack = ref [] in
   List.iter
     (fun (lsa : Ospf_msg.lsa) ->
@@ -273,6 +327,7 @@ let create ?trace proc cfg =
     cfg;
     db = Lsdb.create ();
     trace;
+    m = make_metrics (Sched.registry (Process.scheduler proc));
     ifaces = [];
     next_iface = 0;
     seq = 0;

@@ -1,23 +1,11 @@
 (** Fixed-bucket histograms with logarithmic bucketing and a terminal
-    rendering, for latency/FCT distributions. *)
+    rendering, for latency/FCT distributions.
 
-type t
+    An alias of {!Horse_telemetry.Histogram} (where the implementation
+    lives so the metrics registry can use it); the types are equal, so
+    histograms registered in a telemetry registry and histograms built
+    here interoperate. *)
 
-val create_log : ?buckets_per_decade:int -> lo:float -> hi:float -> unit -> t
-(** Logarithmic buckets covering [lo, hi] (default 3 buckets per
-    decade), plus underflow and overflow buckets.
-    @raise Invalid_argument unless [0 < lo < hi]. *)
-
-val add : t -> float -> unit
-val add_list : t -> float list -> unit
-
-val count : t -> int
-val underflow : t -> int
-val overflow : t -> int
-
-val buckets : t -> (float * float * int) list
-(** [(lo, hi, count)] per bucket, ascending. *)
-
-val pp : Format.formatter -> t -> unit
-(** Bars scaled to the fullest bucket; empty leading/trailing buckets
-    are skipped. *)
+include module type of struct
+  include Horse_telemetry.Histogram
+end

@@ -1,0 +1,28 @@
+(** Registry exporters.
+
+    Three views over the same snapshot: Prometheus text exposition
+    (for scraping / diffing), a JSON-lines event stream (one metric or
+    span per line, for pipelines), and a single JSON object (the
+    [BENCH_*.json] artefacts). The human "run report" lives in
+    [Horse_stats.Report], where the ASCII renderers are. *)
+
+val prometheus : Format.formatter -> Registry.t -> unit
+(** Prometheus text format: [# HELP]/[# TYPE] headers, one sample line
+    per metric, [_bucket]/[_sum]/[_count] expansion for histograms. *)
+
+val jsonl : Format.formatter -> Registry.t -> unit
+(** One JSON object per line: every metric, then every completed
+    span. *)
+
+val json : Registry.t -> Json.t
+(** The whole snapshot as one object: [{"metrics": [...], "spans":
+    [...]}]. *)
+
+val to_file : path:string -> (Format.formatter -> Registry.t -> unit) ->
+  Registry.t -> unit
+(** [to_file ~path render reg] writes [render]'s output to [path]
+    (e.g. [to_file ~path Export.prometheus reg]). *)
+
+val validate_jsonl_line : string -> (unit, string) result
+(** Checks one line of {!jsonl} output: parses as JSON and carries a
+    known ["type"]. Used by the [@telemetry-smoke] alias. *)

@@ -1,0 +1,244 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- encoding -------------------------------------------------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else if Float.is_nan f || Float.abs f = Float.infinity then
+    (* JSON has no NaN/Inf; null is the conventional stand-in. *)
+    "null"
+  else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_string f)
+  | String s -> escape_to buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* --- parsing --------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type parser_state = { input : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.input then Some p.input.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let fail p msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg p.pos))
+
+let rec skip_ws p =
+  match peek p with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance p;
+      skip_ws p
+  | Some _ | None -> ()
+
+let expect p c =
+  match peek p with
+  | Some got when got = c -> advance p
+  | Some got -> fail p (Printf.sprintf "expected %c, got %c" c got)
+  | None -> fail p (Printf.sprintf "expected %c, got end of input" c)
+
+let parse_literal p word value =
+  if
+    p.pos + String.length word <= String.length p.input
+    && String.sub p.input p.pos (String.length word) = word
+  then begin
+    p.pos <- p.pos + String.length word;
+    value
+  end
+  else fail p (Printf.sprintf "invalid literal (expected %s)" word)
+
+let parse_string_body p =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> fail p "unterminated string"
+    | Some '"' ->
+        advance p;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance p;
+        match peek p with
+        | Some 'n' -> advance p; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance p; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance p; Buffer.add_char buf '\r'; go ()
+        | Some 'b' -> advance p; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance p; Buffer.add_char buf '\012'; go ()
+        | Some '/' -> advance p; Buffer.add_char buf '/'; go ()
+        | Some '"' -> advance p; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance p; Buffer.add_char buf '\\'; go ()
+        | Some 'u' ->
+            advance p;
+            if p.pos + 4 > String.length p.input then fail p "bad \\u escape";
+            let hex = String.sub p.input p.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with Failure _ -> fail p "bad \\u escape"
+            in
+            p.pos <- p.pos + 4;
+            (* Encode the code point as UTF-8 (BMP only, no surrogate
+               pairing — enough for validation). *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | Some c -> fail p (Printf.sprintf "bad escape \\%c" c)
+        | None -> fail p "unterminated escape")
+    | Some c ->
+        advance p;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let parse_number p =
+  let start = p.pos in
+  let is_number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek p with
+    | Some c when is_number_char c ->
+        advance p;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let text = String.sub p.input start (p.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail p (Printf.sprintf "bad number %S" text))
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail p "unexpected end of input"
+  | Some 'n' -> parse_literal p "null" Null
+  | Some 't' -> parse_literal p "true" (Bool true)
+  | Some 'f' -> parse_literal p "false" (Bool false)
+  | Some '"' ->
+      advance p;
+      String (parse_string_body p)
+  | Some ('-' | '0' .. '9') -> parse_number p
+  | Some '[' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        advance p;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              advance p;
+              items (v :: acc)
+          | Some ']' ->
+              advance p;
+              List (List.rev (v :: acc))
+          | _ -> fail p "expected , or ] in array"
+        in
+        items []
+  | Some '{' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        advance p;
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws p;
+          expect p '"';
+          let key = parse_string_body p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              advance p;
+              fields ((key, v) :: acc)
+          | Some '}' ->
+              advance p;
+              Obj (List.rev ((key, v) :: acc))
+          | _ -> fail p "expected , or } in object"
+        in
+        fields []
+  | Some c -> fail p (Printf.sprintf "unexpected character %c" c)
+
+let parse s =
+  let p = { input = s; pos = 0 } in
+  try
+    let v = parse_value p in
+    skip_ws p;
+    if p.pos <> String.length s then Error "trailing garbage after JSON value"
+    else Ok v
+  with Parse_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None

@@ -1,0 +1,23 @@
+(** A minimal JSON tree: enough to emit the telemetry exporters'
+    output with correct escaping and to re-parse it for validation
+    (the [@telemetry-smoke] alias), with no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) encoding. NaN and infinities encode as
+    [null], as JSON has no representation for them. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one complete JSON value; trailing non-whitespace
+    is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup on objects; [None] on any other constructor. *)

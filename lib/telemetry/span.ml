@@ -1,0 +1,107 @@
+let wall_now () = Unix.gettimeofday ()
+
+type record = {
+  name : string;
+  depth : int;
+  parent : string option;
+  start_us : int64;
+  end_us : int64;
+  wall_start_s : float;
+  wall_end_s : float;
+}
+
+type open_span = {
+  os_name : string;
+  os_depth : int;
+  os_parent : string option;
+  os_start_us : int64;
+  os_wall_start : float;
+  os_id : int;
+}
+
+type handle = { h_id : int }
+
+type tracker = {
+  created : float;
+  mutable stack : open_span list;  (* innermost first *)
+  mutable rev_records : record list;
+  mutable next_id : int;
+}
+
+let create_tracker () =
+  { created = wall_now (); stack = []; rev_records = []; next_id = 0 }
+
+let enter tracker ~name ~at_us =
+  let depth = List.length tracker.stack in
+  let parent =
+    match tracker.stack with [] -> None | top :: _ -> Some top.os_name
+  in
+  let id = tracker.next_id in
+  tracker.next_id <- id + 1;
+  tracker.stack <-
+    {
+      os_name = name;
+      os_depth = depth;
+      os_parent = parent;
+      os_start_us = at_us;
+      os_wall_start = wall_now () -. tracker.created;
+      os_id = id;
+    }
+    :: tracker.stack;
+  { h_id = id }
+
+let close tracker os ~at_us ~wall =
+  tracker.rev_records <-
+    {
+      name = os.os_name;
+      depth = os.os_depth;
+      parent = os.os_parent;
+      start_us = os.os_start_us;
+      end_us = at_us;
+      wall_start_s = os.os_wall_start;
+      wall_end_s = wall;
+    }
+    :: tracker.rev_records
+
+let exit tracker handle ~at_us =
+  (* Spans must nest: exiting a span implicitly closes anything opened
+     inside it that was left open (at the same instant). Exiting a
+     handle that is not on the stack is a no-op. *)
+  if List.exists (fun os -> os.os_id = handle.h_id) tracker.stack then begin
+    let wall = wall_now () -. tracker.created in
+    let rec pop = function
+      | [] -> []
+      | os :: rest ->
+          close tracker os ~at_us ~wall;
+          if os.os_id = handle.h_id then rest else pop rest
+    in
+    tracker.stack <- pop tracker.stack
+  end
+
+let with_span tracker ~name ~now_us f =
+  let h = enter tracker ~name ~at_us:(now_us ()) in
+  Fun.protect ~finally:(fun () -> exit tracker h ~at_us:(now_us ())) f
+
+let open_count tracker = List.length tracker.stack
+
+(* Completed spans in start order (records complete innermost-first,
+   so sort by start, then by depth for identical starts). *)
+let records tracker =
+  List.stable_sort
+    (fun a b ->
+      match Int64.compare a.start_us b.start_us with
+      | 0 -> Int.compare a.depth b.depth
+      | c -> c)
+    (List.rev tracker.rev_records)
+
+let virtual_duration_s r = Int64.to_float (Int64.sub r.end_us r.start_us) /. 1e6
+let wall_duration_s r = r.wall_end_s -. r.wall_start_s
+
+let pp_record fmt r =
+  Format.fprintf fmt "%s%s: virtual %.6fs, wall %.6fs"
+    (String.make (2 * r.depth) ' ')
+    r.name (virtual_duration_s r) (wall_duration_s r)
+
+let pp fmt tracker =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_record fmt
+    (records tracker)

@@ -1,0 +1,71 @@
+(* Telemetry smoke validator: given a Prometheus text file and a JSONL
+   trace file produced by an end-to-end `horse` run, check that the
+   metrics we promise are present and that every trace line parses. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let required_metrics =
+  [
+    "horse_sched_wall_in_des_seconds";
+    "horse_sched_wall_in_fti_seconds";
+    "horse_sched_virtual_in_des_seconds";
+    "horse_sched_virtual_in_fti_seconds";
+    "horse_sched_events_total";
+    "horse_bgp_messages_total";
+    "horse_cm_messages_total";
+  ]
+
+let () =
+  let metrics_path, trace_path =
+    match Sys.argv with
+    | [| _; m; t |] -> (m, t)
+    | _ -> fail "usage: validate_telemetry METRICS.prom TRACE.jsonl"
+  in
+  let prom = read_lines metrics_path in
+  let sample_lines =
+    List.filter (fun l -> l <> "" && l.[0] <> '#') prom
+  in
+  if sample_lines = [] then fail "%s: no samples" metrics_path;
+  let has_metric name =
+    List.exists
+      (fun l ->
+        String.length l >= String.length name
+        && String.sub l 0 (String.length name) = name)
+      sample_lines
+  in
+  List.iter
+    (fun name ->
+      if not (has_metric name) then
+        fail "%s: missing required metric %s" metrics_path name)
+    required_metrics;
+  (* At least one histogram must have been exported. *)
+  let is_bucket l =
+    let re = "_bucket{" in
+    let n = String.length l and m = String.length re in
+    let rec scan i = i + m <= n && (String.sub l i m = re || scan (i + 1)) in
+    scan 0
+  in
+  if not (List.exists is_bucket sample_lines) then
+    fail "%s: no histogram buckets exported" metrics_path;
+  let trace = List.filter (fun l -> String.trim l <> "") (read_lines trace_path) in
+  if trace = [] then fail "%s: empty trace" trace_path;
+  List.iteri
+    (fun i line ->
+      match Horse_telemetry.Export.validate_jsonl_line line with
+      | Ok () -> ()
+      | Error e -> fail "%s:%d: invalid JSONL: %s" trace_path (i + 1) e)
+    trace;
+  Printf.printf
+    "telemetry smoke OK: %d samples, %d trace events\n"
+    (List.length sample_lines) (List.length trace)

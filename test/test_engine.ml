@@ -366,6 +366,53 @@ let prop_sched_matches_reference =
       in
       got = want)
 
+let test_sched_metrics_agree_with_stats () =
+  (* Sched.stats is a view over the telemetry registry: the exported
+     gauges must agree with the stats record for the same run. *)
+  let module Registry = Horse_telemetry.Registry in
+  let config =
+    { Sched.default_config with Sched.quiet_timeout = Time.of_ms 50 }
+  in
+  let sched = Sched.create ~config () in
+  ignore
+    (Sched.schedule_at sched (Time.of_ms 10) (fun () ->
+         Sched.control_activity ~reason:"test" sched));
+  let stats = Sched.run ~until:(Time.of_sec 2.0) sched in
+  let reg = Sched.registry sched in
+  let gauge name =
+    match Registry.find_gauge reg ("horse_sched_" ^ name) with
+    | Some g -> Registry.Gauge.value g
+    | None -> Alcotest.failf "gauge horse_sched_%s not registered" name
+  in
+  let counter name =
+    match Registry.find_counter reg ("horse_sched_" ^ name) with
+    | Some c -> Registry.Counter.value c
+    | None -> Alcotest.failf "counter horse_sched_%s not registered" name
+  in
+  check (Alcotest.float 1e-9) "virtual FTI residency"
+    (Time.to_sec stats.Sched.virtual_in_fti)
+    (gauge "virtual_in_fti_seconds");
+  check (Alcotest.float 1e-9) "virtual DES residency"
+    (Time.to_sec stats.Sched.virtual_in_des)
+    (gauge "virtual_in_des_seconds");
+  check (Alcotest.float 1e-9) "wall FTI residency" stats.Sched.wall_in_fti
+    (gauge "wall_in_fti_seconds");
+  check (Alcotest.float 1e-9) "wall DES residency" stats.Sched.wall_in_des
+    (gauge "wall_in_des_seconds");
+  check (Alcotest.float 1e-9) "end time"
+    (Time.to_sec stats.Sched.end_time)
+    (gauge "end_time_seconds");
+  check Alcotest.int "events" stats.Sched.events_executed (counter "events_total");
+  check Alcotest.int "fti increments" stats.Sched.fti_increments
+    (counter "fti_increments_total");
+  check Alcotest.int "transitions"
+    (List.length stats.Sched.transitions)
+    (counter "transitions_total");
+  (* snapshot mid-lifecycle equals the returned stats after the run *)
+  let snap = Sched.snapshot sched in
+  check Alcotest.int "snapshot events" stats.Sched.events_executed
+    snap.Sched.events_executed
+
 (* --- Trace ------------------------------------------------------------ *)
 
 let test_trace () =
@@ -381,6 +428,30 @@ let test_trace () =
   check Alcotest.int "by_label" 1 (List.length (Trace.by_label trace "bgp"));
   Trace.clear trace;
   check Alcotest.int "cleared" 0 (Trace.length trace)
+
+let test_trace_ring_buffer () =
+  let trace = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.addf trace ~at:(Time.of_ms i) ~label:"x" "e%d" i
+  done;
+  check Alcotest.int "retained" 3 (Trace.length trace);
+  check Alcotest.int "total added" 5 (Trace.total_added trace);
+  check Alcotest.int "dropped oldest" 2 (Trace.dropped trace);
+  check (Alcotest.option Alcotest.int) "capacity" (Some 3) (Trace.capacity trace);
+  (match Trace.entries trace with
+  | [ a; _; c ] ->
+      check Alcotest.string "oldest survivor" "e3" a.Trace.detail;
+      check Alcotest.string "newest" "e5" c.Trace.detail
+  | l -> Alcotest.failf "expected 3 entries, got %d" (List.length l));
+  Trace.clear trace;
+  check Alcotest.int "clear resets dropped" 0 (Trace.dropped trace);
+  (* Unbounded traces never drop. *)
+  let unbounded = Trace.create () in
+  check (Alcotest.option Alcotest.int) "no capacity" None
+    (Trace.capacity unbounded);
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
 
 let () =
   Alcotest.run "horse_engine"
@@ -428,6 +499,12 @@ let () =
             test_fti_wall_cost_exceeds_des;
           Alcotest.test_case "re-run continues" `Quick test_rerun_continues;
           prop_sched_matches_reference;
+          Alcotest.test_case "metrics agree with stats" `Quick
+            test_sched_metrics_agree_with_stats;
         ] );
-      ("trace", [ Alcotest.test_case "basics" `Quick test_trace ]);
+      ( "trace",
+        [
+          Alcotest.test_case "basics" `Quick test_trace;
+          Alcotest.test_case "ring buffer" `Quick test_trace_ring_buffer;
+        ] );
     ]
