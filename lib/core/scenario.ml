@@ -197,11 +197,7 @@ let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
     Wall.time (fun () -> Experiment.run ~until:duration rt.exp)
   in
   let fluid = Experiment.fluid rt.exp in
-  let delivered_bits =
-    List.fold_left
-      (fun acc flow -> acc +. Fluid.delivered_bits fluid flow)
-      0.0 (Fluid.active_flows fluid)
-  in
+  let delivered_bits = Fluid.total_delivered_bits fluid in
   let n_hosts = Array.length rt.keys in
   {
     te;

@@ -216,14 +216,10 @@ let build ?(channel_latency = Time.of_ms 1) ~cm ~fluid topo =
                   (* Approximate: cumulative bits of flows currently
                      crossing the link. *)
                   List.fold_left
-                    (fun acc (f : Flow.t) ->
-                      if
-                        List.exists
-                          (fun (l : Topology.link) -> l.Topology.link_id = link_id)
-                          f.Flow.path
-                      then acc + int_of_float (Fluid.delivered_bits fluid f /. 8.0)
-                      else acc)
-                    0 (Fluid.active_flows fluid)
+                    (fun acc f ->
+                      acc + int_of_float (Fluid.delivered_bits fluid f /. 8.0))
+                    0
+                    (Fluid.flows_on_link fluid link_id)
             in
             {
               Ofmsg.ps_port = port;

@@ -1,5 +1,10 @@
 type flow_input = { demand : float; links : int list }
 
+(* ------------------------------------------------------------------ *)
+(* Reference implementation: textbook progressive filling.            *)
+(* Kept verbatim for differential testing of the production solver.   *)
+(* ------------------------------------------------------------------ *)
+
 (* Per-link bookkeeping, maintained incrementally as flows freeze so
    each progressive-filling round is O(#links + #flows). *)
 type link_state = {
@@ -8,7 +13,7 @@ type link_state = {
   mutable unfrozen : int;
 }
 
-let compute ~capacity flows =
+let compute_reference ~capacity flows =
   let n = Array.length flows in
   let rates = Array.make n 0.0 in
   let frozen = Array.make n false in
@@ -84,6 +89,244 @@ let compute ~capacity flows =
           flows
   done;
   rates
+
+(* ------------------------------------------------------------------ *)
+(* Production solver: sorted-demand water filling over dense arrays.  *)
+(* ------------------------------------------------------------------ *)
+
+(* The arena holds every scratch buffer the solver needs, grown
+   geometrically and reused across calls, so the hot path (one solve
+   per fluid-dataplane change instant) allocates only the result
+   array. Link ids are mapped to dense indices through one Hashtbl
+   that is cleared — never re-created — per call. *)
+type arena = {
+  mutable link_idx : (int, int) Hashtbl.t;  (* link id -> dense index *)
+  mutable cap : float array;            (* per dense link *)
+  mutable frozen_load : float array;
+  mutable unfrozen : int array;
+  mutable lf_off : int array;           (* CSR link -> member flows *)
+  mutable lf_fill : int array;
+  mutable lf_flow : int array;
+  mutable fl_off : int array;           (* CSR flow -> dense links *)
+  mutable fl_link : int array;
+  mutable frozen : bool array;
+  mutable order : int array;            (* flow indices by demand asc *)
+}
+
+let create_arena () =
+  {
+    link_idx = Hashtbl.create 256;
+    cap = Array.make 64 0.0;
+    frozen_load = Array.make 64 0.0;
+    unfrozen = Array.make 64 0;
+    lf_off = Array.make 65 0;
+    lf_fill = Array.make 64 0;
+    lf_flow = Array.make 64 0;
+    fl_off = Array.make 65 0;
+    fl_link = Array.make 64 0;
+    frozen = Array.make 64 false;
+    order = Array.make 64 0;
+  }
+
+let grown gen a n =
+  if Array.length a >= n then a
+  else begin
+    let b = gen (2 * n) in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let grown_f a n = grown (fun n -> Array.make n 0.0) a n
+let grown_i a n = grown (fun n -> Array.make n 0) a n
+let grown_b a n = grown (fun n -> Array.make n false) a n
+
+(* In-place insertion-plus-heapsort hybrid is overkill here: demands
+   repeat heavily (uniform TE workloads), so a simple bottom-up
+   heapsort over [order.(0..n-1)] keyed by demand keeps the arena
+   allocation-free. *)
+let sort_by_demand order n key =
+  let lt i j = key order.(i) < key order.(j) in
+  let swap i j =
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  in
+  let rec sift_down i len =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let largest = ref i in
+    if l < len && lt !largest l then largest := l;
+    if r < len && lt !largest r then largest := r;
+    if !largest <> i then begin
+      swap i !largest;
+      sift_down !largest len
+    end
+  in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down i n
+  done;
+  for last = n - 1 downto 1 do
+    swap 0 last;
+    sift_down 0 last
+  done
+
+let compute_with arena ~capacity flows =
+  let n = Array.length flows in
+  let rates = Array.make n 0.0 in
+  if n = 0 then rates
+  else begin
+    Hashtbl.clear arena.link_idx;
+    (* Pass 1: total path length, validation. *)
+    let total = ref 0 in
+    Array.iter
+      (fun f ->
+        if f.demand < 0.0 then
+          invalid_arg "Fair_share.compute: negative demand";
+        List.iter (fun _ -> incr total) f.links)
+      flows;
+    let total = !total in
+    arena.fl_off <- grown_i arena.fl_off (n + 1);
+    arena.fl_link <- grown_i arena.fl_link (max 1 total);
+    arena.frozen <- grown_b arena.frozen n;
+    arena.order <- grown_i arena.order n;
+    let fl_off = arena.fl_off
+    and frozen = arena.frozen
+    and order = arena.order in
+    (* Pass 2: dense link ids + flow->link CSR. *)
+    let n_links = ref 0 in
+    let pos = ref 0 in
+    Array.iteri
+      (fun i f ->
+        fl_off.(i) <- !pos;
+        frozen.(i) <- false;
+        order.(i) <- i;
+        List.iter
+          (fun l ->
+            let li =
+              match Hashtbl.find_opt arena.link_idx l with
+              | Some li -> li
+              | None ->
+                  let c = capacity l in
+                  if c <= 0.0 then
+                    invalid_arg "Fair_share.compute: non-positive capacity";
+                  let li = !n_links in
+                  incr n_links;
+                  arena.cap <- grown_f arena.cap !n_links;
+                  arena.frozen_load <- grown_f arena.frozen_load !n_links;
+                  arena.unfrozen <- grown_i arena.unfrozen !n_links;
+                  arena.lf_fill <- grown_i arena.lf_fill !n_links;
+                  arena.cap.(li) <- c;
+                  arena.frozen_load.(li) <- 0.0;
+                  arena.unfrozen.(li) <- 0;
+                  arena.lf_fill.(li) <- 0;
+                  Hashtbl.add arena.link_idx l li;
+                  li
+            in
+            arena.fl_link.(!pos) <- li;
+            incr pos;
+            arena.unfrozen.(li) <- arena.unfrozen.(li) + 1;
+            arena.lf_fill.(li) <- arena.lf_fill.(li) + 1)
+          f.links)
+      flows;
+    fl_off.(n) <- !pos;
+    let n_links = !n_links in
+    let cap = arena.cap
+    and frozen_load = arena.frozen_load
+    and unfrozen = arena.unfrozen
+    and fl_link = arena.fl_link in
+    (* Pass 3: link->flow CSR from the per-link counts. *)
+    arena.lf_off <- grown_i arena.lf_off (n_links + 1);
+    arena.lf_flow <- grown_i arena.lf_flow (max 1 total);
+    let lf_off = arena.lf_off and lf_fill = arena.lf_fill in
+    let acc = ref 0 in
+    for li = 0 to n_links - 1 do
+      lf_off.(li) <- !acc;
+      acc := !acc + lf_fill.(li);
+      lf_fill.(li) <- lf_off.(li)
+    done;
+    lf_off.(n_links) <- !acc;
+    for i = 0 to n - 1 do
+      for k = fl_off.(i) to fl_off.(i + 1) - 1 do
+        let li = fl_link.(k) in
+        arena.lf_flow.(lf_fill.(li)) <- i;
+        lf_fill.(li) <- lf_fill.(li) + 1
+      done
+    done;
+    let lf_flow = arena.lf_flow in
+    (* Water filling. *)
+    let n_unfrozen = ref n in
+    let freeze i rate =
+      rates.(i) <- rate;
+      frozen.(i) <- true;
+      decr n_unfrozen;
+      for k = fl_off.(i) to fl_off.(i + 1) - 1 do
+        let li = fl_link.(k) in
+        frozen_load.(li) <- frozen_load.(li) +. rate;
+        unfrozen.(li) <- unfrozen.(li) - 1
+      done
+    in
+    Array.iteri
+      (fun i f ->
+        if f.demand = 0.0 then freeze i 0.0
+        else if f.links = [] then freeze i f.demand)
+      flows;
+    sort_by_demand order n (fun i -> flows.(i).demand);
+    let ptr = ref 0 in
+    while !n_unfrozen > 0 do
+      (* Bottleneck link: minimal equal share among remaining flows. *)
+      let level = ref infinity and bott = ref (-1) in
+      for li = 0 to n_links - 1 do
+        if unfrozen.(li) > 0 then begin
+          let share =
+            Float.max 0.0 (cap.(li) -. frozen_load.(li))
+            /. float_of_int unfrozen.(li)
+          in
+          if share < !level then begin
+            level := share;
+            bott := li
+          end
+        end
+      done;
+      while !ptr < n && frozen.(order.(!ptr)) do incr ptr done;
+      (* !n_unfrozen > 0 guarantees !ptr < n here. *)
+      let dmin = flows.(order.(!ptr)).demand in
+      if !bott < 0 || dmin <= !level then begin
+        (* As the water rises to [level], every flow whose demand sits
+           below it saturates at that demand without any link filling
+           up first; the sorted order lets us freeze the whole batch
+           in one sweep instead of one progressive-filling round per
+           distinct demand. *)
+        let threshold = if !bott < 0 then dmin else !level in
+        let continue = ref true in
+        while !continue && !ptr < n do
+          let i = order.(!ptr) in
+          if frozen.(i) then incr ptr
+          else if flows.(i).demand <= threshold then begin
+            freeze i flows.(i).demand;
+            incr ptr
+          end
+          else continue := false
+        done
+      end
+      else begin
+        (* The bottleneck saturates first: its members freeze at the
+           equal share. *)
+        let b = !bott in
+        for k = lf_off.(b) to lf_off.(b + 1) - 1 do
+          let i = lf_flow.(k) in
+          if not frozen.(i) then freeze i !level
+        done
+      end
+    done;
+    rates
+  end
+
+let default_arena = lazy (create_arena ())
+
+let compute ?arena ~capacity flows =
+  let arena =
+    match arena with Some a -> a | None -> Lazy.force default_arena
+  in
+  compute_with arena ~capacity flows
 
 let link_loads flows rates =
   let tbl = Hashtbl.create 16 in

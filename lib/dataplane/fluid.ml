@@ -10,9 +10,11 @@ type metrics = {
   m_started : Counter.t;
   m_stopped : Counter.t;
   m_recomputes : Counter.t;
+  m_recompute_requests : Counter.t;
   g_active : Gauge.t;
   h_duration : Histogram.t;
   h_recompute_wall : Histogram.t;
+  h_recompute_flows : Histogram.t;
 }
 
 let make_metrics reg =
@@ -25,7 +27,13 @@ let make_metrics reg =
         ~help:"Fluid flows stopped or completed" "flows_stopped_total";
     m_recomputes =
       Registry.counter reg ~subsystem:"fluid"
-        ~help:"Max-min fair-share reallocations" "recomputes_total";
+        ~help:"Max-min fair-share reallocations executed" "recomputes_total";
+    m_recompute_requests =
+      Registry.counter reg ~subsystem:"fluid"
+        ~help:
+          "Fair-share recompute requests before coalescing (one per flow \
+           start/stop/reroute)"
+        "recompute_requests_total";
     g_active =
       Registry.gauge reg ~subsystem:"fluid" ~help:"Currently active fluid flows"
         "active_flows";
@@ -37,6 +45,10 @@ let make_metrics reg =
       Registry.histogram reg ~subsystem:"fluid"
         ~help:"Wall-clock cost of one fair-share recompute, seconds" ~lo:1e-7
         ~hi:1.0 "recompute_wall_seconds";
+    h_recompute_flows =
+      Registry.histogram reg ~subsystem:"fluid"
+        ~help:"Flows touched by one fair-share recompute" ~lo:1.0 ~hi:1e6
+        "recompute_flows";
   }
 
 type finite_state = {
@@ -45,31 +57,63 @@ type finite_state = {
   mutable timer : Event_queue.handle option;
 }
 
+module Key_tbl = Flow_key.Table
+
 type t = {
   sched : Sched.t;
   topo : Topology.t;
   m : metrics;
-  mutable rev_flows : Flow.t list;  (* newest first, including stopped *)
+  eager : bool;
+  arena : Fair_share.arena;
+  (* Indexed flow state: stopped flows retire out of every scan
+     path. *)
+  active : (int, Flow.t) Hashtbl.t;  (* flow id -> active flow *)
+  by_key : Flow.t Key_tbl.t;  (* newest binding first *)
+  link_index : (int, (int, Flow.t) Hashtbl.t) Hashtbl.t;
+      (* link id -> active member flows by id *)
+  dst_index : (int, (int, Flow.t) Hashtbl.t) Hashtbl.t;
+      (* dst node -> active terminating flows by id *)
   mutable n_active : int;
   mutable next_id : int;
   mutable recomputes : int;
-  mutable completed_bits : float;  (* delivered by stopped flows *)
+  mutable recompute_requests : int;
+  (* Completed accumulators. *)
+  mutable completed_bits : float;
+  mutable completed_flows : int;
+  (* Coalescing state: mutations mark the engine dirty and record the
+     touched flows/links; the solve drains at the end of the current
+     scheduler instant (Sched.defer) or on the first rate read. *)
+  mutable dirty : bool;
+  mutable dirty_flows : Flow.t list;
+  mutable dirty_links : int list;
+  mutable flush_hooked : bool;
   finite : (int, finite_state) Hashtbl.t;  (* flow id -> finite state *)
   aggregate : Horse_stats.Series.t;
   host_series : (int, Horse_stats.Series.t) Hashtbl.t;
   mutable sampler : Sched.recurring option;
 }
 
-let create sched topo =
+let create ?(eager = false) sched topo =
   {
     sched;
     topo;
     m = make_metrics (Sched.registry sched);
-    rev_flows = [];
+    eager;
+    arena = Fair_share.create_arena ();
+    active = Hashtbl.create 256;
+    by_key = Key_tbl.create 256;
+    link_index = Hashtbl.create 256;
+    dst_index = Hashtbl.create 64;
     n_active = 0;
     next_id = 0;
     recomputes = 0;
+    recompute_requests = 0;
     completed_bits = 0.0;
+    completed_flows = 0;
+    dirty = false;
+    dirty_flows = [];
+    dirty_links = [];
+    flush_hooked = false;
     finite = Hashtbl.create 32;
     aggregate = Horse_stats.Series.create ~name:"aggregate-rx-bps" ();
     host_series = Hashtbl.create 32;
@@ -79,15 +123,49 @@ let create sched topo =
 let topology t = t.topo
 let scheduler t = t.sched
 
-let active_flows t =
-  List.rev (List.filter (fun (f : Flow.t) -> f.Flow.active) t.rev_flows)
+(* --- membership indexes ------------------------------------------- *)
 
-let flow_count t = t.n_active
+let index_add tbl key (f : Flow.t) =
+  let inner =
+    match Hashtbl.find_opt tbl key with
+    | Some inner -> inner
+    | None ->
+        let inner = Hashtbl.create 8 in
+        Hashtbl.add tbl key inner;
+        inner
+  in
+  Hashtbl.replace inner f.Flow.id f
 
-let find_flow t key =
-  List.find_opt
-    (fun (f : Flow.t) -> f.Flow.active && Flow_key.equal f.Flow.key key)
-    t.rev_flows
+let index_remove tbl key (f : Flow.t) =
+  match Hashtbl.find_opt tbl key with
+  | None -> ()
+  | Some inner ->
+      Hashtbl.remove inner f.Flow.id;
+      if Hashtbl.length inner = 0 then Hashtbl.remove tbl key
+
+let enroll t (f : Flow.t) =
+  Hashtbl.replace t.active f.Flow.id f;
+  Key_tbl.add t.by_key f.Flow.key f;
+  List.iter (fun l -> index_add t.link_index l f) (Flow.link_ids f);
+  Option.iter (fun dst -> index_add t.dst_index dst f) (Flow.dst_node f)
+
+(* Remove one specific binding of [f.key] while keeping any other
+   active flows that share the 5-tuple findable (newest first, as
+   before the index existed). *)
+let unbind_key t (f : Flow.t) =
+  let all = Key_tbl.find_all t.by_key f.Flow.key in
+  if List.memq f all then begin
+    List.iter (fun _ -> Key_tbl.remove t.by_key f.Flow.key) all;
+    List.iter
+      (fun g -> Key_tbl.add t.by_key f.Flow.key g)
+      (List.rev (List.filter (fun g -> g != f) all))
+  end
+
+let retire t (f : Flow.t) =
+  Hashtbl.remove t.active f.Flow.id;
+  unbind_key t f;
+  List.iter (fun l -> index_remove t.link_index l f) (Flow.link_ids f);
+  Option.iter (fun dst -> index_remove t.dst_index dst f) (Flow.dst_node f)
 
 (* Integrate a flow's delivered bits up to [now] at its current
    rate. *)
@@ -99,32 +177,104 @@ let integrate_flow now (f : Flow.t) =
   end;
   f.Flow.last_integration <- Time.max f.Flow.last_integration now
 
-(* Full reallocation: integrate everything at old rates, solve
-   max-min over the active flows, then re-aim the completion events of
-   finite flows whose ETA changed. *)
-let rec recompute t =
-  let wall0 = Unix.gettimeofday () in
+(* --- component-restricted solve ------------------------------------ *)
+
+(* The max-min problem decomposes exactly over connected components of
+   the flow/link sharing graph, so a solve only needs the component
+   reachable from the links the dirty flows touch; everything outside
+   keeps its rate (and its completion timer) untouched. *)
+let component_of t ~seed_flows ~seed_links =
+  let flows : (int, Flow.t) Hashtbl.t = Hashtbl.create 64 in
+  let links : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let pending : int Queue.t = Queue.create () in
+  let add_link l =
+    if not (Hashtbl.mem links l) then begin
+      Hashtbl.add links l ();
+      Queue.add l pending
+    end
+  in
+  let add_flow (f : Flow.t) =
+    if f.Flow.active && not (Hashtbl.mem flows f.Flow.id) then begin
+      Hashtbl.add flows f.Flow.id f;
+      List.iter add_link (Flow.link_ids f)
+    end
+  in
+  List.iter add_flow seed_flows;
+  List.iter add_link seed_links;
+  while not (Queue.is_empty pending) do
+    let l = Queue.pop pending in
+    match Hashtbl.find_opt t.link_index l with
+    | None -> ()
+    | Some members -> Hashtbl.iter (fun _ f -> add_flow f) members
+  done;
+  flows
+
+let rec solve t =
+  let wall0 = Wall.now () in
   let now = Sched.now t.sched in
-  (* Stopped flows were integrated when they stopped; only active
-     flows accrue bits. *)
-  let active = Array.of_list (active_flows t) in
-  Array.iter (integrate_flow now) active;
+  let seed_flows = t.dirty_flows and seed_links = t.dirty_links in
+  t.dirty <- false;
+  t.dirty_flows <- [];
+  t.dirty_links <- [];
+  let component = component_of t ~seed_flows ~seed_links in
+  let scope = Array.make (Hashtbl.length component) None in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun _ f ->
+      scope.(!i) <- Some f;
+      incr i)
+    component;
+  let scope = Array.map Option.get scope in
+  (* Integrate at old rates before reassigning; flows outside the
+     component keep a constant rate, so their integration can stay
+     lazy. *)
+  Array.iter (integrate_flow now) scope;
   let inputs =
     Array.map
       (fun (f : Flow.t) ->
         { Fair_share.demand = f.Flow.demand; links = Flow.link_ids f })
-      active
+      scope
   in
   let rates =
-    Fair_share.compute
+    Fair_share.compute ~arena:t.arena
       ~capacity:(fun l -> (Topology.link t.topo l).Topology.capacity)
       inputs
   in
-  Array.iteri (fun i (f : Flow.t) -> f.Flow.rate <- rates.(i)) active;
+  Array.iteri (fun i (f : Flow.t) -> f.Flow.rate <- rates.(i)) scope;
   t.recomputes <- t.recomputes + 1;
   Counter.incr t.m.m_recomputes;
-  Array.iter (fun f -> aim_completion t f) active;
-  Histogram.add t.m.h_recompute_wall (Unix.gettimeofday () -. wall0)
+  Histogram.add t.m.h_recompute_flows (float_of_int (Array.length scope));
+  Array.iter (fun f -> aim_completion t f) scope;
+  Histogram.add t.m.h_recompute_wall (Wall.now () -. wall0)
+
+(* Request a recompute covering [flows] and [links]. Eager engines
+   solve on the spot (the pre-coalescing behaviour, kept for
+   benchmarking the difference); otherwise the request is folded into
+   one solve that drains at the end of the current scheduler instant,
+   before virtual time can advance. *)
+and request_recompute t ~flows ~links =
+  t.recompute_requests <- t.recompute_requests + 1;
+  Counter.incr t.m.m_recompute_requests;
+  t.dirty_flows <- List.rev_append flows t.dirty_flows;
+  t.dirty_links <- List.rev_append links t.dirty_links;
+  if t.eager then begin
+    t.dirty <- true;
+    solve t
+  end
+  else begin
+    t.dirty <- true;
+    if not t.flush_hooked then begin
+      t.flush_hooked <- true;
+      Sched.defer t.sched (fun () ->
+          t.flush_hooked <- false;
+          if t.dirty then solve t)
+    end
+  end
+
+(* Rate readers flush pending work first so coalescing is invisible to
+   observers: within the mutating instant, reads see post-solve
+   rates. *)
+and ensure_fresh t = if t.dirty then solve t
 
 and aim_completion t (f : Flow.t) =
   match Hashtbl.find_opt t.finite f.Flow.id with
@@ -163,13 +313,27 @@ and stop_flow t (f : Flow.t) =
     Histogram.add t.m.h_duration
       (Time.to_sec (Time.sub (Sched.now t.sched) f.Flow.started));
     t.completed_bits <- t.completed_bits +. f.Flow.delivered_bits;
+    t.completed_flows <- t.completed_flows + 1;
     (match Hashtbl.find_opt t.finite f.Flow.id with
     | Some fin ->
         Option.iter Event_queue.cancel fin.timer;
         Hashtbl.remove t.finite f.Flow.id
     | None -> ());
-    recompute t
+    retire t f;
+    (* The vacated links seed the recompute component. *)
+    request_recompute t ~flows:[] ~links:(Flow.link_ids f)
   end
+
+(* --- queries -------------------------------------------------------- *)
+
+let active_flows t =
+  ensure_fresh t;
+  let flows = Hashtbl.fold (fun _ f acc -> f :: acc) t.active [] in
+  List.sort (fun (a : Flow.t) (b : Flow.t) -> Int.compare a.Flow.id b.Flow.id) flows
+
+let flow_count t = t.n_active
+
+let find_flow t key = Key_tbl.find_opt t.by_key key
 
 let check_path path =
   let rec contiguous = function
@@ -199,11 +363,11 @@ let start_flow ?(demand = 1e9) t ~key ~path =
     }
   in
   t.next_id <- t.next_id + 1;
-  t.rev_flows <- f :: t.rev_flows;
+  enroll t f;
   t.n_active <- t.n_active + 1;
   Counter.incr t.m.m_started;
   Gauge.set t.m.g_active (float_of_int t.n_active);
-  recompute t;
+  request_recompute t ~flows:[ f ] ~links:[];
   f
 
 let start_finite_flow ?demand t ~key ~path ~size_bits ~on_complete =
@@ -212,62 +376,76 @@ let start_finite_flow ?demand t ~key ~path ~size_bits ~on_complete =
   let f = start_flow ?demand t ~key ~path in
   Hashtbl.replace t.finite f.Flow.id
     { size = size_bits; on_complete; timer = None };
-  aim_completion t f;
+  (* Under coalescing the rate is not assigned yet; the pending solve
+     aims the completion. Eager engines aim here. *)
+  if not t.dirty then aim_completion t f;
   f
 
 let set_path t (f : Flow.t) path =
   if not f.Flow.active then invalid_arg "Fluid.set_path: flow is stopped";
   check_path path;
+  let old_links = Flow.link_ids f in
+  List.iter (fun l -> index_remove t.link_index l f) old_links;
+  Option.iter (fun dst -> index_remove t.dst_index dst f) (Flow.dst_node f);
   f.Flow.path <- path;
-  recompute t
+  List.iter (fun l -> index_add t.link_index l f) (Flow.link_ids f);
+  Option.iter (fun dst -> index_add t.dst_index dst f) (Flow.dst_node f);
+  request_recompute t ~flows:[ f ] ~links:old_links
 
-let current_rate _t (f : Flow.t) = if f.Flow.active then f.Flow.rate else 0.0
+let current_rate t (f : Flow.t) =
+  ensure_fresh t;
+  if f.Flow.active then f.Flow.rate else 0.0
 
 let delivered_bits t (f : Flow.t) =
+  ensure_fresh t;
   let now = Sched.now t.sched in
   if f.Flow.active then
     let dt = Time.to_sec (Time.sub now f.Flow.last_integration) in
     f.Flow.delivered_bits +. (f.Flow.rate *. Float.max 0.0 dt)
   else f.Flow.delivered_bits
 
+let flows_on_link t link_id =
+  ensure_fresh t;
+  match Hashtbl.find_opt t.link_index link_id with
+  | None -> []
+  | Some members ->
+      Hashtbl.fold (fun _ f acc -> f :: acc) members []
+      |> List.sort (fun (a : Flow.t) (b : Flow.t) ->
+             Int.compare a.Flow.id b.Flow.id)
+
 let link_load t link_id =
-  List.fold_left
-    (fun acc (f : Flow.t) ->
-      if f.Flow.active && List.exists (fun l -> l.Topology.link_id = link_id) f.Flow.path
-      then acc +. f.Flow.rate
-      else acc)
-    0.0 t.rev_flows
+  ensure_fresh t;
+  match Hashtbl.find_opt t.link_index link_id with
+  | None -> 0.0
+  | Some members ->
+      Hashtbl.fold (fun _ (f : Flow.t) acc -> acc +. f.Flow.rate) members 0.0
 
 let link_utilization t link_id =
   link_load t link_id /. (Topology.link t.topo link_id).Topology.capacity
 
 let total_rx_rate t =
-  List.fold_left
-    (fun acc (f : Flow.t) -> if f.Flow.active then acc +. f.Flow.rate else acc)
-    0.0 t.rev_flows
+  ensure_fresh t;
+  Hashtbl.fold (fun _ (f : Flow.t) acc -> acc +. f.Flow.rate) t.active 0.0
 
 let host_rx_rate t node_id =
-  List.fold_left
-    (fun acc (f : Flow.t) ->
-      if f.Flow.active && Flow.dst_node f = Some node_id then acc +. f.Flow.rate
-      else acc)
-    0.0 t.rev_flows
+  ensure_fresh t;
+  match Hashtbl.find_opt t.dst_index node_id with
+  | None -> 0.0
+  | Some members ->
+      Hashtbl.fold (fun _ (f : Flow.t) acc -> acc +. f.Flow.rate) members 0.0
 
 let sample t =
+  ensure_fresh t;
   let now = Sched.now t.sched in
   Horse_stats.Series.add t.aggregate now (total_rx_rate t);
-  List.iter
-    (fun (f : Flow.t) ->
-      if f.Flow.active then
-        match Flow.dst_node f with
-        | None -> ()
-        | Some dst ->
-            if not (Hashtbl.mem t.host_series dst) then
-              Hashtbl.add t.host_series dst
-                (Horse_stats.Series.create
-                   ~name:(Printf.sprintf "host-%d-rx-bps" dst)
-                   ()))
-    t.rev_flows;
+  Hashtbl.iter
+    (fun dst _ ->
+      if not (Hashtbl.mem t.host_series dst) then
+        Hashtbl.add t.host_series dst
+          (Horse_stats.Series.create
+             ~name:(Printf.sprintf "host-%d-rx-bps" dst)
+             ()))
+    t.dst_index;
   Hashtbl.iter
     (fun dst series -> Horse_stats.Series.add series now (host_rx_rate t dst))
     t.host_series
@@ -284,9 +462,11 @@ let stop_sampling t =
 let aggregate_series t = t.aggregate
 let host_series t node_id = Hashtbl.find_opt t.host_series node_id
 let recompute_count t = t.recomputes
+let recompute_requests t = t.recompute_requests
+let completed_flow_count t = t.completed_flows
 
 let total_delivered_bits t =
-  List.fold_left
-    (fun acc (f : Flow.t) ->
-      if f.Flow.active then acc +. delivered_bits t f else acc)
-    t.completed_bits t.rev_flows
+  ensure_fresh t;
+  Hashtbl.fold
+    (fun _ (f : Flow.t) acc -> acc +. delivered_bits t f)
+    t.active t.completed_bits

@@ -2,11 +2,32 @@
     simulated data plane that runs a fluid rate traffic model").
 
     Traffic is a set of {!Flow.t} values. Whenever the flow set, a
-    path, or a demand changes, the engine (1) integrates every flow's
-    delivered bits up to the current virtual time at its old rate and
-    (2) reassigns all rates by max-min fair share. Between changes
-    nothing happens — which is exactly why the hybrid clock can leap
-    forward in DES mode while only data-plane traffic is active.
+    path, or a demand changes, the engine (1) integrates the affected
+    flows' delivered bits up to the current virtual time at their old
+    rates and (2) reassigns rates by max-min fair share. Between
+    changes nothing happens — which is exactly why the hybrid clock
+    can leap forward in DES mode while only data-plane traffic is
+    active.
+
+    {b Recompute coalescing.} Mutations ({!start_flow}, {!stop_flow},
+    {!set_path}) do not solve on the spot: they mark the engine dirty
+    and the single pending solve drains at the end of the current
+    scheduler instant (via {!Sched.defer}), or lazily on the first
+    rate read — so a burst of [k] flow events inside one event batch
+    costs one max-min solve, not [k]. The coalescing is observable
+    only through the [recomputes_total] vs [recompute_requests_total]
+    counters: every read accessor flushes first, so rates are always
+    consistent with the full mutation history.
+
+    {b Indexed flow state.} Stopped flows retire out of every scan
+    path into completed accumulators; an active table plus per-link
+    and per-destination membership indexes make {!find_flow},
+    {!link_load}, {!host_rx_rate}, {!total_rx_rate} and the sampler
+    proportional to the active (or per-link) flow count. A solve is
+    further restricted to the bottleneck-connected component of links
+    touched by the changed flows — max-min allocation decomposes
+    exactly over connected components of the flow/link sharing graph,
+    so rates outside the component are provably unchanged.
 
     Rate sampling (for the demonstration's aggregate-throughput graph)
     is a periodic simulation event recorded into {!Horse_stats.Series}
@@ -18,7 +39,10 @@ open Horse_topo
 
 type t
 
-val create : Sched.t -> Topology.t -> t
+val create : ?eager:bool -> Sched.t -> Topology.t -> t
+(** [~eager:true] restores the pre-coalescing behaviour — one max-min
+    solve per mutation, on the spot. Kept so benchmarks can measure
+    the coalescing win; experiments should use the default. *)
 
 val topology : t -> Topology.t
 val scheduler : t -> Sched.t
@@ -62,14 +86,19 @@ val active_flows : t -> Flow.t list
 val flow_count : t -> int
 
 val find_flow : t -> Flow_key.t -> Flow.t option
-(** The active flow with this exact 5-tuple, if any. *)
+(** The active flow with this exact 5-tuple, if any (the newest when
+    several share the tuple). O(1) via the key index. *)
+
+val flows_on_link : t -> int -> Flow.t list
+(** Active flows whose path crosses the directed link, in start
+    order. O(flows on that link) via the membership index. *)
 
 val current_rate : t -> Flow.t -> float
 (** Allocated rate right now (0 for a stopped flow). *)
 
 val delivered_bits : t -> Flow.t -> float
 (** Bits delivered up to the current virtual time (integrates on
-    read; does not disturb the allocation). *)
+    read). *)
 
 val link_load : t -> int -> float
 (** Total allocated bps crossing a directed link. *)
@@ -100,6 +129,14 @@ val total_delivered_bits : t -> float
 (** Bits delivered by all flows ever — active (integrated to now) and
     completed. *)
 
+val completed_flow_count : t -> int
+(** Flows that have stopped or completed since creation. *)
+
 val recompute_count : t -> int
-(** Number of max-min recomputations so far (a cost metric reported by
-    the benchmarks). *)
+(** Max-min solves actually executed. With coalescing this is the
+    cost metric; it can be far below {!recompute_requests}. *)
+
+val recompute_requests : t -> int
+(** Mutations that asked for a recompute (one per flow
+    start/stop/reroute). [recompute_requests / recompute_count] is
+    the coalescing ratio the benchmarks report. *)

@@ -3,6 +3,8 @@ type entry = {
   seq : int;
   action : unit -> unit;
   mutable cancelled : bool;
+  mutable in_heap : bool;
+  live : int ref;  (* the owning queue's live counter *)
 }
 
 type handle = entry
@@ -11,13 +13,20 @@ type t = {
   mutable heap : entry array;  (* heap.(0) unused when len = 0 *)
   mutable len : int;
   mutable next_seq : int;
-  mutable live : int;
+  live : int ref;
 }
 
 let dummy =
-  { time = Time.zero; seq = -1; action = (fun () -> ()); cancelled = true }
+  {
+    time = Time.zero;
+    seq = -1;
+    action = (fun () -> ());
+    cancelled = true;
+    in_heap = false;
+    live = ref 0;
+  }
 
-let create () = { heap = Array.make 64 dummy; len = 0; next_seq = 0; live = 0 }
+let create () = { heap = Array.make 64 dummy; len = 0; next_seq = 0; live = ref 0 }
 
 let before a b =
   match Time.compare a.time b.time with
@@ -53,45 +62,68 @@ let grow t =
   Array.blit t.heap 0 heap 0 t.len;
   t.heap <- heap
 
+(* Lazy-deletion sweep: once cancelled entries outnumber live ones,
+   filter them out in place and re-heapify bottom-up, so a workload
+   that schedules and cancels heavily (completion re-aiming) keeps the
+   heap proportional to the live set. *)
+let compact t =
+  let j = ref 0 in
+  for i = 0 to t.len - 1 do
+    let e = t.heap.(i) in
+    if e.cancelled then e.in_heap <- false
+    else begin
+      t.heap.(!j) <- e;
+      incr j
+    end
+  done;
+  Array.fill t.heap !j (t.len - !j) dummy;
+  t.len <- !j;
+  for i = (t.len / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+let maybe_compact t =
+  if t.len >= 64 && t.len - !(t.live) > t.len / 2 then compact t
+
 let schedule t time action =
+  maybe_compact t;
   if t.len = Array.length t.heap then grow t;
-  let e = { time; seq = t.next_seq; action; cancelled = false } in
+  let e =
+    { time; seq = t.next_seq; action; cancelled = false; in_heap = true;
+      live = t.live }
+  in
   t.next_seq <- t.next_seq + 1;
   t.heap.(t.len) <- e;
   t.len <- t.len + 1;
-  t.live <- t.live + 1;
+  incr t.live;
   sift_up t (t.len - 1);
   e
 
 let cancel (e : handle) =
-  e.cancelled <- true
+  if not e.cancelled then begin
+    e.cancelled <- true;
+    (* Entries already popped (or cleared) no longer count. *)
+    if e.in_heap then decr e.live
+  end
 
 let is_cancelled (e : handle) = e.cancelled
 
 let remove_top t =
+  t.heap.(0).in_heap <- false;
   t.len <- t.len - 1;
   t.heap.(0) <- t.heap.(t.len);
   t.heap.(t.len) <- dummy;
   if t.len > 0 then sift_down t 0
 
-(* Discard cancelled entries sitting at the top. The [live] counter
-   only tracks cancellations lazily, so recount here. *)
+(* Discard cancelled entries sitting at the top; their cancellation
+   already adjusted [live]. *)
 let rec drop_cancelled t =
   if t.len > 0 && t.heap.(0).cancelled then begin
     remove_top t;
     drop_cancelled t
   end
 
-let recount t =
-  let n = ref 0 in
-  for i = 0 to t.len - 1 do
-    if not t.heap.(i).cancelled then incr n
-  done;
-  t.live <- !n
-
-let size t =
-  recount t;
-  t.live
+let size t = !(t.live)
 
 let is_empty t =
   drop_cancelled t;
@@ -107,6 +139,7 @@ let pop t =
   else begin
     let e = t.heap.(0) in
     remove_top t;
+    decr t.live;
     Some (e.time, e.action)
   end
 
@@ -116,10 +149,14 @@ let pop_until t limit =
   else begin
     let e = t.heap.(0) in
     remove_top t;
+    decr t.live;
     Some (e.time, e.action)
   end
 
 let clear t =
+  for i = 0 to t.len - 1 do
+    t.heap.(i).in_heap <- false
+  done;
   Array.fill t.heap 0 t.len dummy;
   t.len <- 0;
-  t.live <- 0
+  t.live := 0

@@ -3,7 +3,11 @@
 
     Two events at the same timestamp execute in insertion order, which
     makes runs deterministic. Cancellation is O(1) lazy: a cancelled
-    event stays in the heap but is skipped when it surfaces. *)
+    event stays in the heap but is skipped when it surfaces, and the
+    live count is maintained at cancel time so {!size} is O(1). When
+    cancelled entries outnumber live ones the heap is compacted in one
+    O(n) sweep, so cancel-heavy workloads (e.g. completion-timer
+    re-aiming) keep the heap proportional to the live set. *)
 
 type t
 (** A mutable event queue. *)
@@ -25,7 +29,7 @@ val cancel : handle -> unit
 val is_cancelled : handle -> bool
 
 val size : t -> int
-(** Number of live (non-cancelled) events. *)
+(** Number of live (non-cancelled) events. O(1). *)
 
 val is_empty : t -> bool
 

@@ -114,6 +114,7 @@ type t = {
   mutable pollers : (unit -> unit) array;
   mutable rev_transitions : transition list;
   mutable run_start_wall : float;
+  deferred : (unit -> unit) Queue.t;
 }
 
 let gauge_of_mode = function Des -> 0.0 | Fti -> 1.0
@@ -138,6 +139,7 @@ let create ?(config = default_config) ?registry () =
     pollers = [||];
     rev_transitions = [];
     run_start_wall = Wall.now ();
+    deferred = Queue.create ();
   }
 
 let config t = t.cfg
@@ -151,6 +153,21 @@ let with_span t ~name f =
     ~name
     ~now_us:(fun () -> Int64.of_int (Time.to_us t.clock))
     f
+
+(* End-of-instant work queue: callbacks registered here run before the
+   virtual clock advances past the current instant (and before [run]
+   returns). Subsystems use it to coalesce work triggered many times
+   inside one event batch — e.g. the fluid data plane folds a burst of
+   k flow starts into one fair-share solve. Callbacks may defer again;
+   everything drains before time moves. *)
+let defer t f = Queue.add f t.deferred
+
+let has_deferred t = not (Queue.is_empty t.deferred)
+
+let flush_deferred t =
+  while not (Queue.is_empty t.deferred) do
+    (Queue.pop t.deferred) ()
+  done
 
 let schedule_at t at action =
   Event_queue.schedule t.queue (Time.max at t.clock) action
@@ -242,27 +259,38 @@ let account t mode0 wall0 clock0 =
    the run is over. *)
 let des_step t until =
   let wall0 = Wall.now () and clock0 = t.clock in
-  let continue =
+  let rec exec () =
     let next = Event_queue.next_time t.queue in
-    let beyond_horizon =
-      match (next, until) with
-      | None, _ -> true
-      | Some nt, Some u -> Time.(nt > u)
-      | Some _, None -> false
+    (* Drain deferred work before the clock can leave the instant that
+       registered it. *)
+    let advancing =
+      match next with Some nt -> Time.(nt > t.clock) | None -> true
     in
-    if beyond_horizon then begin
-      (match until with Some u -> t.clock <- Time.max t.clock u | None -> ());
-      false
+    if advancing && has_deferred t then begin
+      flush_deferred t;
+      exec ()
     end
     else
-      match Event_queue.pop t.queue with
-      | None -> false
-      | Some (time, action) ->
-          t.clock <- Time.max t.clock time;
-          Counter.incr t.m.m_events;
-          action ();
-          true
+      let beyond_horizon =
+        match (next, until) with
+        | None, _ -> true
+        | Some nt, Some u -> Time.(nt > u)
+        | Some _, None -> false
+      in
+      if beyond_horizon then begin
+        (match until with Some u -> t.clock <- Time.max t.clock u | None -> ());
+        false
+      end
+      else
+        match Event_queue.pop t.queue with
+        | None -> false
+        | Some (time, action) ->
+            t.clock <- Time.max t.clock time;
+            Counter.incr t.m.m_events;
+            action ();
+            true
   in
+  let continue = exec () in
   account t Des wall0 clock0;
   continue
 
@@ -276,16 +304,26 @@ let fti_step t until =
     match until with Some u -> Time.min target u | None -> target
   in
   let rec drain () =
-    match Event_queue.pop_until t.queue target with
-    | Some (time, action) ->
-        t.clock <- Time.max t.clock time;
-        Counter.incr t.m.m_events;
-        action ();
-        drain ()
-    | None -> ()
+    let next = Event_queue.next_time t.queue in
+    let advancing =
+      match next with Some nt -> Time.(nt > t.clock) | None -> true
+    in
+    if advancing && has_deferred t then begin
+      flush_deferred t;
+      drain ()
+    end
+    else
+      match Event_queue.pop_until t.queue target with
+      | Some (time, action) ->
+          t.clock <- Time.max t.clock time;
+          Counter.incr t.m.m_events;
+          action ();
+          drain ()
+      | None -> ()
   in
   drain ();
   Array.iter (fun poll -> poll ()) t.pollers;
+  flush_deferred t;
   t.clock <- Time.max t.clock target;
   Counter.incr t.m.m_fti_increments;
   if t.cfg.fti_pacing > 0.0 then
@@ -314,6 +352,8 @@ let run ?until t =
       if continue then loop ()
   in
   loop ();
+  (* A stop request can leave end-of-instant work pending. *)
+  flush_deferred t;
   Gauge.add t.m.g_wall_total_s (Wall.now () -. t.run_start_wall);
   t.running <- false;
   snapshot t

@@ -111,6 +111,17 @@ val schedule_after : t -> Time.t -> (unit -> unit) -> Event_queue.handle
 
 val cancel : Event_queue.handle -> unit
 
+val defer : t -> (unit -> unit) -> unit
+(** Registers end-of-instant work: [f] runs before the virtual clock
+    advances past the current instant — after every event scheduled at
+    the current timestamp has executed, and before {!run} returns or
+    an FTI increment closes. Callbacks run in registration order and
+    may defer again; everything drains before time moves. This is the
+    coalescing hook: a subsystem asked to recompute k times inside one
+    event batch defers once and pays for one recomputation. Work
+    deferred while the scheduler is idle runs when the next {!run}
+    starts (before its first event). *)
+
 type recurring
 (** A repeating event; lives until cancelled or the run ends. *)
 

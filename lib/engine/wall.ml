@@ -1,4 +1,7 @@
-let now () = Unix.gettimeofday ()
+(* Delegates to the shared telemetry clock so every subsystem (spans,
+   scheduler accounting, the fluid data plane) reads the same —
+   test-substitutable — source. *)
+let now () = Horse_telemetry.Clock.now ()
 
 let time f =
   let t0 = now () in

@@ -1,4 +1,8 @@
-(** Wall-clock measurement (the quantity Horse is designed to save). *)
+(** Wall-clock measurement (the quantity Horse is designed to save).
+
+    Readings come from {!Horse_telemetry.Clock}, the single
+    process-wide wall source, so tests can substitute a deterministic
+    clock for the scheduler, spans and the data plane at once. *)
 
 val now : unit -> float
 (** Seconds since an arbitrary epoch, sub-millisecond resolution. *)

@@ -1,0 +1,10 @@
+let source = ref Unix.gettimeofday
+
+let now () = !source ()
+
+let set_source f = source := f
+
+let with_source src f =
+  let prev = !source in
+  source := src;
+  Fun.protect ~finally:(fun () -> source := prev) f

@@ -1,4 +1,4 @@
-let wall_now () = Unix.gettimeofday ()
+let wall_now () = Clock.now ()
 
 type record = {
   name : string;

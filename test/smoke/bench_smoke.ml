@@ -1,0 +1,51 @@
+(* Performance smoke for the fluid data plane: a down-scaled TE
+   scenario (the FIG3 workload at its smallest size) where every host
+   flow starts in the single BGP-convergence event.  Recompute
+   coalescing must fold that burst into a bounded number of max-min
+   solves; if the solve count creeps back toward one-per-mutation this
+   exits non-zero and fails @bench-smoke (and @runtest with it).
+
+   Writes the run's full telemetry snapshot to the path given as
+   argv(1), in the same JSON shape as the bench harness's
+   results/BENCH_*.json artefacts. *)
+
+module Time = Horse_engine.Time
+module Scenario = Horse_core.Scenario
+module Registry = Horse_telemetry.Registry
+
+let () =
+  let out = Sys.argv.(1) in
+  let r =
+    Scenario.run_fat_tree_te ~pods:4 ~te:Scenario.Bgp_ecmp
+      ~duration:(Time.of_sec 10.0) ()
+  in
+  let reg = r.Scenario.registry in
+  let counter name =
+    match Registry.find_counter reg name with
+    | Some c -> Registry.Counter.value c
+    | None -> failwith ("bench_smoke: counter not registered: " ^ name)
+  in
+  let requests = counter "horse_fluid_recompute_requests_total" in
+  let solves = counter "horse_fluid_recomputes_total" in
+  let oc = open_out out in
+  output_string oc
+    (Horse_telemetry.Json.to_string (Horse_telemetry.Export.json reg));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "bench-smoke: %d recompute requests coalesced into %d solves\n"
+    requests solves;
+  (* Sanity: all 16 hosts started a flow and at least one solve ran. *)
+  if solves = 0 || requests < r.Scenario.n_hosts then begin
+    Printf.eprintf "bench-smoke: implausible counters (requests=%d, solves=%d)\n"
+      requests solves;
+    exit 1
+  end;
+  (* Coalescing budget: the convergence burst must cost at least 5x
+     fewer solves than recompute requests. *)
+  if solves * 5 > requests then begin
+    Printf.eprintf
+      "bench-smoke: coalescing budget exceeded: %d solves for %d requests \
+       (want requests/solves >= 5)\n"
+      solves requests;
+    exit 1
+  end

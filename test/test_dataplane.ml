@@ -223,6 +223,80 @@ let prop_fair_share_maxmin_bottleneck =
         flows;
       !ok)
 
+(* Differential generator: wider than the feasibility one — includes
+   zero demands, empty paths and heavy demand duplication, the inputs
+   where the batched water-filling could diverge from progressive
+   filling. *)
+let gen_differential_case =
+  let open QCheck2.Gen in
+  let* n_links = int_range 1 8 in
+  let* caps = array_size (return n_links) (float_range 0.5 10.0) in
+  let* n_flows = int_range 0 25 in
+  let* demand_pool = array_size (return 4) (float_range 0.0 6.0) in
+  let* flows =
+    list_size (return n_flows)
+      (let* demand =
+         oneof
+           [
+             (let* i = int_range 0 3 in
+              return demand_pool.(i));
+             float_range 0.0 6.0;
+             return 0.0;
+           ]
+       in
+       let* path_len = int_range 0 n_links in
+       let* links = list_size (return path_len) (int_range 0 (n_links - 1)) in
+       return { Fair_share.demand; links = List.sort_uniq Int.compare links })
+  in
+  return (caps, Array.of_list flows)
+
+let prop_fair_share_differential =
+  qtest ~count:500 "fair share: water filling matches progressive filling"
+    gen_differential_case (fun (caps, flows) ->
+      let capacity l = caps.(l) in
+      let fast = Fair_share.compute ~capacity flows in
+      let slow = Fair_share.compute_reference ~capacity flows in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-9) fast slow)
+
+let prop_fair_share_differential_invariants =
+  (* The production solver alone must satisfy the max-min witness on
+     the wider input class too. *)
+  qtest ~count:300 "fair share: invariants hold on degenerate inputs"
+    gen_differential_case (fun (caps, flows) ->
+      let capacity l = caps.(l) in
+      let rates = Fair_share.compute ~capacity flows in
+      let demand_ok =
+        Array.for_all2
+          (fun r (f : Fair_share.flow_input) ->
+            r >= -1e-9 && r <= f.Fair_share.demand +. 1e-9)
+          rates flows
+      in
+      let load_ok =
+        List.for_all
+          (fun (l, load) -> load <= caps.(l) +. 1e-6)
+          (Fair_share.link_loads flows rates)
+      in
+      demand_ok && load_ok)
+
+let prop_fair_share_arena_reuse_stable =
+  (* Re-solving different problems through one arena must not leak
+     state between calls. *)
+  qtest ~count:100 "fair share: arena reuse is call-independent"
+    QCheck2.Gen.(pair gen_differential_case gen_differential_case)
+    (fun ((caps1, flows1), (caps2, flows2)) ->
+      let arena = Fair_share.create_arena () in
+      let solve caps flows =
+        Fair_share.compute ~arena ~capacity:(fun l -> caps.(l)) flows
+      in
+      ignore (solve caps1 flows1);
+      let second = solve caps2 flows2 in
+      let fresh =
+        Fair_share.compute ~arena:(Fair_share.create_arena ())
+          ~capacity:(fun l -> caps2.(l))
+          flows2
+      in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-12) second fresh)
+
 (* --- Fluid engine -------------------------------------------------------- *)
 
 (* A 2-host dumbbell: h0 - s0 - s1 - h1, all 1 Gbps. *)
@@ -423,6 +497,93 @@ let test_fluid_validation () =
       ignore
         (Fluid.start_flow fluid ~key:(key_i 0) ~path:[ List.nth path 0; List.nth path 2 ]))
 
+let test_fluid_coalescing () =
+  (* A burst of k flow events inside one scheduler instant must cost
+     one max-min solve; the eager engine pays k. *)
+  let k = 10 in
+  let run ~eager =
+    let topo, _, _, path = dumbbell () in
+    let sched = Sched.create () in
+    let fluid = Fluid.create ~eager sched topo in
+    ignore
+      (Sched.schedule_at sched Time.zero (fun () ->
+           for i = 0 to k - 1 do
+             ignore (Fluid.start_flow ~demand:1e9 fluid ~key:(key_i i) ~path)
+           done));
+    ignore (Sched.run ~until:(Time.of_sec 1.0) sched);
+    fluid
+  in
+  let coalesced = run ~eager:false in
+  check Alcotest.int "k requests recorded" k
+    (Fluid.recompute_requests coalesced);
+  check Alcotest.int "one solve for the burst" 1
+    (Fluid.recompute_count coalesced);
+  let eager = run ~eager:true in
+  check Alcotest.int "eager solves once per mutation" k
+    (Fluid.recompute_count eager);
+  (* Both engines end at identical allocations. *)
+  List.iter2
+    (fun a b ->
+      check (Alcotest.float 1.0) "same rate either way"
+        (Fluid.current_rate eager a)
+        (Fluid.current_rate coalesced b))
+    (Fluid.active_flows eager)
+    (Fluid.active_flows coalesced)
+
+let test_fluid_coalesced_reads_are_fresh () =
+  (* Reading a rate inside the mutating instant must observe the
+     post-solve allocation even though the deferred flush has not run
+     yet. *)
+  let topo, _, _, path = dumbbell () in
+  let sched = Sched.create () in
+  let fluid = Fluid.create sched topo in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         let f1 = Fluid.start_flow ~demand:1e9 fluid ~key:(key_i 1) ~path in
+         let f2 = Fluid.start_flow ~demand:1e9 fluid ~key:(key_i 2) ~path in
+         check (Alcotest.float 1.0) "f1 sees the shared rate" 0.5e9
+           (Fluid.current_rate fluid f1);
+         check (Alcotest.float 1.0) "f2 sees the shared rate" 0.5e9
+           (Fluid.current_rate fluid f2)));
+  ignore (Sched.run ~until:(Time.of_sec 1.0) sched)
+
+let test_fluid_indexes_after_churn () =
+  (* find_flow / flows_on_link / host_rx_rate are backed by indexes
+     now; churn (start, duplicate keys, stop) must keep them exact. *)
+  let topo, _, h1, path = dumbbell () in
+  let sched = Sched.create () in
+  let fluid = Fluid.create sched topo in
+  let l0 = (List.hd path).Topology.link_id in
+  let fa = ref None and fb = ref None and fdup = ref None in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         fa := Some (Fluid.start_flow ~demand:1e9 fluid ~key:(key_i 1) ~path);
+         fb := Some (Fluid.start_flow ~demand:1e9 fluid ~key:(key_i 2) ~path);
+         (* Same 5-tuple as fa: the newest binding must win lookups. *)
+         fdup := Some (Fluid.start_flow ~demand:1e9 fluid ~key:(key_i 1) ~path)));
+  ignore (Sched.run ~until:(Time.of_sec 1.0) sched);
+  let fa = Option.get !fa and fb = Option.get !fb and fdup = Option.get !fdup in
+  check Alcotest.int "three flows cross the access link" 3
+    (List.length (Fluid.flows_on_link fluid l0));
+  (match Fluid.find_flow fluid (key_i 1) with
+  | Some f -> check Alcotest.int "newest duplicate wins" fdup.Flow.id f.Flow.id
+  | None -> Alcotest.fail "key 1 not found");
+  Fluid.stop_flow fluid fdup;
+  (match Fluid.find_flow fluid (key_i 1) with
+  | Some f -> check Alcotest.int "older binding resurfaces" fa.Flow.id f.Flow.id
+  | None -> Alcotest.fail "key 1 lost after stopping the duplicate");
+  Fluid.stop_flow fluid fa;
+  check Alcotest.bool "key 1 gone once both stopped" true
+    (Fluid.find_flow fluid (key_i 1) = None);
+  check Alcotest.int "one flow left on the link" 1
+    (List.length (Fluid.flows_on_link fluid l0));
+  check Alcotest.int "completed accumulator" 2
+    (Fluid.completed_flow_count fluid);
+  check (Alcotest.float 1.0) "host rate equals the survivor" 1e9
+    (Fluid.host_rx_rate fluid h1.Topology.id);
+  check (Alcotest.float 1.0) "fb holds the full link" 1e9
+    (Fluid.current_rate fluid fb)
+
 (* --- Packet engine -------------------------------------------------------- *)
 
 let test_packet_engine_delivery () =
@@ -604,6 +765,9 @@ let () =
           Alcotest.test_case "zero demand" `Quick test_fair_share_zero_demand;
           prop_fair_share_feasible;
           prop_fair_share_maxmin_bottleneck;
+          prop_fair_share_differential;
+          prop_fair_share_differential_invariants;
+          prop_fair_share_arena_reuse_stable;
         ] );
       ( "fluid",
         [
@@ -618,6 +782,11 @@ let () =
             test_finite_flow_stop_before_completion;
           Alcotest.test_case "sampling" `Quick test_fluid_sampling;
           Alcotest.test_case "validation" `Quick test_fluid_validation;
+          Alcotest.test_case "recompute coalescing" `Quick test_fluid_coalescing;
+          Alcotest.test_case "coalesced reads are fresh" `Quick
+            test_fluid_coalesced_reads_are_fresh;
+          Alcotest.test_case "indexes after churn" `Quick
+            test_fluid_indexes_after_churn;
         ] );
       ( "packet_engine",
         [

@@ -148,6 +148,65 @@ let prop_queue_sorted =
       in
       drain Time.zero)
 
+let test_queue_size_after_cancel () =
+  let q = Event_queue.create () in
+  let handles =
+    List.init 10 (fun i ->
+        Event_queue.schedule q (Time.of_ms i) (fun () -> ()))
+  in
+  check Alcotest.int "all live" 10 (Event_queue.size q);
+  List.iteri (fun i h -> if i mod 2 = 0 then Event_queue.cancel h) handles;
+  check Alcotest.int "size drops with each cancel" 5 (Event_queue.size q);
+  (* Cancelling twice must not double-decrement. *)
+  Event_queue.cancel (List.hd handles);
+  check Alcotest.int "idempotent cancel" 5 (Event_queue.size q);
+  (* Cancelling an event that has already been popped must not touch
+     the live count of the remaining heap (the fluid engine cancels
+     completion timers that may have fired). *)
+  let h_popped = List.nth handles 1 in
+  (match Event_queue.pop q with
+  | Some (at, _) -> check Alcotest.int "popped earliest live" 1 (Time.to_us at / 1000)
+  | None -> Alcotest.fail "expected a live event");
+  check Alcotest.int "pop decrements" 4 (Event_queue.size q);
+  Event_queue.cancel h_popped;
+  check Alcotest.int "cancel after pop is a no-op on size" 4 (Event_queue.size q);
+  drain_all q;
+  check Alcotest.int "drained" 0 (Event_queue.size q)
+
+let test_queue_compaction_preserves_order () =
+  (* Flood the heap with cancellations so the compaction sweep
+     triggers, then check ordering and FIFO-at-same-time survive. *)
+  let q = Event_queue.create () in
+  let doomed = ref [] in
+  for i = 0 to 499 do
+    let h =
+      Event_queue.schedule q (Time.of_us (i mod 50)) (fun () -> ())
+    in
+    if i mod 4 <> 0 then doomed := h :: !doomed
+  done;
+  List.iter Event_queue.cancel !doomed;
+  check Alcotest.int "live after mass cancel" 125 (Event_queue.size q);
+  (* Next schedules run the compaction path. *)
+  let out = ref [] in
+  for i = 0 to 9 do
+    ignore (Event_queue.schedule q (Time.of_us 25) (fun () -> out := i :: !out))
+  done;
+  check Alcotest.int "live after compaction" 135 (Event_queue.size q);
+  let rec drain last n =
+    match Event_queue.pop q with
+    | None -> n
+    | Some (at, action) ->
+        check Alcotest.bool "non-decreasing after compaction" true
+          Time.(at >= last);
+        action ();
+        drain at (n + 1)
+  in
+  let popped = drain Time.zero 0 in
+  check Alcotest.int "every live event pops exactly once" 135 popped;
+  check (Alcotest.list Alcotest.int) "fifo among equals survives compaction"
+    (List.init 10 (fun i -> i))
+    (List.rev !out)
+
 (* --- Hybrid scheduler -------------------------------------------------- *)
 
 let test_des_jumps () =
@@ -283,6 +342,44 @@ let test_schedule_in_past_clamps () =
                 at := Time.to_ms (Sched.now sched)))));
   ignore (Sched.run ~until:(Time.of_ms 200) sched);
   check (Alcotest.float 1e-6) "clamped to now" 100.0 !at
+
+let test_defer_runs_before_clock_advances () =
+  let sched = Sched.create () in
+  let trace = ref [] in
+  let note label () =
+    trace := (label, Time.to_ms (Sched.now sched)) :: !trace
+  in
+  ignore
+    (Sched.schedule_at sched (Time.of_ms 1) (fun () ->
+         Sched.defer sched (note "defer");
+         note "first@1" ()));
+  ignore (Sched.schedule_at sched (Time.of_ms 1) (note "second@1"));
+  ignore (Sched.schedule_at sched (Time.of_ms 5) (note "later@5"));
+  ignore (Sched.run sched);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 1e-9)))
+    "deferred work drains after the instant's events, before time moves"
+    [ ("first@1", 1.0); ("second@1", 1.0); ("defer", 1.0); ("later@5", 5.0) ]
+    (List.rev !trace)
+
+let test_defer_chains_drain_in_instant () =
+  (* A deferred callback may defer again; the whole chain must drain
+     at the instant that started it. *)
+  let sched = Sched.create () in
+  let ran = ref 0 in
+  ignore
+    (Sched.schedule_at sched (Time.of_ms 2) (fun () ->
+         let rec go n =
+           Sched.defer sched (fun () ->
+               check (Alcotest.float 1e-9) "still at 2ms" 2.0
+                 (Time.to_ms (Sched.now sched));
+               incr ran;
+               if n > 0 then go (n - 1))
+         in
+         go 3));
+  ignore (Sched.schedule_at sched (Time.of_ms 9) (fun () -> ()));
+  ignore (Sched.run sched);
+  check Alcotest.int "all chained callbacks ran" 4 !ran
 
 let test_stop () =
   let sched = Sched.create () in
@@ -476,6 +573,10 @@ let () =
           Alcotest.test_case "fifo at same time" `Quick test_queue_fifo_same_time;
           Alcotest.test_case "cancel" `Quick test_queue_cancel;
           Alcotest.test_case "pop_until" `Quick test_queue_pop_until;
+          Alcotest.test_case "size after cancel" `Quick
+            test_queue_size_after_cancel;
+          Alcotest.test_case "compaction preserves order" `Quick
+            test_queue_compaction_preserves_order;
           prop_queue_sorted;
         ] );
       ( "hybrid_sched",
@@ -493,6 +594,10 @@ let () =
             test_recurring_cadence_no_drift;
           Alcotest.test_case "past schedule clamps" `Quick
             test_schedule_in_past_clamps;
+          Alcotest.test_case "defer before clock advance" `Quick
+            test_defer_runs_before_clock_advances;
+          Alcotest.test_case "defer chains drain in instant" `Quick
+            test_defer_chains_drain_in_instant;
           Alcotest.test_case "stop" `Quick test_stop;
           Alcotest.test_case "start in FTI" `Quick test_start_in_fti;
           Alcotest.test_case "FTI wall cost exceeds DES" `Slow

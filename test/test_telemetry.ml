@@ -6,6 +6,7 @@ module Counter = Registry.Counter
 module Gauge = Registry.Gauge
 module Histogram = Horse_telemetry.Histogram
 module Span = Horse_telemetry.Span
+module Clock = Horse_telemetry.Clock
 module Export = Horse_telemetry.Export
 module Json = Horse_telemetry.Json
 
@@ -119,6 +120,33 @@ let test_span_implicit_close_and_with_span () =
   in
   check Alcotest.string "with_span returns" "result" r;
   check Alcotest.int "with_span recorded" 3 (List.length (Span.records tr))
+
+(* --- Wall clock source ------------------------------------------------ *)
+
+let test_clock_source () =
+  (* Every wall-clock read in the tree goes through Clock; swapping
+     the source makes wall timing deterministic for tests. *)
+  let real = Clock.now () in
+  check Alcotest.bool "default source is real time" true (real > 0.0);
+  let fake = ref 100.0 in
+  let inside =
+    Clock.with_source
+      (fun () -> !fake)
+      (fun () ->
+        let a = Clock.now () in
+        fake := 107.5;
+        let b = Clock.now () in
+        (a, b))
+  in
+  check (Alcotest.pair (Alcotest.float 0.0) (Alcotest.float 0.0))
+    "scoped source is read on every call" (100.0, 107.5) inside;
+  check Alcotest.bool "source restored after with_source" true
+    (Clock.now () >= real);
+  (* Restored even when the thunk raises. *)
+  (try
+     Clock.with_source (fun () -> 1.0) (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.bool "source restored after raise" true (Clock.now () >= real)
 
 (* --- JSON codec ------------------------------------------------------- *)
 
@@ -253,6 +281,7 @@ let () =
           Alcotest.test_case "implicit close + with_span" `Quick
             test_span_implicit_close_and_with_span;
         ] );
+      ("clock", [ Alcotest.test_case "swappable source" `Quick test_clock_source ]);
       ("json", [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip ]);
       ( "export",
         [
