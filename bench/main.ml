@@ -689,6 +689,145 @@ let churn ~full =
      engine pays >=5x fewer solves for the same storm@."
 
 (* ------------------------------------------------------------------ *)
+(* BGP-SCALE: update groups + packed UPDATEs vs the legacy speaker     *)
+(* ------------------------------------------------------------------ *)
+
+module Speaker = Horse_bgp.Speaker
+module Bgp_chan = Horse_emulation.Channel
+module Bgp_proc = Horse_emulation.Process
+
+type bgp_scale_outcome = {
+  bs_wall : float;
+  bs_converged : Time.t option;
+  bs_updates : int;
+  bs_prefixes : int;
+  bs_messages : int;
+  bs_groups : int;
+  bs_registry : Horse_telemetry.Registry.t;
+}
+
+(* A leaf-spine fabric of raw speakers (no data plane): every router
+   originates [prefixes_per] /24s, leaves peer with every spine.  The
+   long hold time keeps keepalive processing out of the measurement
+   window — the workload is pure table transfer and propagation. *)
+let run_bgp_scale ~packing ~spines ~leaves ~prefixes_per ~horizon () =
+  let sched = Sched.create () in
+  let n_routers = spines + leaves in
+  let total = n_routers * prefixes_per in
+  let router_prefixes r =
+    List.init prefixes_per (fun j ->
+        Prefix.make
+          (Ipv4.of_int32
+             (Int32.of_int (0x0A000000 lor (((r * prefixes_per) + j) lsl 8))))
+          24)
+  in
+  let mk name asn idx =
+    Speaker.create
+      (Bgp_proc.create sched ~name)
+      {
+        (Speaker.default_config ~asn
+           ~router_id:(Ipv4.of_octets 1 (idx / 250) 0 ((idx mod 250) + 1)))
+        with
+        Speaker.networks = router_prefixes idx;
+        hold_time = Time.of_sec 3600.0;
+        packing;
+      }
+  in
+  let spine_arr =
+    Array.init spines (fun s -> mk (Printf.sprintf "spine%d" s) (64000 + s) s)
+  in
+  let leaf_arr =
+    Array.init leaves (fun l ->
+        mk (Printf.sprintf "leaf%d" l) (64100 + l) (spines + l))
+  in
+  let channels = ref [] in
+  Array.iter
+    (fun leaf ->
+      Array.iter
+        (fun spine ->
+          let chan = Bgp_chan.create sched () in
+          channels := chan :: !channels;
+          let el, es = Bgp_chan.endpoints chan in
+          ignore (Speaker.add_peer leaf ~remote_asn:(Speaker.asn spine) el);
+          ignore (Speaker.add_peer spine ~remote_asn:(Speaker.asn leaf) es))
+        spine_arr)
+    leaf_arr;
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Array.iter Speaker.start spine_arr;
+         Array.iter Speaker.start leaf_arr));
+  let converged = ref None in
+  let all = Array.append spine_arr leaf_arr in
+  ignore
+    (Sched.every sched (Time.of_ms 500) (fun () ->
+         if
+           !converged = None
+           && Array.for_all (fun s -> Speaker.loc_rib_size s = total) all
+         then converged := Some (Sched.now sched)));
+  let _stats, wall = Wall.time (fun () -> Sched.run ~until:horizon sched) in
+  Array.iter
+    (fun s ->
+      if Speaker.loc_rib_size s <> total then
+        failwith "bgp-scale: fabric did not converge within the horizon")
+    all;
+  let reg = Sched.registry sched in
+  let counter name =
+    match Horse_telemetry.Registry.find_counter reg name with
+    | Some c -> Horse_telemetry.Registry.Counter.value c
+    | None -> 0
+  in
+  {
+    bs_wall = wall;
+    bs_converged = !converged;
+    bs_updates = counter "horse_bgp_updates_sent_total";
+    bs_prefixes = counter "horse_bgp_prefixes_sent_total";
+    bs_messages =
+      List.fold_left (fun acc c -> acc + Bgp_chan.messages_sent c) 0 !channels;
+    bs_groups = Speaker.update_group_count spine_arr.(0);
+    bs_registry = reg;
+  }
+
+let bgp_scale ~full =
+  section
+    "BGP-SCALE — control-plane table transfer: update groups + packed \
+     UPDATEs vs the legacy per-prefix speaker";
+  let spines, leaves, prefixes_per, horizon =
+    if full then (4, 30, 400, Time.of_sec 600.0)
+    else (2, 14, 200, Time.of_sec 120.0)
+  in
+  let n = spines + leaves in
+  Format.fprintf fmt
+    "leaf-spine, %d routers (%d spines x %d leaves), %d prefixes originated \
+     per router (%d total)@.@."
+    n spines leaves prefixes_per (n * prefixes_per);
+  Format.fprintf fmt "%-10s %10s %12s %10s %12s %12s %12s@." "speaker"
+    "updates" "prefixes" "pack" "chan msgs" "converged" "wall(ms)";
+  let report name (o : bgp_scale_outcome) =
+    Format.fprintf fmt "%-10s %10d %12d %9.1fx %12d %12s %12.1f@." name
+      o.bs_updates o.bs_prefixes
+      (float_of_int o.bs_prefixes /. float_of_int (max 1 o.bs_updates))
+      o.bs_messages
+      (match o.bs_converged with
+      | Some at -> Format.asprintf "%a" Time.pp at
+      | None -> "horizon")
+      (o.bs_wall *. 1e3)
+  in
+  let packed = run_bgp_scale ~packing:true ~spines ~leaves ~prefixes_per ~horizon () in
+  report "packed" packed;
+  let legacy = run_bgp_scale ~packing:false ~spines ~leaves ~prefixes_per ~horizon () in
+  report "legacy" legacy;
+  Format.fprintf fmt
+    "@.update groups per spine: %d (one per distinct export policy, %d peers)@."
+    packed.bs_groups leaves;
+  Format.fprintf fmt "speedup: %.1fx wall, %.1fx fewer UPDATE messages@."
+    (legacy.bs_wall /. Float.max 1e-9 packed.bs_wall)
+    (float_of_int legacy.bs_updates /. float_of_int (max 1 packed.bs_updates));
+  write_snapshot "bgp_scale" packed.bs_registry;
+  Format.fprintf fmt
+    "@.shape check: same converged tables, >=8 prefixes per packed UPDATE, \
+     packed wall and message counts well under legacy@."
+
+(* ------------------------------------------------------------------ *)
 (* Microbenchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -864,7 +1003,7 @@ let () =
   let known =
     [ "fig1"; "fig3"; "te"; "ablation-timeout"; "ablation-increment";
       "protocols"; "ablation-placer"; "scaling"; "fct"; "failure"; "churn";
-      "micro" ]
+      "bgp-scale"; "micro" ]
   in
   let commands = List.filter (fun a -> List.mem a known) args in
   let commands = if commands = [] then known else commands in
@@ -882,6 +1021,7 @@ let () =
       | "fct" -> fct ()
       | "failure" -> failure ()
       | "churn" -> churn ~full
+      | "bgp-scale" -> bgp_scale ~full
       | "micro" -> micro ()
       | _ -> ())
     commands

@@ -1,0 +1,50 @@
+module Tbl = Hashtbl.Make (struct
+  type t = Msg.attrs
+
+  let equal = Msg.attrs_equal
+  let hash = Msg.attrs_hash
+end)
+
+type interned = {
+  attrs : Msg.attrs;
+  hash : int;
+  path_len : int;
+  uid : int;
+}
+
+type t = {
+  tbl : interned Tbl.t;
+  mutable next_uid : int;
+  mutable hits : int;
+  on_hit : unit -> unit;
+  on_miss : unit -> unit;
+}
+
+let nop () = ()
+
+let create ?(on_hit = nop) ?(on_miss = nop) () =
+  { tbl = Tbl.create 64; next_uid = 0; hits = 0; on_hit; on_miss }
+
+let intern t attrs =
+  match Tbl.find_opt t.tbl attrs with
+  | Some i ->
+      t.hits <- t.hits + 1;
+      t.on_hit ();
+      i
+  | None ->
+      let i =
+        {
+          attrs;
+          hash = Msg.attrs_hash attrs;
+          path_len = List.length attrs.Msg.as_path;
+          uid = t.next_uid;
+        }
+      in
+      t.next_uid <- t.next_uid + 1;
+      Tbl.replace t.tbl attrs i;
+      t.on_miss ();
+      i
+
+let equal a b = a == b || a.uid = b.uid
+let size t = Tbl.length t.tbl
+let hits t = t.hits

@@ -1,0 +1,34 @@
+(** Hash-consing of BGP path attributes.
+
+    A speaker sees the same attribute record thousands of times — once
+    per prefix per peer — and the decision process, update-group
+    keying and Adj-RIB-Out grouping all compare attributes. Interning
+    maps every structurally equal {!Msg.attrs} to one shared
+    {!interned} handle carrying a precomputed hash, the cached AS-path
+    length, and a dense [uid], so those comparisons become integer
+    equality instead of list walks. The table is per speaker (attrs
+    never migrate between speakers' tables). *)
+
+type interned = private {
+  attrs : Msg.attrs;  (** the canonical (shared) record *)
+  hash : int;  (** {!Msg.attrs_hash} of [attrs] *)
+  path_len : int;  (** [List.length attrs.as_path] *)
+  uid : int;  (** dense, unique within one table *)
+}
+
+type t
+
+val create : ?on_hit:(unit -> unit) -> ?on_miss:(unit -> unit) -> unit -> t
+(** The callbacks let the owner feed telemetry counters without this
+    module depending on the registry. *)
+
+val intern : t -> Msg.attrs -> interned
+(** O(1) expected (one structural hash + one bucket probe). *)
+
+val equal : interned -> interned -> bool
+(** O(1): uid comparison — valid only for handles from one table. *)
+
+val size : t -> int
+(** Distinct attribute records interned so far. *)
+
+val hits : t -> int

@@ -55,6 +55,18 @@ let attrs_equal a b =
   && Option.equal Int.equal a.local_pref b.local_pref
   && List.equal Int.equal a.communities b.communities
 
+let hash_int_list seed l =
+  List.fold_left (fun h x -> (h * 31) + x + 1) seed l
+
+let attrs_hash a =
+  let h = origin_to_int a.origin in
+  let h = (h * 31) + Ipv4.hash a.next_hop in
+  let h = (h * 31) + Option.value a.med ~default:(-7) in
+  let h = (h * 31) + Option.value a.local_pref ~default:(-13) in
+  let h = hash_int_list h a.as_path in
+  let h = hash_int_list h a.communities in
+  h land max_int
+
 type open_msg = { asn : int; hold_time_s : int; bgp_id : Ipv4.t }
 
 type update = { withdrawn : Prefix.t list; reach : (attrs * Prefix.t list) option }
@@ -377,6 +389,92 @@ let decode buf =
           in
           Ok (Update { withdrawn; reach })
       | n -> Error (Printf.sprintf "bgp: unknown message type %d" n)
+
+(* --- packed encoding ----------------------------------------------- *)
+
+let max_message_size = 4096
+
+type packed = { bytes : Bytes.t; announced : int; withdrawn : int }
+
+module Packer = struct
+  type t = { scratch : Bytes.t; mutable attrs_scratch : Bytes.t }
+
+  let create () =
+    {
+      scratch = Bytes.create max_message_size;
+      attrs_scratch = Bytes.create 1024;
+    }
+
+  (* Serialize the group's shared attributes once; every emitted
+     message blits this slice instead of re-walking the attr lists. *)
+  let prepare_attrs t attrs =
+    let size = attrs_wire_size attrs in
+    if Bytes.length t.attrs_scratch < size then
+      t.attrs_scratch <- Bytes.create (2 * size);
+    let end_ = write_attrs t.attrs_scratch 0 attrs in
+    if end_ <> size then failwith "Bgp.Msg.Packer: attrs size mismatch";
+    size
+
+  (* Take prefixes from [ps] while their wire size fits in [room]. *)
+  let take room ps =
+    let rec go acc n used = function
+      | p :: rest when used + prefix_wire_size p <= room ->
+          go (p :: acc) (n + 1) (used + prefix_wire_size p) rest
+      | rest -> (acc, n, used, rest)
+    in
+    go [] 0 0 ps
+
+  let pack t ?(withdrawn = []) ?reach () =
+    let attrs, nlri =
+      match reach with
+      | Some (a, (_ :: _ as nlri)) -> (Some a, nlri)
+      | Some (_, []) | None -> (None, [])
+    in
+    let asize = match attrs with Some a -> prepare_attrs t a | None -> 0 in
+    let budget = max_message_size - header_size - 4 in
+    let msgs = ref [] in
+    let emit ~withdrawn_rev ~n_w ~w_bytes ~nlri_rev ~n_n ~n_bytes =
+      let len =
+        header_size + 4 + w_bytes + (if n_n > 0 then asize else 0) + n_bytes
+      in
+      let buf = t.scratch in
+      Bytes.fill buf 0 16 '\xff';
+      set_u16 buf 16 len;
+      set_u8 buf 18 2 (* UPDATE *);
+      set_u16 buf header_size w_bytes;
+      let o = ref (header_size + 2) in
+      List.iter (fun p -> o := write_prefix buf !o p) (List.rev withdrawn_rev);
+      if n_n > 0 then begin
+        set_u16 buf !o asize;
+        Bytes.blit t.attrs_scratch 0 buf (!o + 2) asize;
+        o := !o + 2 + asize;
+        List.iter (fun p -> o := write_prefix buf !o p) (List.rev nlri_rev)
+      end
+      else begin
+        set_u16 buf !o 0;
+        o := !o + 2
+      end;
+      msgs :=
+        { bytes = Bytes.sub buf 0 len; announced = n_n; withdrawn = n_w }
+        :: !msgs
+    in
+    let rec go withdrawn nlri =
+      match (withdrawn, nlri) with
+      | [], [] -> ()
+      | _ ->
+          let w_rev, n_w, w_bytes, w_rest = take budget withdrawn in
+          (* NLRI rides along only once every withdrawal has been
+             placed (coalesced into the leading messages). *)
+          let n_rev, n_n, n_bytes, n_rest =
+            if w_rest = [] then take (budget - w_bytes - asize) nlri
+            else ([], 0, 0, nlri)
+          in
+          emit ~withdrawn_rev:w_rev ~n_w ~w_bytes ~nlri_rev:n_rev ~n_n ~n_bytes;
+          go w_rest n_rest
+    in
+    go withdrawn nlri;
+    List.rev !msgs
+end
 
 let equal a b =
   match (a, b) with

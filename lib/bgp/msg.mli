@@ -36,6 +36,10 @@ val pp_community : Format.formatter -> int -> unit
 val pp_attrs : Format.formatter -> attrs -> unit
 val attrs_equal : attrs -> attrs -> bool
 
+val attrs_hash : attrs -> int
+(** Structural hash consistent with {!attrs_equal}; non-negative.
+    Suitable for [Hashtbl.Make] and precomputed by {!Attr_intern}. *)
+
 type open_msg = { asn : int; hold_time_s : int; bgp_id : Ipv4.t }
 
 type update = {
@@ -61,6 +65,36 @@ val decode : Bytes.t -> (t, string) result
 
 val header_size : int
 (** 19 bytes. *)
+
+val max_message_size : int
+(** 4096 bytes — the RFC 4271 maximum; {!Packer} never exceeds it. *)
+
+type packed = {
+  bytes : Bytes.t;  (** one whole encoded UPDATE, ≤ {!max_message_size} *)
+  announced : int;  (** NLRI prefixes carried *)
+  withdrawn : int;  (** withdrawn prefixes carried *)
+}
+
+(** Packed UPDATE serializer with a reusable buffer arena.
+
+    [pack] spreads a withdraw set plus one attribute group's NLRI over
+    as few UPDATE messages as the 4096-byte limit allows: withdrawals
+    are coalesced into the leading message(s), the shared path
+    attributes are serialized exactly once into the arena and blitted
+    into every message that carries NLRI. The arena (one 4096-byte
+    build buffer plus the attrs slice) is reused across calls, so a
+    steady flush allocates only the emitted messages themselves. *)
+module Packer : sig
+  type t
+
+  val create : unit -> t
+
+  val pack :
+    t -> ?withdrawn:Prefix.t list -> ?reach:attrs * Prefix.t list -> unit ->
+    packed list
+  (** Empty inputs yield [[]]. Decoding each emitted message yields an
+      [Update] whose withdrawn/NLRI sets partition the inputs. *)
+end
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

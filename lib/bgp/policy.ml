@@ -20,6 +20,35 @@ let make ?(default = Accept) rules = { rules; default }
 let accept_all = { rules = []; default = Accept }
 let reject_all = { rules = []; default = Reject }
 
+let match_equal a b =
+  match (a, b) with
+  | Any, Any -> true
+  | Exact p, Exact q | Within p, Within q -> Prefix.equal p q
+  | Has_community c, Has_community d -> c = d
+  | (Any | Exact _ | Within _ | Has_community _), _ -> false
+
+let modifier_equal (a : modifier) (b : modifier) = a = b
+
+let action_equal a b =
+  match (a, b) with
+  | Accept, Accept | Reject, Reject -> true
+  | Accept_with m, Accept_with n -> List.equal modifier_equal m n
+  | (Accept | Reject | Accept_with _), _ -> false
+
+let rule_equal a b =
+  match_equal a.match_ b.match_ && action_equal a.action b.action
+
+let equal a b =
+  a == b || (List.equal rule_equal a.rules b.rules && action_equal a.default b.default)
+
+let prefix_independent t =
+  List.for_all
+    (fun r ->
+      match r.match_ with
+      | Any | Has_community _ -> true
+      | Exact _ | Within _ -> false)
+    t.rules
+
 let matches m prefix (attrs : Msg.attrs) =
   match m with
   | Any -> true

@@ -37,6 +37,15 @@ val make : ?default:action -> rule list -> t
 val accept_all : t
 val reject_all : t
 
+val equal : t -> t -> bool
+(** Structural equality (fast-pathed on physical equality). Peers
+    whose export policies are [equal] share one update group. *)
+
+val prefix_independent : t -> bool
+(** True when no rule matches on the route's prefix ([Exact]/[Within])
+    — evaluation then depends on the attributes alone, so export
+    results can be memoized per interned attribute record. *)
+
 val eval : t -> Prefix.t -> Msg.attrs -> Msg.attrs option
 (** [None] = rejected; [Some attrs] = accepted, with modifiers
     applied. Community sets stay sorted and duplicate-free. *)

@@ -6,6 +6,7 @@ let local_peer = -1
 type route = {
   prefix : Prefix.t;
   attrs : Msg.attrs;
+  iattrs : Attr_intern.interned;
   peer : int;
   peer_bgp_id : Ipv4.t;
   learned_at : Time.t;
@@ -25,11 +26,24 @@ end)
 type t = {
   adj_in : (int, route Prefix_tbl.t) Hashtbl.t;  (* peer -> prefix -> route *)
   local : route Prefix_tbl.t;
+  cands : route list Prefix_tbl.t;
+      (* per-prefix candidate set, kept sorted best-first under
+         [cmp_route]; the incremental mirror of adj_in + local *)
   loc : route list Prefix_tbl.t;
+  intern : Attr_intern.t;
 }
 
-let create () =
-  { adj_in = Hashtbl.create 8; local = Prefix_tbl.create 16; loc = Prefix_tbl.create 64 }
+let create ?intern () =
+  {
+    adj_in = Hashtbl.create 8;
+    local = Prefix_tbl.create 16;
+    cands = Prefix_tbl.create 64;
+    loc = Prefix_tbl.create 64;
+    intern =
+      (match intern with Some i -> i | None -> Attr_intern.create ());
+  }
+
+let intern_table t = t.intern
 
 let peer_table t peer =
   match Hashtbl.find_opt t.adj_in peer with
@@ -39,45 +53,159 @@ let peer_table t peer =
       Hashtbl.add t.adj_in peer table;
       table
 
+(* --- decision order ------------------------------------------------ *)
+
+let local_pref (r : route) = Option.value r.attrs.Msg.local_pref ~default:100
+let as_path_len (r : route) = r.iattrs.Attr_intern.path_len
+let med (r : route) = Option.value r.attrs.Msg.med ~default:0
+
+let neighbor_as (r : route) =
+  match r.attrs.Msg.as_path with [] -> None | asn :: _ -> Some asn
+
+(* Total order implementing decision steps 1-3 (higher LOCAL_PREF,
+   shorter AS_PATH, lower ORIGIN) followed by the stable tiebreaks
+   (steps 5-6: lower BGP id, lower peer id). Step 4 (MED) is not a
+   total order — it only compares routes sharing a neighbour AS — so
+   it is applied as a filter over the leading equivalence class at
+   decide time. The AS-path length comparison reads the interned
+   cached length: O(1), not O(path). *)
+let cmp_route (a : route) (b : route) =
+  let c = Int.compare (local_pref b) (local_pref a) in
+  if c <> 0 then c
+  else
+    let c = Int.compare (as_path_len a) (as_path_len b) in
+    if c <> 0 then c
+    else
+      let c =
+        Int.compare
+          (Msg.origin_to_int a.attrs.Msg.origin)
+          (Msg.origin_to_int b.attrs.Msg.origin)
+      in
+      if c <> 0 then c
+      else
+        let c = Ipv4.compare a.peer_bgp_id b.peer_bgp_id in
+        if c <> 0 then c else Int.compare a.peer b.peer
+
+(* --- incremental candidate maintenance ----------------------------- *)
+
+let rec insert_sorted r = function
+  | [] -> [ r ]
+  | x :: rest as l ->
+      if cmp_route r x <= 0 then r :: l else x :: insert_sorted r rest
+
+let cands_replace t prefix l =
+  match l with
+  | [] -> Prefix_tbl.remove t.cands prefix
+  | _ :: _ -> Prefix_tbl.replace t.cands prefix l
+
+let cands_remove t ~peer prefix =
+  match Prefix_tbl.find_opt t.cands prefix with
+  | None -> ()
+  | Some l -> cands_replace t prefix (List.filter (fun r -> r.peer <> peer) l)
+
+let cands_set t prefix (r : route) =
+  let l = Option.value (Prefix_tbl.find_opt t.cands prefix) ~default:[] in
+  let l = List.filter (fun r' -> r'.peer <> r.peer) l in
+  Prefix_tbl.replace t.cands prefix (insert_sorted r l)
+
 let set_in t ~peer ~peer_bgp_id ~at prefix attrs =
-  Prefix_tbl.replace (peer_table t peer) prefix
-    { prefix; attrs; peer; peer_bgp_id; learned_at = at }
+  let iattrs = Attr_intern.intern t.intern attrs in
+  let r =
+    {
+      prefix;
+      attrs = iattrs.Attr_intern.attrs;
+      iattrs;
+      peer;
+      peer_bgp_id;
+      learned_at = at;
+    }
+  in
+  Prefix_tbl.replace (peer_table t peer) prefix r;
+  cands_set t prefix r
 
 let withdraw_in t ~peer prefix =
   match Hashtbl.find_opt t.adj_in peer with
-  | Some table -> Prefix_tbl.remove table prefix
   | None -> ()
+  | Some table ->
+      if Prefix_tbl.mem table prefix then begin
+        Prefix_tbl.remove table prefix;
+        cands_remove t ~peer prefix
+      end
 
+(* One pass over the peer's table updates every affected candidate
+   list; callers then run one refresh per returned prefix. *)
 let drop_peer t ~peer =
   match Hashtbl.find_opt t.adj_in peer with
   | None -> []
   | Some table ->
       let prefixes = Prefix_tbl.fold (fun p _ acc -> p :: acc) table [] in
       Hashtbl.remove t.adj_in peer;
+      List.iter (fun p -> cands_remove t ~peer p) prefixes;
       prefixes
 
 let add_local t ~at prefix attrs =
-  Prefix_tbl.replace t.local prefix
-    { prefix; attrs; peer = local_peer; peer_bgp_id = Ipv4.any; learned_at = at }
+  let iattrs = Attr_intern.intern t.intern attrs in
+  let r =
+    {
+      prefix;
+      attrs = iattrs.Attr_intern.attrs;
+      iattrs;
+      peer = local_peer;
+      peer_bgp_id = Ipv4.any;
+      learned_at = at;
+    }
+  in
+  Prefix_tbl.replace t.local prefix r;
+  cands_set t prefix r
 
-let remove_local t prefix = Prefix_tbl.remove t.local prefix
+let remove_local t prefix =
+  if Prefix_tbl.mem t.local prefix then begin
+    Prefix_tbl.remove t.local prefix;
+    cands_remove t ~peer:local_peer prefix
+  end
 
-(* --- decision process --------------------------------------------- *)
+(* --- decision process ---------------------------------------------- *)
 
-let local_pref (r : route) = Option.value r.attrs.Msg.local_pref ~default:100
-let as_path_len (r : route) = List.length r.attrs.Msg.as_path
-let med (r : route) = Option.value r.attrs.Msg.med ~default:0
+(* Step 4: a route only loses to a strictly-better MED via the same
+   neighbour AS. Applied to the (small) leading equivalence class. *)
+let med_filter survivors =
+  List.filter
+    (fun r ->
+      not
+        (List.exists
+           (fun r' -> neighbor_as r' = neighbor_as r && med r' < med r)
+           survivors))
+    survivors
 
-let neighbor_as (r : route) =
-  match r.attrs.Msg.as_path with [] -> None | asn :: _ -> Some asn
+let decide ~multipath t prefix =
+  match Prefix_tbl.find_opt t.cands prefix with
+  | None | Some [] -> []
+  | Some (head :: _ as l) ->
+      let same_class r =
+        local_pref r = local_pref head
+        && as_path_len r = as_path_len head
+        && r.attrs.Msg.origin = head.attrs.Msg.origin
+      in
+      (* The list is sorted, so the class is a prefix of it — and
+         within the class the order is already the step 5-6
+         tiebreak. *)
+      let rec take = function
+        | r :: rest when same_class r -> r :: take rest
+        | _ :: _ | [] -> []
+      in
+      let survivors = med_filter (take l) in
+      if multipath then survivors
+      else (match survivors with [] -> [] | winner :: _ -> [ winner ])
 
-(* Lexicographic filter: keep the routes minimal/maximal under each
-   criterion in turn. *)
+(* --- reference decision process (differential testing) ------------- *)
+
 let keep_best_by f routes =
   match routes with
   | [] | [ _ ] -> routes
   | _ ->
-      let best = List.fold_left (fun acc r -> Stdlib.min acc (f r)) max_int routes in
+      let best =
+        List.fold_left (fun acc r -> Stdlib.min acc (f r)) max_int routes
+      in
       List.filter (fun r -> f r = best) routes
 
 let candidates t prefix =
@@ -93,29 +221,18 @@ let candidates t prefix =
   | Some r -> r :: from_peers
   | None -> from_peers
 
-let decide ~multipath t prefix =
+(* The pre-incremental implementation: full candidate rebuild and a
+   chain of lexicographic filters. Kept as the oracle for the QCheck
+   differential suite. *)
+let decide_reference ~multipath t prefix =
   let survivors = candidates t prefix in
-  (* Step 1: highest local-pref (minimise the negation). *)
   let survivors = keep_best_by (fun r -> -local_pref r) survivors in
-  (* Step 2: shortest AS path. *)
   let survivors = keep_best_by as_path_len survivors in
-  (* Step 3: lowest origin. *)
-  let survivors = keep_best_by (fun r -> Msg.origin_to_int r.attrs.Msg.origin) survivors in
-  (* Step 4: lowest MED among routes via the same neighbour AS. A
-     route only loses here to a strictly-better route with the same
-     first hop AS. *)
   let survivors =
-    List.filter
-      (fun r ->
-        not
-          (List.exists
-             (fun r' ->
-               neighbor_as r' = neighbor_as r && med r' < med r)
-             survivors))
-      survivors
+    keep_best_by (fun r -> Msg.origin_to_int r.attrs.Msg.origin) survivors
   in
+  let survivors = med_filter survivors in
   let tiebreak a b =
-    (* Steps 5-6: lowest BGP id, then lowest peer id. *)
     match Ipv4.compare a.peer_bgp_id b.peer_bgp_id with
     | 0 -> Int.compare a.peer b.peer
     | c -> c
@@ -131,7 +248,7 @@ let routes_equal a b =
     (fun (x : route) (y : route) ->
       x.peer = y.peer
       && Prefix.equal x.prefix y.prefix
-      && Msg.attrs_equal x.attrs y.attrs)
+      && Attr_intern.equal x.iattrs y.iattrs)
     a b
 
 let refresh ?(multipath = true) t prefix =

@@ -14,7 +14,15 @@
 
     With multipath enabled, every route tying through step 4 enters
     the Loc-RIB as an ECMP set (the relaxation used by data-centre
-    BGP fabrics); otherwise steps 5–6 pick a single winner. *)
+    BGP fabrics); otherwise steps 5–6 pick a single winner.
+
+    The decision process is {e incremental}: every prefix keeps its
+    candidate set sorted under the lexicographic criteria (steps 1–3
+    plus the tiebreaks; MED is a filter over the leading equivalence
+    class), so a refresh after a single-peer change is a bounded
+    update of one sorted list rather than a scan over every peer's
+    Adj-RIB-In. Attributes are hash-consed through {!Attr_intern}:
+    AS-path length is cached and attribute comparison is O(1). *)
 
 open Horse_net
 open Horse_engine
@@ -24,7 +32,8 @@ val local_peer : int
 
 type route = {
   prefix : Prefix.t;
-  attrs : Msg.attrs;
+  attrs : Msg.attrs;  (** canonical interned record, [iattrs.attrs] *)
+  iattrs : Attr_intern.interned;  (** hash-consed handle *)
   peer : int;  (** {!local_peer} for local routes *)
   peer_bgp_id : Ipv4.t;
   learned_at : Time.t;
@@ -34,7 +43,12 @@ val pp_route : Format.formatter -> route -> unit
 
 type t
 
-val create : unit -> t
+val create : ?intern:Attr_intern.t -> unit -> t
+(** [intern] shares the owner's attribute table (the speaker passes
+    its own so Adj-RIB-Out grouping reuses the same uids); a private
+    table is created otherwise. *)
+
+val intern_table : t -> Attr_intern.t
 
 val set_in :
   t -> peer:int -> peer_bgp_id:Ipv4.t -> at:Time.t -> Prefix.t -> Msg.attrs -> unit
@@ -60,6 +74,13 @@ type refresh_outcome =
 val refresh : ?multipath:bool -> t -> Prefix.t -> refresh_outcome
 (** Recomputes the best set for one prefix and updates the Loc-RIB.
     [multipath] defaults to [true]. *)
+
+val decide : multipath:bool -> t -> Prefix.t -> route list
+(** The incremental decision process, without touching the Loc-RIB. *)
+
+val decide_reference : multipath:bool -> t -> Prefix.t -> route list
+(** The pre-incremental full-rebuild implementation, kept as the
+    oracle for the differential test suite. *)
 
 val best : t -> Prefix.t -> route list
 (** Current Loc-RIB entry ([[]] if none). *)

@@ -23,6 +23,7 @@ type config = {
   multipath : bool;
   networks : Prefix.t list;
   processing_delay : Time.t;
+  packing : bool;
 }
 
 let default_config ~asn ~router_id =
@@ -34,6 +35,7 @@ let default_config ~asn ~router_id =
     multipath = true;
     networks = [];
     processing_delay = Time.of_us 100;
+    packing = true;
   }
 
 type counters = {
@@ -52,12 +54,18 @@ module Prefix_set = Set.Make (struct
   let compare = Prefix.compare
 end)
 
+(* Peers sharing an [equal] export policy form one update group: the
+   Adj-RIB-Out computation (split horizon aside), the export-policy
+   evaluation and the serialized buffers are produced once per group
+   and shared by every member, so a flush costs O(groups), not
+   O(peers). *)
 type peer = {
   id : int;
   remote_asn : int;
   mutable endpoint : Channel.endpoint;
   import : Policy.t;
   export : Policy.t;
+  group : group;
   mutable state : peer_state;
   mutable remote_id : Ipv4.t;
   mutable negotiated_hold : Time.t;
@@ -67,6 +75,21 @@ type peer = {
   mutable pending_withdraw : Prefix_set.t;
   mutable mrai_armed : bool;
   mutable advertised : Prefix_set.t;
+}
+
+and group = {
+  gid : int;
+  g_export : Policy.t;
+  g_prefix_independent : bool;
+  mutable members : peer list;  (* reversed insertion order *)
+  mutable up_members : int;
+  mutable g_pending_announce : Prefix_set.t;
+  mutable g_pending_withdraw : Prefix_set.t;
+  mutable g_mrai_armed : bool;
+  export_memo : (int, Attr_intern.interned option) Hashtbl.t;
+      (* Loc-RIB attrs uid -> post-policy interned attrs; only
+         consulted when the export policy is prefix-independent *)
+  packer : Msg.Packer.t;
 }
 
 (* Registry handles shared by every speaker on the same scheduler:
@@ -84,6 +107,13 @@ type metrics = {
   m_decode : Counter.t;
   g_established : Gauge.t;
   g_rib : Gauge.t;
+  m_updates_sent : Counter.t;
+  m_prefixes_sent : Counter.t;
+  m_withdrawn_sent : Counter.t;
+  m_intern_hits : Counter.t;
+  m_interned : Counter.t;
+  m_group_flushes : Counter.t;
+  m_peer_flushes : Counter.t;
 }
 
 let make_metrics reg ~router_id =
@@ -112,20 +142,51 @@ let make_metrics reg ~router_id =
       Registry.gauge reg ~subsystem:"bgp" ~help:"Loc-RIB prefixes per router"
         ~labels:[ ("router", Ipv4.to_string router_id) ]
         "rib_routes";
+    m_updates_sent =
+      Registry.counter reg ~subsystem:"bgp"
+        ~help:"UPDATE messages sent (packing denominator)"
+        "updates_sent_total";
+    m_prefixes_sent =
+      Registry.counter reg ~subsystem:"bgp"
+        ~help:"NLRI prefixes announced across all sent UPDATEs"
+        "prefixes_sent_total";
+    m_withdrawn_sent =
+      Registry.counter reg ~subsystem:"bgp"
+        ~help:"Prefixes withdrawn across all sent UPDATEs"
+        "withdrawn_prefixes_sent_total";
+    m_intern_hits =
+      Registry.counter reg ~subsystem:"bgp"
+        ~help:"Path-attribute intern lookups resolved to an existing record"
+        "attr_intern_hits_total";
+    m_interned =
+      Registry.counter reg ~subsystem:"bgp"
+        ~help:"Distinct path-attribute records interned"
+        "attrs_interned_total";
+    m_group_flushes =
+      Registry.counter reg ~subsystem:"bgp"
+        ~help:"Update-group flushes (shared Adj-RIB-Out computations)"
+        "group_flushes_total";
+    m_peer_flushes =
+      Registry.counter reg ~subsystem:"bgp"
+        ~help:"Per-peer flushes (initial table transfers and unpacked mode)"
+        "peer_flushes_total";
   }
 
 type t = {
   proc : Process.t;
   cfg : config;
+  intern : Attr_intern.t;
   rib : Rib.t;
   trace : Trace.t option;
   m : metrics;
   mutable peers : peer list;  (* reversed insertion order *)
+  mutable groups : group list;
   mutable next_peer_id : int;
-  mutable rib_hooks : (Prefix.t -> Rib.route list -> unit) list;
-  mutable established_hooks : (int -> unit) list;
-  mutable down_hooks : (int -> unit) list;
+  rib_hooks : (Prefix.t -> Rib.route list -> unit) Hooks.t;
+  established_hooks : (int -> unit) Hooks.t;
+  down_hooks : (int -> unit) Hooks.t;
   mutable started : bool;
+  mutable established : int;  (* |peers in Established| *)
   mutable opens_sent : int;
   mutable updates_sent : int;
   mutable updates_received : int;
@@ -146,34 +207,40 @@ let tracef t fmt =
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let create ?trace proc cfg =
-  let t =
-    {
-      proc;
-      cfg;
-      rib = Rib.create ();
-      trace;
-      m =
-        make_metrics
-          (Sched.registry (Process.scheduler proc))
-          ~router_id:cfg.router_id;
-      peers = [];
-      next_peer_id = 0;
-      rib_hooks = [];
-      established_hooks = [];
-      down_hooks = [];
-      started = false;
-      opens_sent = 0;
-      updates_sent = 0;
-      updates_received = 0;
-      keepalives_sent = 0;
-      keepalives_received = 0;
-      notifications_sent = 0;
-      decode_errors = 0;
-      inbox = Queue.create ();
-      busy = false;
-    }
+  let m =
+    make_metrics (Sched.registry (Process.scheduler proc)) ~router_id:cfg.router_id
   in
-  t
+  let intern =
+    Attr_intern.create
+      ~on_hit:(fun () -> Counter.incr m.m_intern_hits)
+      ~on_miss:(fun () -> Counter.incr m.m_interned)
+      ()
+  in
+  {
+    proc;
+    cfg;
+    intern;
+    rib = Rib.create ~intern ();
+    trace;
+    m;
+    peers = [];
+    groups = [];
+    next_peer_id = 0;
+    rib_hooks = Hooks.create ();
+    established_hooks = Hooks.create ();
+    down_hooks = Hooks.create ();
+    started = false;
+    established = 0;
+    opens_sent = 0;
+    updates_sent = 0;
+    updates_received = 0;
+    keepalives_sent = 0;
+    keepalives_received = 0;
+    notifications_sent = 0;
+    decode_errors = 0;
+    inbox = Queue.create ();
+    busy = false;
+  }
 
 let process t = t.proc
 let asn t = t.cfg.asn
@@ -188,15 +255,17 @@ let find_peer t id =
 let peer_state t id = (find_peer t id).state
 let peer_ids t = List.rev_map (fun p -> p.id) t.peers
 
-let established_count t =
-  List.length (List.filter (fun p -> p.state = Established) t.peers)
+(* O(1): maintained on FSM transitions, not recounted. *)
+let established_count t = t.established
+let update_group_count t = List.length t.groups
 
 let best t prefix = Rib.best t.rib prefix
 let routes t = Rib.loc_rib t.rib
+let loc_rib_size t = Rib.loc_rib_size t.rib
 
-let on_loc_rib_change t f = t.rib_hooks <- t.rib_hooks @ [ f ]
-let on_established t f = t.established_hooks <- t.established_hooks @ [ f ]
-let on_session_down t f = t.down_hooks <- t.down_hooks @ [ f ]
+let on_loc_rib_change t f = Hooks.add t.rib_hooks f
+let on_established t f = Hooks.add t.established_hooks f
+let on_session_down t f = Hooks.add t.down_hooks f
 
 let counters t =
   {
@@ -211,14 +280,23 @@ let counters t =
 
 (* --- sending ------------------------------------------------------- *)
 
+let count_update t ~announced ~withdrawn =
+  t.updates_sent <- t.updates_sent + 1;
+  Counter.incr t.m.tx_update;
+  Counter.incr t.m.m_updates_sent;
+  Counter.add t.m.m_prefixes_sent announced;
+  Counter.add t.m.m_withdrawn_sent withdrawn
+
 let send_msg t peer msg =
   (match msg with
   | Msg.Open _ ->
       t.opens_sent <- t.opens_sent + 1;
       Counter.incr t.m.tx_open
-  | Msg.Update _ ->
-      t.updates_sent <- t.updates_sent + 1;
-      Counter.incr t.m.tx_update
+  | Msg.Update u ->
+      let announced =
+        match u.Msg.reach with None -> 0 | Some (_, nlri) -> List.length nlri
+      in
+      count_update t ~announced ~withdrawn:(List.length u.Msg.withdrawn)
   | Msg.Keepalive ->
       t.keepalives_sent <- t.keepalives_sent + 1;
       Counter.incr t.m.tx_keepalive
@@ -226,6 +304,20 @@ let send_msg t peer msg =
       t.notifications_sent <- t.notifications_sent + 1;
       Counter.incr t.m.tx_notification);
   Channel.send peer.endpoint (Msg.encode msg)
+
+(* Pre-serialized packed UPDATEs: the byte buffers may be shared
+   between the members of an update group; one scheduler event
+   delivers the whole batch. *)
+let send_packed t peer (msgs : Msg.packed list) =
+  match msgs with
+  | [] -> ()
+  | msgs ->
+      List.iter
+        (fun (m : Msg.packed) ->
+          count_update t ~announced:m.Msg.announced ~withdrawn:m.Msg.withdrawn)
+        msgs;
+      Channel.send_many peer.endpoint
+        (List.map (fun (m : Msg.packed) -> m.Msg.bytes) msgs)
 
 (* Export-time attribute rewrite (eBGP): prepend our ASN, set
    NEXT_HOP to ourselves, strip MED and LOCAL_PREF; COMMUNITIES are
@@ -240,11 +332,38 @@ let export_attrs t (route : Rib.route) =
     communities = route.Rib.attrs.Msg.communities;
   }
 
-(* Flush one peer's pending sets as UPDATE messages, grouping NLRI
-   that share identical exported attributes. *)
+(* One export computation per (group, Loc-RIB attrs): the rewrite,
+   the policy evaluation and the interning of the result are memoized
+   on the interned input's uid whenever the policy cannot observe the
+   prefix. *)
+let export_for t group prefix (first : Rib.route) =
+  let eval () =
+    match Policy.eval group.g_export prefix (export_attrs t first) with
+    | None -> None
+    | Some attrs -> Some (Attr_intern.intern t.intern attrs)
+  in
+  if group.g_prefix_independent then begin
+    let key = first.Rib.iattrs.Attr_intern.uid in
+    match Hashtbl.find_opt group.export_memo key with
+    | Some cached -> cached
+    | None ->
+        let r = eval () in
+        Hashtbl.add group.export_memo key r;
+        r
+  end
+  else eval ()
+
+let advertise_all set prefixes =
+  List.fold_left (fun s p -> Prefix_set.add p s) set prefixes
+
+(* Flush one peer's pending sets: the initial table transfer of a
+   fresh session (packed mode) and every flush in unpacked mode.
+   NLRI sharing identical exported attributes group together — by
+   interned uid, so grouping is O(1) per prefix. *)
 let flush_peer t peer =
   peer.mrai_armed <- false;
-  if peer.state = Established then begin
+  if Process.is_alive t.proc && peer.state = Established then begin
+    Counter.incr t.m.m_peer_flushes;
     let withdraws =
       Prefix_set.filter (fun p -> Prefix_set.mem p peer.advertised)
         peer.pending_withdraw
@@ -253,7 +372,10 @@ let flush_peer t peer =
     peer.pending_withdraw <- Prefix_set.empty;
     peer.pending_announce <- Prefix_set.empty;
     (* Re-read the loc-rib at flush time (MRAI coalescing). *)
-    let grouped : (Msg.attrs * Prefix.t list ref) list ref = ref [] in
+    let grouped : (int, Msg.attrs * Prefix.t list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let order = ref [] in
     let extra_withdraws = ref Prefix_set.empty in
     Prefix_set.iter
       (fun prefix ->
@@ -266,16 +388,18 @@ let flush_peer t peer =
             in
             if from_this_peer then
               extra_withdraws := Prefix_set.add prefix !extra_withdraws
-            else
-              let attrs = export_attrs t first in
-              (match Policy.eval peer.export prefix attrs with
-              | None -> extra_withdraws := Prefix_set.add prefix !extra_withdraws
-              | Some attrs -> (
-                  match
-                    List.find_opt (fun (a, _) -> Msg.attrs_equal a attrs) !grouped
-                  with
+            else (
+              match export_for t peer.group prefix first with
+              | None ->
+                  extra_withdraws := Prefix_set.add prefix !extra_withdraws
+              | Some ia -> (
+                  let uid = ia.Attr_intern.uid in
+                  match Hashtbl.find_opt grouped uid with
                   | Some (_, nlri) -> nlri := prefix :: !nlri
-                  | None -> grouped := (attrs, ref [ prefix ]) :: !grouped)))
+                  | None ->
+                      Hashtbl.add grouped uid
+                        (ia.Attr_intern.attrs, ref [ prefix ]);
+                      order := uid :: !order)))
       announces;
     let withdraws =
       Prefix_set.union withdraws
@@ -283,54 +407,195 @@ let flush_peer t peer =
            !extra_withdraws)
     in
     let withdraw_list = Prefix_set.elements withdraws in
-    (* One UPDATE carrying all withdraws (possibly with the first
-       announce group), then one per remaining group. *)
-    (match (!grouped, withdraw_list) with
-    | [], [] -> ()
-    | [], w ->
-        send_msg t peer (Msg.Update { withdrawn = w; reach = None });
-        peer.advertised <-
-          Prefix_set.diff peer.advertised (Prefix_set.of_list w)
-    | groups, w ->
-        List.iteri
-          (fun i (attrs, nlri) ->
-            let withdrawn = if i = 0 then w else [] in
-            send_msg t peer
-              (Msg.Update { withdrawn; reach = Some (attrs, List.rev !nlri) }))
-          groups;
-        peer.advertised <-
-          Prefix_set.diff peer.advertised (Prefix_set.of_list w);
+    let groups = List.rev_map (fun uid -> Hashtbl.find grouped uid) !order in
+    peer.advertised <- Prefix_set.diff peer.advertised withdraws;
+    if t.cfg.packing then begin
+      let msgs = ref [] in
+      if withdraw_list <> [] then
+        msgs := Msg.Packer.pack peer.group.packer ~withdrawn:withdraw_list ();
+      List.iter
+        (fun (attrs, nlri) ->
+          let nlri = List.rev !nlri in
+          msgs :=
+            !msgs @ Msg.Packer.pack peer.group.packer ~reach:(attrs, nlri) ();
+          peer.advertised <- advertise_all peer.advertised nlri)
+        groups;
+      send_packed t peer !msgs
+    end
+    else begin
+      (* Legacy shape: one (unbounded) UPDATE per attribute group,
+         withdrawals riding on the first. *)
+      match (groups, withdraw_list) with
+      | [], [] -> ()
+      | [], w -> send_msg t peer (Msg.Update { withdrawn = w; reach = None })
+      | groups, w ->
+          List.iteri
+            (fun i (attrs, nlri) ->
+              let withdrawn = if i = 0 then w else [] in
+              let nlri = List.rev !nlri in
+              send_msg t peer
+                (Msg.Update { withdrawn; reach = Some (attrs, nlri) });
+              peer.advertised <- advertise_all peer.advertised nlri)
+            groups
+    end
+  end
+
+(* Flush a whole update group: the Adj-RIB-Out computation (best
+   lookup, export rewrite + policy, serialization) runs once; every
+   Established member receives the shared buffers. Split horizon is
+   the only per-peer part — prefixes whose best route was learned
+   from a member are diverted into that member's private withdraw
+   set. *)
+let flush_group t group =
+  group.g_mrai_armed <- false;
+  if Process.is_alive t.proc && group.up_members > 0 then begin
+    Counter.incr t.m.m_group_flushes;
+    let announces = group.g_pending_announce in
+    let withdraws = group.g_pending_withdraw in
+    group.g_pending_announce <- Prefix_set.empty;
+    group.g_pending_withdraw <- Prefix_set.empty;
+    let members =
+      List.filter (fun p -> p.state = Established) group.members
+    in
+    (* Buckets keyed by (exported attrs uid, excluded member ids):
+       almost always the excluded set is empty or one peer. *)
+    let buckets :
+        (int * int list, Msg.attrs * Prefix.t list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let order = ref [] in
+    let shared_withdraw = ref withdraws in
+    Prefix_set.iter
+      (fun prefix ->
+        match Rib.best t.rib prefix with
+        | [] -> shared_withdraw := Prefix_set.add prefix !shared_withdraw
+        | (first :: _ : Rib.route list) as bests -> (
+            let excluded =
+              List.filter_map
+                (fun (r : Rib.route) ->
+                  if r.Rib.peer = Rib.local_peer then None
+                  else if List.exists (fun m -> m.id = r.Rib.peer) members
+                  then Some r.Rib.peer
+                  else None)
+                bests
+              |> List.sort_uniq Int.compare
+            in
+            match export_for t group prefix first with
+            | None ->
+                shared_withdraw := Prefix_set.add prefix !shared_withdraw
+            | Some ia -> (
+                let key = (ia.Attr_intern.uid, excluded) in
+                match Hashtbl.find_opt buckets key with
+                | Some (_, nlri) -> nlri := prefix :: !nlri
+                | None ->
+                    Hashtbl.add buckets key (ia.Attr_intern.attrs, ref [ prefix ]);
+                    order := key :: !order)))
+      announces;
+    let withdraw_list = Prefix_set.elements !shared_withdraw in
+    (* Serialize once per bucket (and once for the withdraw set). *)
+    let withdraw_msgs =
+      if withdraw_list = [] then []
+      else Msg.Packer.pack group.packer ~withdrawn:withdraw_list ()
+    in
+    let packed_buckets =
+      List.rev_map
+        (fun ((_, excluded) as key) ->
+          let attrs, nlri = Hashtbl.find buckets key in
+          let nlri = List.rev !nlri in
+          (excluded, nlri, Msg.Packer.pack group.packer ~reach:(attrs, nlri) ()))
+        !order
+    in
+    List.iter
+      (fun member ->
+        let msgs = ref withdraw_msgs in
+        member.advertised <- Prefix_set.diff member.advertised !shared_withdraw;
+        let horizon = ref [] in
         List.iter
-          (fun (_, nlri) ->
-            peer.advertised <-
-              Prefix_set.union peer.advertised (Prefix_set.of_list !nlri))
-          groups)
+          (fun (excluded, nlri, packed) ->
+            if List.mem member.id excluded then
+              (* Split horizon: this member sourced the best route;
+                 retract anything it was previously advertised. *)
+              List.iter
+                (fun p ->
+                  if Prefix_set.mem p member.advertised then begin
+                    horizon := p :: !horizon;
+                    member.advertised <- Prefix_set.remove p member.advertised
+                  end)
+                nlri
+            else begin
+              msgs := !msgs @ packed;
+              member.advertised <- advertise_all member.advertised nlri
+            end)
+          packed_buckets;
+        if !horizon <> [] then
+          msgs := !msgs @ Msg.Packer.pack group.packer ~withdrawn:!horizon ();
+        send_packed t member !msgs)
+      members
+  end
+
+let schedule_group_flush t group =
+  if not group.g_mrai_armed then begin
+    group.g_mrai_armed <- true;
+    if Time.equal t.cfg.mrai Time.zero then
+      (* End-of-instant coalescing: every prefix refreshed while
+         processing the current event batch rides one flush. *)
+      Sched.defer (sched t) (fun () -> flush_group t group)
+    else Process.after t.proc t.cfg.mrai (fun () -> flush_group t group)
   end
 
 let schedule_flush t peer =
-  if Time.equal t.cfg.mrai Time.zero then flush_peer t peer
+  if t.cfg.packing then begin
+    if not peer.mrai_armed then begin
+      peer.mrai_armed <- true;
+      if Time.equal t.cfg.mrai Time.zero then
+        Sched.defer (sched t) (fun () -> flush_peer t peer)
+      else Process.after t.proc t.cfg.mrai (fun () -> flush_peer t peer)
+    end
+  end
+  else if Time.equal t.cfg.mrai Time.zero then flush_peer t peer
   else if not peer.mrai_armed then begin
     peer.mrai_armed <- true;
     Process.after t.proc t.cfg.mrai (fun () -> flush_peer t peer)
   end
 
+(* Dirty-track one Loc-RIB change: O(update groups) in packed mode,
+   O(peers) in unpacked mode. *)
 let enqueue_prefix t prefix =
-  List.iter
-    (fun peer ->
-      if peer.state = Established then begin
-        (match Rib.best t.rib prefix with
-        | [] ->
-            peer.pending_withdraw <- Prefix_set.add prefix peer.pending_withdraw;
-            peer.pending_announce <- Prefix_set.remove prefix peer.pending_announce
-        | _ :: _ ->
-            peer.pending_announce <- Prefix_set.add prefix peer.pending_announce;
-            peer.pending_withdraw <- Prefix_set.remove prefix peer.pending_withdraw);
-        schedule_flush t peer
-      end)
-    t.peers
+  if t.cfg.packing then
+    List.iter
+      (fun group ->
+        if group.up_members > 0 then begin
+          (match Rib.best t.rib prefix with
+          | [] ->
+              group.g_pending_withdraw <-
+                Prefix_set.add prefix group.g_pending_withdraw;
+              group.g_pending_announce <-
+                Prefix_set.remove prefix group.g_pending_announce
+          | _ :: _ ->
+              group.g_pending_announce <-
+                Prefix_set.add prefix group.g_pending_announce;
+              group.g_pending_withdraw <-
+                Prefix_set.remove prefix group.g_pending_withdraw);
+          schedule_group_flush t group
+        end)
+      t.groups
+  else
+    List.iter
+      (fun peer ->
+        if peer.state = Established then begin
+          (match Rib.best t.rib prefix with
+          | [] ->
+              peer.pending_withdraw <- Prefix_set.add prefix peer.pending_withdraw;
+              peer.pending_announce <- Prefix_set.remove prefix peer.pending_announce
+          | _ :: _ ->
+              peer.pending_announce <- Prefix_set.add prefix peer.pending_announce;
+              peer.pending_withdraw <- Prefix_set.remove prefix peer.pending_withdraw);
+          schedule_flush t peer
+        end)
+      t.peers
 
 let notify_rib_change t prefix routes =
-  List.iter (fun f -> f prefix routes) t.rib_hooks
+  Hooks.iter (fun f -> f prefix routes) t.rib_hooks
 
 let refresh_and_propagate t prefix =
   match Rib.refresh ~multipath:t.cfg.multipath t.rib prefix with
@@ -350,11 +615,14 @@ let start_keepalive t peer =
 
 let session_established t peer =
   peer.state <- Established;
+  t.established <- t.established + 1;
+  peer.group.up_members <- peer.group.up_members + 1;
   Gauge.add t.m.g_established 1.0;
   tracef t "session to AS%d established" peer.remote_asn;
   start_keepalive t peer;
-  List.iter (fun f -> f peer.id) t.established_hooks;
-  (* Initial table transfer: everything in the Loc-RIB. *)
+  Hooks.iter (fun f -> f peer.id) t.established_hooks;
+  (* Initial table transfer: everything in the Loc-RIB, through the
+     per-peer path (group flushes only carry deltas). *)
   List.iter
     (fun (prefix, _) ->
       peer.pending_announce <- Prefix_set.add prefix peer.pending_announce)
@@ -364,7 +632,11 @@ let session_established t peer =
 let session_down t peer ~reason =
   if peer.state <> Idle then begin
     tracef t "session to AS%d down (%s)" peer.remote_asn reason;
-    if peer.state = Established then Gauge.add t.m.g_established (-1.0);
+    if peer.state = Established then begin
+      Gauge.add t.m.g_established (-1.0);
+      t.established <- t.established - 1;
+      peer.group.up_members <- peer.group.up_members - 1
+    end;
     peer.state <- Idle;
     Option.iter Sched.cancel_recurring peer.keepalive_timer;
     peer.keepalive_timer <- None;
@@ -373,7 +645,7 @@ let session_down t peer ~reason =
     peer.advertised <- Prefix_set.empty;
     let affected = Rib.drop_peer t.rib ~peer:peer.id in
     List.iter (refresh_and_propagate t) affected;
-    List.iter (fun f -> f peer.id) t.down_hooks
+    Hooks.iter (fun f -> f peer.id) t.down_hooks
   end
 
 (* --- receiving ----------------------------------------------------- *)
@@ -490,8 +762,30 @@ let send_open t peer =
          bgp_id = t.cfg.router_id;
        })
 
+let find_group t export =
+  match List.find_opt (fun g -> Policy.equal g.g_export export) t.groups with
+  | Some g -> g
+  | None ->
+      let g =
+        {
+          gid = List.length t.groups;
+          g_export = export;
+          g_prefix_independent = Policy.prefix_independent export;
+          members = [];
+          up_members = 0;
+          g_pending_announce = Prefix_set.empty;
+          g_pending_withdraw = Prefix_set.empty;
+          g_mrai_armed = false;
+          export_memo = Hashtbl.create 32;
+          packer = Msg.Packer.create ();
+        }
+      in
+      t.groups <- g :: t.groups;
+      g
+
 let add_peer ?(import = Policy.accept_all) ?(export = Policy.accept_all) t
     ~remote_asn endpoint =
+  let group = find_group t export in
   let peer =
     {
       id = t.next_peer_id;
@@ -499,6 +793,7 @@ let add_peer ?(import = Policy.accept_all) ?(export = Policy.accept_all) t
       endpoint;
       import;
       export;
+      group;
       state = Idle;
       remote_id = Ipv4.any;
       negotiated_hold = t.cfg.hold_time;
@@ -512,6 +807,7 @@ let add_peer ?(import = Policy.accept_all) ?(export = Policy.accept_all) t
   in
   t.next_peer_id <- t.next_peer_id + 1;
   t.peers <- peer :: t.peers;
+  group.members <- peer :: group.members;
   bind_endpoint t peer endpoint;
   peer.id
 

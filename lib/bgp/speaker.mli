@@ -12,7 +12,22 @@
     with full route retraction, AS-path loop rejection, implicit and
     explicit withdraws, split-horizon towards the route's source
     peer(s), per-peer import/export policy, MRAI batching of updates,
-    and BGP multipath in the decision process. *)
+    and BGP multipath in the decision process.
+
+    {2 Control-plane scaling}
+
+    With [packing] on (the default), the speaker behaves like a
+    large-scale production daemon: peers whose export policies are
+    {!Policy.equal} share one {e update group}, so the Adj-RIB-Out
+    computation, the export-policy evaluation and the serialized
+    UPDATE buffers are produced once per group and shared by every
+    member; flushes pack as many NLRI as fit into each 4096-byte
+    UPDATE ({!Msg.Packer}); with MRAI zero, flushes coalesce to the
+    end of the current scheduler instant, so a received UPDATE
+    carrying k prefixes triggers one outgoing flush, not k. Set
+    [packing = false] to recover the original one-UPDATE-per-
+    attribute-group behaviour — kept as the differential-testing
+    baseline. Both modes converge to identical Loc-RIBs. *)
 
 open Horse_net
 open Horse_engine
@@ -34,11 +49,16 @@ type config = {
           through a single work queue — models the single-threaded
           processing of a real routing daemon. {!Time.zero} handles
           messages inline. *)
+  packing : bool;
+      (** Update groups + packed UPDATEs + end-of-instant flush
+          coalescing (see module docs). [false] = legacy per-peer,
+          per-attribute-group UPDATEs, used as the differential
+          baseline. *)
 }
 
 val default_config : asn:int -> router_id:Ipv4.t -> config
 (** hold 9 s, MRAI 0, multipath on, no networks, 100 µs processing
-    delay. *)
+    delay, packing on. *)
 
 type t
 
@@ -80,10 +100,18 @@ val withdraw_network : t -> Prefix.t -> unit
 
 val peer_state : t -> int -> peer_state
 val peer_ids : t -> int list
+
 val established_count : t -> int
+(** O(1): maintained on FSM transitions. *)
+
+val update_group_count : t -> int
+(** Number of update groups (distinct export policies across peers). *)
 
 val best : t -> Prefix.t -> Rib.route list
 val routes : t -> (Prefix.t * Rib.route list) list
+
+val loc_rib_size : t -> int
+(** O(1). *)
 
 val on_loc_rib_change : t -> (Prefix.t -> Rib.route list -> unit) -> unit
 (** Fired whenever the Loc-RIB entry for a prefix changes; an empty

@@ -24,7 +24,7 @@ type t = {
   originated : (int, Prefix.t list) Hashtbl.t;
   mutable prefixes : Prefix.t list;
   mutable fib_writes : int;
-  mutable fib_hooks : (int -> Prefix.t -> unit) list;
+  fib_hooks : (int -> Prefix.t -> unit) Hooks.t;
   mutable n_sessions : int;
   mutable sessions : session list;
   mutable converged_fired : bool;
@@ -59,10 +59,10 @@ let install_fib t node peer_links prefix (routes : Rib.route list) =
   | _ :: _, _ :: _ ->
       Fwd.set_route table prefix ~next_hops;
       t.fib_writes <- t.fib_writes + 1);
-  List.iter (fun f -> f node prefix) t.fib_hooks
+  Hooks.iter (fun f -> f node prefix) t.fib_hooks
 
 let build ?(asn_base = 64512) ?(hold_time = Time.of_sec 9.0) ?(mrai = Time.zero)
-    ~cm ~originate topo =
+    ?(packing = true) ~cm ~originate topo =
   let sched = Connection_manager.scheduler cm in
   let trace = Connection_manager.trace cm in
   let t =
@@ -76,7 +76,7 @@ let build ?(asn_base = 64512) ?(hold_time = Time.of_sec 9.0) ?(mrai = Time.zero)
       originated = Hashtbl.create 64;
       prefixes = [];
       fib_writes = 0;
-      fib_hooks = [];
+      fib_hooks = Hooks.create ();
       n_sessions = 0;
       sessions = [];
       converged_fired = false;
@@ -103,6 +103,7 @@ let build ?(asn_base = 64512) ?(hold_time = Time.of_sec 9.0) ?(mrai = Time.zero)
             Speaker.hold_time;
             mrai;
             networks;
+            packing;
           }
         in
         let speaker = Speaker.create ~trace proc config in
@@ -200,7 +201,7 @@ let speaker t node = Hashtbl.find_opt t.speakers node
 let table t node = t.tables.(node)
 let all_prefixes t = t.prefixes
 let fib_routes_installed t = t.fib_writes
-let on_fib_change t f = t.fib_hooks <- t.fib_hooks @ [ f ]
+let on_fib_change t f = Hooks.add t.fib_hooks f
 
 let is_converged t =
   Hashtbl.fold

@@ -64,6 +64,28 @@ let send e msg =
            if t.open_ then deliver target msg))
   end
 
+let send_many e msgs =
+  match msgs with
+  | [] -> ()
+  | [ msg ] -> send e msg
+  | msgs ->
+      let t = e.chan in
+      if t.open_ then begin
+        List.iter
+          (fun msg ->
+            t.messages <- t.messages + 1;
+            t.bytes <- t.bytes + Bytes.length msg;
+            match t.observer with
+            | Some obs -> obs e.dir_out msg
+            | None -> ())
+          msgs;
+        let target = e.theirs in
+        (* One scheduler event delivers the whole batch in order. *)
+        ignore
+          (Sched.schedule_after t.sched t.latency (fun () ->
+               if t.open_ then List.iter (deliver target) msgs))
+      end
+
 let set_observer t obs = t.observer <- Some obs
 
 let set_on_close e f = e.mine.on_close <- Some f

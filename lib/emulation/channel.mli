@@ -39,6 +39,12 @@ val send : endpoint -> Bytes.t -> unit
     in virtual time. Silently dropped on a closed channel (as TCP
     data after a reset would be). *)
 
+val send_many : endpoint -> Bytes.t list -> unit
+(** Like iterating {!send}, but the whole batch is delivered (in
+    order) by a single scheduler event — a flush of k packed UPDATEs
+    costs one event instead of k. Counters and the observer still see
+    every message. *)
+
 val set_observer : t -> (direction -> Bytes.t -> unit) -> unit
 (** At most one observer; it sees every message at send time, before
     latency. *)

@@ -1,0 +1,118 @@
+(* Control-plane performance smoke: a leaf-spine fabric of raw BGP
+   speakers where each leaf originates a block of prefixes.  With
+   update groups, packed UPDATEs and end-of-instant flush coalescing,
+   the prefixes-per-UPDATE packing ratio must stay high; if flushes
+   degrade back toward one prefix per message this exits non-zero and
+   fails @bench-smoke (and @runtest with it).
+
+   Writes the run's full telemetry snapshot to the path given as
+   argv(1), in the same JSON shape as results/BENCH_*.json. *)
+
+open Horse_net
+open Horse_engine
+open Horse_emulation
+open Horse_bgp
+module Registry = Horse_telemetry.Registry
+
+let leaves = 6
+let spines = 2
+let prefixes_per_leaf = 100
+
+let leaf_prefix l j =
+  (* Distinct /24s from 10.0.0.0, indexed densely. *)
+  Prefix.make
+    (Ipv4.of_int32
+       (Int32.of_int (0x0A000000 lor (((l * prefixes_per_leaf) + j) lsl 8))))
+    24
+
+let () =
+  let out = Sys.argv.(1) in
+  let sched = Sched.create () in
+  let mk name asn id_octet networks =
+    Speaker.create
+      (Process.create sched ~name)
+      {
+        (Speaker.default_config ~asn ~router_id:(Ipv4.of_octets 1 0 0 id_octet)) with
+        Speaker.networks;
+        hold_time = Time.of_sec 90.0;
+      }
+  in
+  let spine_arr =
+    Array.init spines (fun s -> mk (Printf.sprintf "spine%d" s) (64500 + s) (s + 1) [])
+  in
+  let leaf_arr =
+    Array.init leaves (fun l ->
+        mk (Printf.sprintf "leaf%d" l) (64600 + l) (100 + l)
+          (List.init prefixes_per_leaf (leaf_prefix l)))
+  in
+  Array.iter
+    (fun leaf ->
+      Array.iter
+        (fun spine ->
+          let chan = Channel.create sched () in
+          let el, es = Channel.endpoints chan in
+          ignore (Speaker.add_peer leaf ~remote_asn:(Speaker.asn spine) el);
+          ignore (Speaker.add_peer spine ~remote_asn:(Speaker.asn leaf) es))
+        spine_arr)
+    leaf_arr;
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Array.iter Speaker.start spine_arr;
+         Array.iter Speaker.start leaf_arr));
+  ignore (Sched.run ~until:(Time.of_sec 60.0) sched);
+  let total = leaves * prefixes_per_leaf in
+  Array.iteri
+    (fun l leaf ->
+      let n = List.length (Speaker.routes leaf) in
+      if n <> total then begin
+        Printf.eprintf "bgp-smoke: leaf%d holds %d/%d prefixes\n" l n total;
+        exit 1
+      end)
+    leaf_arr;
+  (* Every speaker has one export policy (accept-all): one group each. *)
+  Array.iter
+    (fun s ->
+      if Speaker.update_group_count s <> 1 then begin
+        Printf.eprintf "bgp-smoke: expected a single update group per spine\n";
+        exit 1
+      end)
+    spine_arr;
+  let reg = Sched.registry sched in
+  let counter name =
+    match Registry.find_counter reg name with
+    | Some c -> Registry.Counter.value c
+    | None -> failwith ("bgp-smoke: counter not registered: " ^ name)
+  in
+  let updates = counter "horse_bgp_updates_sent_total" in
+  let prefixes = counter "horse_bgp_prefixes_sent_total" in
+  let intern_hits = counter "horse_bgp_attr_intern_hits_total" in
+  let oc = open_out out in
+  output_string oc
+    (Horse_telemetry.Json.to_string (Horse_telemetry.Export.json reg));
+  output_char oc '\n';
+  close_out oc;
+  let ratio = float_of_int prefixes /. float_of_int (max 1 updates) in
+  Printf.printf
+    "bgp-smoke: %d prefixes announced in %d UPDATEs (%.1f per message), %d \
+     intern hits\n"
+    prefixes updates ratio intern_hits;
+  if updates = 0 || prefixes < total then begin
+    Printf.eprintf "bgp-smoke: implausible counters (updates=%d, prefixes=%d)\n"
+      updates prefixes;
+    exit 1
+  end;
+  (* Packing budget: announcements must average >= 8 prefixes per
+     UPDATE across the whole convergence. *)
+  if ratio < 8.0 then begin
+    Printf.eprintf
+      "bgp-smoke: packing budget exceeded: %d prefixes over %d UPDATEs \
+       (want >= 8 per message)\n"
+      prefixes updates;
+    exit 1
+  end;
+  (* Hash-consing must be doing work: repeated attribute records
+     (every leaf's block shares one) resolve to existing entries. *)
+  if intern_hits = 0 then begin
+    Printf.eprintf "bgp-smoke: attribute interning saw no hits\n";
+    exit 1
+  end

@@ -609,6 +609,280 @@ let test_mrai_batches_updates () =
   check Alcotest.bool "converged with MRAI" true
     (Speaker.best b (p "10.1.0.0/16") <> [])
 
+(* --- packed UPDATE codec --------------------------------------------------- *)
+
+let decode_packed (msgs : Msg.packed list) =
+  (* Returns (withdrawn in order, nlri in order, attrs of each reach msg). *)
+  List.fold_left
+    (fun (w, n, a) (m : Msg.packed) ->
+      if Bytes.length m.Msg.bytes > Msg.max_message_size then
+        Alcotest.failf "packed message exceeds %d bytes" Msg.max_message_size;
+      match Msg.decode m.Msg.bytes with
+      | Ok (Msg.Update u) ->
+          let w' = u.Msg.withdrawn in
+          let n', a' =
+            match u.Msg.reach with
+            | None -> ([], [])
+            | Some (attrs, nlri) -> (nlri, [ attrs ])
+          in
+          if List.length w' <> m.Msg.withdrawn then
+            Alcotest.fail "withdrawn count mismatch";
+          if List.length n' <> m.Msg.announced then
+            Alcotest.fail "announced count mismatch";
+          (w @ w', n @ n', a @ a')
+      | Ok _ -> Alcotest.fail "packed bytes decoded to a non-UPDATE"
+      | Error e -> Alcotest.failf "packed bytes failed to decode: %s" e)
+    ([], [], []) msgs
+
+let prefixes_equal = List.equal Prefix.equal
+
+let prop_packer_roundtrip =
+  qtest ~count:300 "packer: decode partitions inputs, order preserved"
+    QCheck2.Gen.(
+      let* withdrawn = list_size (int_range 0 60) gen_prefix in
+      let* reach =
+        option (pair gen_attrs (list_size (int_range 1 60) gen_prefix))
+      in
+      return (withdrawn, reach))
+    (fun (withdrawn, reach) ->
+      let packer = Msg.Packer.create () in
+      let msgs = Msg.Packer.pack packer ~withdrawn ?reach () in
+      let w, n, attrs_seen = decode_packed msgs in
+      prefixes_equal w withdrawn
+      && prefixes_equal n (match reach with None -> [] | Some (_, l) -> l)
+      && List.for_all
+           (fun a ->
+             match reach with
+             | Some (attrs, _) -> Msg.attrs_equal a attrs
+             | None -> false)
+           attrs_seen)
+
+let test_packer_split_over_4096 () =
+  (* 2000 /24 NLRI at 4 bytes each cannot fit one 4096-byte UPDATE:
+     the packer must split, preserving count, order and attributes. *)
+  let nlri =
+    List.init 2000 (fun i ->
+        Prefix.make (Ipv4.of_octets 10 (i / 256) (i mod 256) 0) 24)
+  in
+  let attrs =
+    {
+      Msg.origin = Msg.Igp;
+      as_path = [ 65001; 65002; 65003; 65004 ];
+      next_hop = ip "10.0.0.1";
+      med = None;
+      local_pref = None;
+      communities = [];
+    }
+  in
+  let packer = Msg.Packer.create () in
+  let msgs = Msg.Packer.pack packer ~reach:(attrs, nlri) () in
+  check Alcotest.bool "split into several messages" true (List.length msgs >= 2);
+  let _, n, attrs_seen = decode_packed msgs in
+  check Alcotest.bool "nlri order preserved" true (prefixes_equal n nlri);
+  check Alcotest.bool "attrs on every message" true
+    (List.length attrs_seen = List.length msgs
+    && List.for_all (fun a -> Msg.attrs_equal a attrs) attrs_seen);
+  (* Same packer, fresh call: the arena is reusable. *)
+  let again = Msg.Packer.pack packer ~withdrawn:(List.filteri (fun i _ -> i < 5) nlri) () in
+  let w, _, _ = decode_packed again in
+  check Alcotest.int "arena reuse: withdraw-only pack" 5 (List.length w)
+
+let test_packer_empty () =
+  let packer = Msg.Packer.create () in
+  check Alcotest.int "no input, no messages" 0
+    (List.length (Msg.Packer.pack packer ()))
+
+(* --- incremental decision process vs reference oracle ---------------------- *)
+
+let gen_candidate =
+  let open QCheck2.Gen in
+  let* peer = int_range 0 7 in
+  let* bgp_id = map Ipv4.of_int32 int32 in
+  let* a = gen_attrs in
+  return (peer, bgp_id, a)
+
+let route_sig (routes : Rib.route list) =
+  List.map (fun (r : Rib.route) -> (r.Rib.peer, r.Rib.attrs)) routes
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let sigs_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (p1, a1) (p2, a2) -> p1 = p2 && Msg.attrs_equal a1 a2)
+       a b
+
+let prop_decide_matches_reference =
+  qtest ~count:500 "rib: incremental decide == reference decision process"
+    QCheck2.Gen.(pair (list_size (int_range 0 12) gen_candidate) bool)
+    (fun (cands, multipath) ->
+      let rib = Rib.create () in
+      let pfx = p "10.0.0.0/8" in
+      List.iter
+        (fun (peer, id, a) ->
+          Rib.set_in rib ~peer ~peer_bgp_id:id ~at:Time.zero pfx a)
+        cands;
+      let agree () =
+        sigs_equal
+          (route_sig (Rib.decide ~multipath rib pfx))
+          (route_sig (Rib.decide_reference ~multipath rib pfx))
+      in
+      let ok1 = agree () in
+      (* Mutate: withdraw a third of the peers, re-add one, and check
+         the incremental candidate lists still track the oracle. *)
+      List.iter
+        (fun (peer, _, _) -> if peer mod 3 = 0 then Rib.withdraw_in rib ~peer pfx)
+        cands;
+      let ok2 = agree () in
+      (match cands with
+      | (peer, id, a) :: _ ->
+          Rib.set_in rib ~peer ~peer_bgp_id:id ~at:Time.zero pfx a
+      | [] -> ());
+      ok1 && ok2 && agree ())
+
+let test_attr_intern_dedup () =
+  let tbl = Attr_intern.create () in
+  let a1 = attrs ~path:[ 1; 2; 3 ] "10.0.0.1" in
+  let a2 = attrs ~path:[ 1; 2; 3 ] "10.0.0.1" in
+  let i1 = Attr_intern.intern tbl a1 in
+  let i2 = Attr_intern.intern tbl a2 in
+  check Alcotest.bool "same uid for equal attrs" true (Attr_intern.equal i1 i2);
+  check Alcotest.bool "physically shared" true
+    (i1.Attr_intern.attrs == i2.Attr_intern.attrs);
+  check Alcotest.int "path length cached" 3 i1.Attr_intern.path_len;
+  check Alcotest.int "one record" 1 (Attr_intern.size tbl);
+  check Alcotest.int "one hit" 1 (Attr_intern.hits tbl);
+  let i3 = Attr_intern.intern tbl (attrs ~path:[ 9 ] "10.0.0.2") in
+  check Alcotest.bool "distinct attrs distinct uid" false
+    (Attr_intern.equal i1 i3);
+  check Alcotest.int "two records" 2 (Attr_intern.size tbl)
+
+(* --- update groups + packed vs unpacked differential ----------------------- *)
+
+let test_update_groups_and_established_count () =
+  let sched = Sched.create () in
+  let hub =
+    Speaker.create
+      (Process.create sched ~name:"hub")
+      {
+        (Speaker.default_config ~asn:65000 ~router_id:(ip "1.0.0.1")) with
+        Speaker.networks = [ p "10.0.0.0/16" ];
+      }
+  in
+  let spokes =
+    List.init 3 (fun i ->
+        Speaker.create
+          (Process.create sched ~name:(Printf.sprintf "s%d" i))
+          (Speaker.default_config ~asn:(65001 + i)
+             ~router_id:(Ipv4.of_octets 2 0 0 (i + 1))))
+  in
+  (* Two structurally equal (but physically distinct) prepend policies
+     and one accept-all: two update groups. *)
+  let prepender () =
+    Policy.make
+      [ { Policy.match_ = Policy.Any;
+          action = Policy.Accept_with [ Policy.Prepend (65000, 2) ] } ]
+  in
+  List.iteri
+    (fun i spoke ->
+      let chan = Channel.create sched () in
+      let eh, es = Channel.endpoints chan in
+      let export = if i < 2 then prepender () else Policy.accept_all in
+      ignore (Speaker.add_peer ~export hub ~remote_asn:(Speaker.asn spoke) eh);
+      ignore (Speaker.add_peer spoke ~remote_asn:65000 es))
+    spokes;
+  check Alcotest.int "two update groups" 2 (Speaker.update_group_count hub);
+  check Alcotest.int "none established yet" 0 (Speaker.established_count hub);
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Speaker.start hub;
+         List.iter Speaker.start spokes));
+  ignore (Sched.run ~until:(Time.of_sec 10.0) sched);
+  check Alcotest.int "all three established" 3 (Speaker.established_count hub);
+  List.iter
+    (fun spoke ->
+      match Speaker.best spoke (p "10.0.0.0/16") with
+      | [ r ] ->
+          let expected =
+            if Speaker.asn spoke < 65003 then [ 65000; 65000; 65000 ]
+            else [ 65000 ]
+          in
+          check (Alcotest.list Alcotest.int) "per-group export policy applied"
+            expected r.Rib.attrs.Msg.as_path
+      | routes -> Alcotest.failf "spoke has %d routes" (List.length routes))
+    spokes;
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 11.0) (fun () -> Speaker.shutdown hub));
+  ignore (Sched.run ~until:(Time.of_sec 12.0) sched);
+  check Alcotest.int "counter back to zero" 0 (Speaker.established_count hub)
+
+(* A 6-router ring where every router originates distinct prefixes:
+   multipath ties (two ways around for the antipode), split horizon
+   and policy rewrites are all exercised. Run once with packing and
+   once with the legacy per-peer flushes: the Loc-RIBs must agree. *)
+let run_ring ~packing =
+  let n = 6 and per = 8 in
+  let sched = Sched.create () in
+  let networks i =
+    List.init per (fun j -> Prefix.make (Ipv4.of_octets 10 i j 0) 24)
+  in
+  let speakers =
+    Array.init n (fun i ->
+        Speaker.create
+          (Process.create sched ~name:(Printf.sprintf "r%d" i))
+          {
+            (Speaker.default_config ~asn:(65000 + i)
+               ~router_id:(Ipv4.of_octets 1 0 0 (i + 1)))
+            with
+            Speaker.networks = networks i;
+            packing;
+          })
+  in
+  for i = 0 to n - 1 do
+    let x = speakers.(i) and y = speakers.((i + 1) mod n) in
+    let chan = Channel.create sched () in
+    let ex, ey = Channel.endpoints chan in
+    ignore (Speaker.add_peer x ~remote_asn:(Speaker.asn y) ex);
+    ignore (Speaker.add_peer y ~remote_asn:(Speaker.asn x) ey)
+  done;
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Array.iter Speaker.start speakers));
+  (* Mid-run churn so deltas (not just initial transfers) flow. *)
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 20.0) (fun () ->
+         Speaker.withdraw_network speakers.(0) (List.hd (networks 0));
+         Speaker.announce speakers.(1) (p "99.9.0.0/16")));
+  ignore (Sched.run ~until:(Time.of_sec 60.0) sched);
+  let signature i =
+    List.map
+      (fun (pfx, routes) ->
+        ( Prefix.to_string pfx,
+          List.map
+            (fun (r : Rib.route) ->
+              ( r.Rib.attrs.Msg.as_path,
+                Ipv4.to_string r.Rib.attrs.Msg.next_hop,
+                r.Rib.attrs.Msg.local_pref ))
+            routes
+          |> List.sort compare ))
+      (Speaker.routes speakers.(i))
+  in
+  let total = Speaker.counters speakers.(0) in
+  (List.init n signature, total.Speaker.updates_sent)
+
+let test_packed_vs_unpacked_differential () =
+  let packed_sigs, _ = run_ring ~packing:true in
+  let unpacked_sigs, _ = run_ring ~packing:false in
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "router %d: packed and unpacked Loc-RIBs differ" i)
+    (List.combine packed_sigs unpacked_sigs);
+  (* Everyone holds every prefix: 6*8 - 1 withdrawn + 1 late announce. *)
+  List.iter
+    (fun s ->
+      check Alcotest.int "full table" 48 (List.length s))
+    packed_sigs
+
 let () =
   Alcotest.run "horse_bgp"
     [
@@ -620,6 +894,10 @@ let () =
           prop_msg_roundtrip;
           prop_msg_decode_total;
           prop_msg_decode_total_mutated;
+          prop_packer_roundtrip;
+          Alcotest.test_case "packer splits at 4096" `Quick
+            test_packer_split_over_4096;
+          Alcotest.test_case "packer empty input" `Quick test_packer_empty;
         ] );
       ( "rib",
         [
@@ -630,6 +908,8 @@ let () =
           Alcotest.test_case "withdraw and drop peer" `Quick
             test_rib_withdraw_and_drop_peer;
           Alcotest.test_case "refresh idempotent" `Quick test_rib_refresh_unchanged;
+          prop_decide_matches_reference;
+          Alcotest.test_case "attr interning" `Quick test_attr_intern_dedup;
         ] );
       ( "policy",
         [
@@ -654,5 +934,9 @@ let () =
           Alcotest.test_case "linear convergence, many prefixes" `Quick
             test_linear_convergence_many_prefixes;
           Alcotest.test_case "mrai batching" `Quick test_mrai_batches_updates;
+          Alcotest.test_case "update groups + established count" `Quick
+            test_update_groups_and_established_count;
+          Alcotest.test_case "packed vs unpacked loc-rib differential" `Quick
+            test_packed_vs_unpacked_differential;
         ] );
     ]
