@@ -828,6 +828,167 @@ let bgp_scale ~full =
      packed wall and message counts well under legacy@."
 
 (* ------------------------------------------------------------------ *)
+(* FAILURE-STORM: the fault plane A/B — clean run vs a deterministic  *)
+(* flap storm + node crash on the BGP fabric, the storm replayed to   *)
+(* prove same seed + plan => same fault trace and same final FIBs.    *)
+(* ------------------------------------------------------------------ *)
+
+let failure_storm ~full =
+  section
+    "FAILURE-STORM — deterministic fault plane on the BGP fabric (A/B + replay)";
+  let module Plan = Horse_faults.Plan in
+  let module Injector = Horse_faults.Injector in
+  let pods = 4 in
+  let duration = if full then Time.of_sec 60.0 else Time.of_sec 30.0 in
+  let ft = Fat_tree.build ~k:pods () in
+  let is_switch (n : Topology.node) =
+    match n.Topology.kind with
+    | Topology.Switch | Topology.Router -> true
+    | Topology.Host -> false
+  in
+  let switch_links =
+    List.filter_map
+      (fun (l : Topology.link) ->
+        if l.Topology.link_id < l.Topology.peer then
+          let src = Topology.node ft.Fat_tree.topo l.Topology.src in
+          let dst = Topology.node ft.Fat_tree.topo l.Topology.dst in
+          if is_switch src && is_switch dst then
+            Some (src.Topology.name, dst.Topology.name)
+          else None
+        else None)
+      (Topology.links ft.Fat_tree.topo)
+  in
+  (* Every 7th inter-switch link becomes a Poisson flap source; one
+     aggregation switch silently crashes and comes back 8 s later
+     (hold time 9 s, so peers detect the crash via hold expiry and the
+     revived speaker rejoins via ConnectRetry). *)
+  let sites = List.filteri (fun i _ -> i mod 7 = 0) switch_links in
+  let victim = ft.Fat_tree.aggs.(0).(0).Topology.name in
+  let plan =
+    let storm =
+      Plan.flap_storm ~seed:7 ~sites ~start:(Time.of_sec 5.0)
+        ~stop:(Time.div duration 2) ~rate:0.3
+        ~down_for:(Time.of_sec 1.5) ()
+    in
+    {
+      storm with
+      Plan.events =
+        [
+          { Plan.at = Time.of_sec 6.0; action = Plan.Node_crash victim };
+          { Plan.at = Time.of_sec 14.0; action = Plan.Node_restart victim };
+        ];
+    }
+  in
+  Format.fprintf fmt
+    "workload: fat-tree k=%d, bgp-ecmp, %a virtual; %d flap sites (Poisson \
+     0.3/s, down 1.5s), crash %s at 6s, restart at 14s@.@."
+    pods Time.pp duration (List.length sites) victim;
+  let run ?faults () =
+    Scenario.run_fat_tree_te ~seed:42 ?faults ~pods ~te:Scenario.Bgp_ecmp
+      ~duration ()
+  in
+  let delivered (r : Scenario.result) =
+    100.0 *. r.Scenario.delivered_bits /. Float.max 1.0 r.Scenario.offered_bits
+  in
+  let clean = run () in
+  let storm1 = run ~faults:plan () in
+  let storm2 = run ~faults:plan () in
+  let inj1 = Option.get storm1.Scenario.injector in
+  let inj2 = Option.get storm2.Scenario.injector in
+  Format.fprintf fmt "%-10s %12s %12s %10s %10s@." "run" "delivered" "wall(s)"
+    "faults" "skipped";
+  let row name (r : Scenario.result) inj =
+    Format.fprintf fmt "%-10s %11.1f%% %12.3f %10s %10s@." name (delivered r)
+      r.Scenario.run_wall_s
+      (match inj with
+      | Some i -> string_of_int (Injector.injected i)
+      | None -> "-")
+      (match inj with
+      | Some i -> string_of_int (Injector.skipped i)
+      | None -> "-")
+  in
+  row "clean" clean None;
+  row "storm" storm1 (Some inj1);
+  row "replay" storm2 (Some inj2);
+  let recon = Injector.reconvergence inj1 in
+  let durations =
+    List.map (fun (_, at, healed) -> Time.to_sec healed -. Time.to_sec at) recon
+  in
+  (match durations with
+  | [] -> Format.fprintf fmt "@.no reconvergence samples (fabric never broke?)@."
+  | ds ->
+      let n = float_of_int (List.length ds) in
+      Format.fprintf fmt
+        "@.reconvergence: %d faults healed, mean %.3fs, max %.3fs@."
+        (List.length ds)
+        (List.fold_left ( +. ) 0.0 ds /. n)
+        (List.fold_left Float.max 0.0 ds));
+  let traces_equal = Injector.trace_labels inj1 = Injector.trace_labels inj2 in
+  let fib_equal =
+    storm1.Scenario.fib_fingerprint = storm2.Scenario.fib_fingerprint
+    && storm1.Scenario.fib_fingerprint <> None
+  in
+  Format.fprintf fmt
+    "determinism: fault traces %s (%d events), final FIBs %s (%s)@."
+    (if traces_equal then "IDENTICAL" else "DIVERGED")
+    (List.length (Injector.trace inj1))
+    (if fib_equal then "IDENTICAL" else "DIVERGED")
+    (Option.value storm1.Scenario.fib_fingerprint ~default:"-");
+  let module Json = Horse_telemetry.Json in
+  let j =
+    Json.Obj
+      [
+        ("bench", Json.String "failure_storm");
+        ("pods", Json.Int pods);
+        ("duration_s", Json.Float (Time.to_sec duration));
+        ("plan", Plan.to_json plan);
+        ( "clean",
+          Json.Obj
+            [
+              ("delivered_pct", Json.Float (delivered clean));
+              ("run_wall_s", Json.Float clean.Scenario.run_wall_s);
+            ] );
+        ( "storm",
+          Json.Obj
+            [
+              ("delivered_pct", Json.Float (delivered storm1));
+              ("run_wall_s", Json.Float storm1.Scenario.run_wall_s);
+              ("injected", Json.Int (Injector.injected inj1));
+              ("skipped", Json.Int (Injector.skipped inj1));
+              ("still_healing", Json.Int (Injector.pending inj1));
+              ("faults", Injector.report_json inj1);
+            ] );
+        ( "determinism",
+          Json.Obj
+            [
+              ("trace_equal", Json.Bool traces_equal);
+              ("fib_equal", Json.Bool fib_equal);
+              ( "fib_fingerprint",
+                match storm1.Scenario.fib_fingerprint with
+                | Some f -> Json.String f
+                | None -> Json.Null );
+              ( "trace",
+                Json.List
+                  (List.map
+                     (fun s -> Json.String s)
+                     (Injector.trace_labels inj1)) );
+            ] );
+      ]
+  in
+  (try Unix.mkdir "results" 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = "results/BENCH_failure_storm.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "artifact written to %s@." path;
+  Format.fprintf fmt
+    "@.shape check: every fault heals (control-plane faults; the fluid data \
+     plane keeps forwarding), and the replay reproduces the fault trace and \
+     the final FIBs bit-for-bit@."
+
+(* ------------------------------------------------------------------ *)
 (* Microbenchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1003,7 +1164,7 @@ let () =
   let known =
     [ "fig1"; "fig3"; "te"; "ablation-timeout"; "ablation-increment";
       "protocols"; "ablation-placer"; "scaling"; "fct"; "failure"; "churn";
-      "bgp-scale"; "micro" ]
+      "bgp-scale"; "failure-storm"; "micro" ]
   in
   let commands = List.filter (fun a -> List.mem a known) args in
   let commands = if commands = [] then known else commands in
@@ -1022,6 +1183,7 @@ let () =
       | "failure" -> failure ()
       | "churn" -> churn ~full
       | "bgp-scale" -> bgp_scale ~full
+      | "failure-storm" -> failure_storm ~full
       | "micro" -> micro ()
       | _ -> ())
     commands

@@ -29,12 +29,55 @@ let increment_arg =
   let doc = "FTI increment, milliseconds." in
   Arg.(value & opt float 1.0 & info [ "fti-increment" ] ~docv:"MS" ~doc)
 
-let sched_config quiet_timeout increment_ms =
+let max_wall_arg =
+  let doc =
+    "Watchdog: abort the run after $(docv) wall-clock seconds (0 = off), \
+     flushing telemetry so a partial report survives."
+  in
+  Arg.(value & opt float 0.0 & info [ "max-wall" ] ~docv:"SECONDS" ~doc)
+
+let sched_config quiet_timeout increment_ms max_wall =
   {
     Sched.default_config with
     Sched.quiet_timeout = Time.of_sec quiet_timeout;
     fti_increment = Time.of_sec (increment_ms /. 1000.0);
+    max_wall_s = max_wall;
   }
+
+let warn_aborted (stats : Sched.stats) =
+  if stats.Sched.aborted then
+    Format.eprintf
+      "horse: watchdog abort — wall-clock budget exhausted at %a virtual; \
+       results below are partial@."
+      Time.pp stats.Sched.end_time
+
+(* --- fault plans ------------------------------------------------------- *)
+
+let faults_arg =
+  let doc =
+    "Arm the fault-injection plan in $(docv) (JSON; link flaps, node \
+     crashes, partitions, impairments — see Horse_faults.Plan)."
+  in
+  Arg.(value & opt (some file) None & info [ "faults" ] ~docv:"PLAN" ~doc)
+
+let load_faults = function
+  | None -> None
+  | Some path -> (
+      match Horse_faults.Plan.load_file path with
+      | Ok plan -> Some plan
+      | Error msg ->
+          Format.eprintf "horse: cannot load fault plan %s: %s@." path msg;
+          exit 1)
+
+let pp_fault_summary fmt inj =
+  let module I = Horse_faults.Injector in
+  Format.fprintf fmt "faults: %d injected, %d skipped, %d still healing@."
+    (I.injected inj) (I.skipped inj) (I.pending inj);
+  List.iter
+    (fun (label, at, healed) ->
+      Format.fprintf fmt "  [%a] %s -> reconverged in %.3fs@." Time.pp at label
+        (Time.to_sec healed -. Time.to_sec at))
+    (I.reconvergence inj)
 
 (* --- telemetry output -------------------------------------------------- *)
 
@@ -89,17 +132,19 @@ let te_cmd =
     let doc = "Write the aggregate-rate series to $(docv)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run pods te duration seed quiet_timeout increment csv metrics_out
-      trace_out report =
+  let run pods te duration seed quiet_timeout increment max_wall faults csv
+      metrics_out trace_out report =
     let result =
       Scenario.run_fat_tree_te ~seed
-        ~config:(sched_config quiet_timeout increment)
-        ~pods ~te
+        ~config:(sched_config quiet_timeout increment max_wall)
+        ?faults:(load_faults faults) ~pods ~te
         ~duration:(Time.of_sec duration)
         ()
     in
     Format.printf "%a@." Scenario.pp_result result;
     Format.printf "@.%a@." Sched.pp_stats result.Scenario.sched_stats;
+    warn_aborted result.Scenario.sched_stats;
+    Option.iter (pp_fault_summary Format.std_formatter) result.Scenario.injector;
     Option.iter
       (fun path ->
         Horse_stats.Csv.save_series ~path
@@ -113,8 +158,8 @@ let te_cmd =
     (Cmd.info "te" ~doc)
     Term.(
       const run $ pods_arg $ te_arg $ duration_arg $ seed_arg
-      $ quiet_timeout_arg $ increment_arg $ csv_arg $ metrics_out_arg
-      $ trace_out_arg $ report_arg)
+      $ quiet_timeout_arg $ increment_arg $ max_wall_arg $ faults_arg
+      $ csv_arg $ metrics_out_arg $ trace_out_arg $ report_arg)
 
 (* --- fig1 ---------------------------------------------------------------- *)
 
@@ -123,11 +168,13 @@ let fig1_cmd =
     let doc = "Prefixes originated by each router." in
     Arg.(value & opt int 10 & info [ "prefixes" ] ~docv:"N" ~doc)
   in
-  let run duration quiet_timeout increment prefixes metrics_out trace_out
-      report =
+  let run duration quiet_timeout increment max_wall faults prefixes metrics_out
+      trace_out report =
     let wan = Wan.linear 2 in
     let exp =
-      Experiment.create ~config:(sched_config quiet_timeout increment) wan.Wan.topo
+      Experiment.create
+        ~config:(sched_config quiet_timeout increment max_wall)
+        wan.Wan.topo
     in
     let originate node =
       List.init prefixes (fun i ->
@@ -138,7 +185,17 @@ let fig1_cmd =
         ~hold_time:(Time.of_sec 90.0) ~originate wan.Wan.topo
     in
     Experiment.at exp Time.zero (fun () -> Routed_fabric.start fabric);
+    let injector =
+      Option.map
+        (fun plan ->
+          Horse_faults.Injector.arm (Experiment.scheduler exp)
+            ~target:(Routed_fabric.fault_target fabric)
+            plan)
+        (load_faults faults)
+    in
     let stats = Experiment.run ~until:(Time.of_sec duration) exp in
+    warn_aborted stats;
+    Option.iter (pp_fault_summary Format.std_formatter) injector;
     Format.printf "mode timeline:@.";
     List.iter
       (fun (tr : Sched.transition) ->
@@ -153,7 +210,8 @@ let fig1_cmd =
     (Cmd.info "fig1" ~doc)
     Term.(
       const run $ duration_arg $ quiet_timeout_arg $ increment_arg
-      $ prefixes_arg $ metrics_out_arg $ trace_out_arg $ report_arg)
+      $ max_wall_arg $ faults_arg $ prefixes_arg $ metrics_out_arg
+      $ trace_out_arg $ report_arg)
 
 (* --- baseline ------------------------------------------------------------- *)
 
@@ -221,8 +279,8 @@ let wan_cmd =
     in
     Arg.(value & opt (some int) None & info [ "kill" ] ~docv:"ROUTER" ~doc)
   in
-  let run wan_kind duration seed quiet_timeout increment kill metrics_out
-      trace_out report =
+  let run wan_kind duration seed quiet_timeout increment max_wall faults kill
+      metrics_out trace_out report =
     let wan =
       match wan_kind with
       | `Abilene -> Wan.abilene ()
@@ -232,7 +290,7 @@ let wan_cmd =
     let hosts = Wan.attach_hosts wan in
     let exp =
       Experiment.create ~seed
-        ~config:(sched_config quiet_timeout increment)
+        ~config:(sched_config quiet_timeout increment max_wall)
         wan.Wan.topo
     in
     (* Each router originates its PoP prefix (its host lives in it). *)
@@ -324,7 +382,17 @@ let wan_cmd =
                 Horse_emulation.Process.kill (Horse_bgp.Speaker.process speaker)
             | None -> ()))
       kill;
+    let injector =
+      Option.map
+        (fun plan ->
+          Horse_faults.Injector.arm (Experiment.scheduler exp)
+            ~target:(Routed_fabric.fault_target fabric)
+            plan)
+        (load_faults faults)
+    in
     let stats = Experiment.run ~until:(Time.of_sec duration) exp in
+    warn_aborted stats;
+    Option.iter (pp_fault_summary Format.std_formatter) injector;
     Format.printf "@.%a@.@.%a@." Sched.pp_timeline stats Sched.pp_stats stats;
     Format.printf "@.aggregate rate (Gbps):@.";
     Horse_stats.Ascii.plot ~height:10 Format.std_formatter
@@ -341,8 +409,8 @@ let wan_cmd =
     (Cmd.info "wan" ~doc)
     Term.(
       const run $ topo_arg $ duration_arg $ seed_arg $ quiet_timeout_arg
-      $ increment_arg $ fail_arg $ metrics_out_arg $ trace_out_arg
-      $ report_arg)
+      $ increment_arg $ max_wall_arg $ faults_arg $ fail_arg $ metrics_out_arg
+      $ trace_out_arg $ report_arg)
 
 (* --- topo ------------------------------------------------------------------ *)
 

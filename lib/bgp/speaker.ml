@@ -24,6 +24,7 @@ type config = {
   networks : Prefix.t list;
   processing_delay : Time.t;
   packing : bool;
+  connect_retry : Time.t;
 }
 
 let default_config ~asn ~router_id =
@@ -36,6 +37,7 @@ let default_config ~asn ~router_id =
     networks = [];
     processing_delay = Time.of_us 100;
     packing = true;
+    connect_retry = Time.of_sec 5.0;
   }
 
 type counters = {
@@ -75,6 +77,7 @@ type peer = {
   mutable pending_withdraw : Prefix_set.t;
   mutable mrai_armed : bool;
   mutable advertised : Prefix_set.t;
+  mutable admin_down : bool;
 }
 
 and group = {
@@ -648,6 +651,17 @@ let session_down t peer ~reason =
     Hooks.iter (fun f -> f peer.id) t.down_hooks
   end
 
+let send_open t peer =
+  peer.state <- OpenSent;
+  peer.last_rx <- now t;
+  send_msg t peer
+    (Msg.Open
+       {
+         asn = t.cfg.asn;
+         hold_time_s = int_of_float (Time.to_sec t.cfg.hold_time);
+         bgp_id = t.cfg.router_id;
+       })
+
 (* --- receiving ----------------------------------------------------- *)
 
 let handle_open t peer (o : Msg.open_msg) =
@@ -655,14 +669,26 @@ let handle_open t peer (o : Msg.open_msg) =
     send_msg t peer (Msg.Notification { code = 2; subcode = 2 });
     session_down t peer ~reason:"bad peer AS"
   end
+  else if peer.state = Idle && (peer.admin_down || not t.started) then
+    (* RFC 4271 Idle: connection attempts are refused while the
+       session is administratively down. *)
+    tracef t "OPEN from AS%d ignored (session admin down)" peer.remote_asn
   else begin
+    (* An OPEN on an Established session means the peer restarted
+       without us noticing (silent crash, hold timer not yet
+       expired): retract its stale routes and fall through to the
+       passive open below. *)
+    if peer.state = Established then session_down t peer ~reason:"peer restarted";
+    (* Passive open: an Idle speaker receiving an OPEN (a revived
+       peer's ConnectRetry probing us) answers with its own OPEN
+       before confirming, so the session completes without any
+       fabric-level intervention. *)
+    if peer.state = Idle then send_open t peer;
     peer.remote_id <- o.Msg.bgp_id;
     peer.negotiated_hold <-
       Time.min t.cfg.hold_time (Time.of_sec (float_of_int o.Msg.hold_time_s));
     send_msg t peer Msg.Keepalive;
-    match peer.state with
-    | OpenSent -> peer.state <- OpenConfirm
-    | Idle | OpenConfirm | Established -> peer.state <- OpenConfirm
+    peer.state <- OpenConfirm
   end
 
 let handle_update t peer (u : Msg.update) =
@@ -751,17 +777,6 @@ let bind_endpoint t peer endpoint =
       if Process.is_alive t.proc then
         session_down t peer ~reason:"channel closed")
 
-let send_open t peer =
-  peer.state <- OpenSent;
-  peer.last_rx <- now t;
-  send_msg t peer
-    (Msg.Open
-       {
-         asn = t.cfg.asn;
-         hold_time_s = int_of_float (Time.to_sec t.cfg.hold_time);
-         bgp_id = t.cfg.router_id;
-       })
-
 let find_group t export =
   match List.find_opt (fun g -> Policy.equal g.g_export export) t.groups with
   | Some g -> g
@@ -803,6 +818,7 @@ let add_peer ?(import = Policy.accept_all) ?(export = Policy.accept_all) t
       pending_withdraw = Prefix_set.empty;
       mrai_armed = false;
       advertised = Prefix_set.empty;
+      admin_down = false;
     }
   in
   t.next_peer_id <- t.next_peer_id + 1;
@@ -828,6 +844,40 @@ let check_holds t =
           end)
     t.peers
 
+(* ConnectRetry (RFC 4271 §8): Idle sessions that are not admin-down
+   are periodically re-initiated with a fresh OPEN, so a session torn
+   down by a peer crash or reset re-establishes by itself once the
+   peer answers again. *)
+let retry_idle t =
+  List.iter
+    (fun peer ->
+      if peer.state = Idle && not peer.admin_down then send_open t peer)
+    t.peers
+
+let arm_timers t =
+  let check_interval = Time.max (Time.div t.cfg.hold_time 3) (Time.of_ms 100) in
+  ignore (Process.every t.proc check_interval (fun () -> check_holds t));
+  if Time.(t.cfg.connect_retry > Time.zero) then
+    ignore (Process.every t.proc t.cfg.connect_retry (fun () -> retry_idle t))
+
+(* A crash (Process.kill) sends nothing on the wire: sessions drop
+   silently and peers only find out when their hold timers expire.
+   Local state is reset so a later restart starts clean. *)
+let crash_cleanup t =
+  Queue.clear t.inbox;
+  t.busy <- false;
+  List.iter (fun peer -> session_down t peer ~reason:"process killed") t.peers
+
+(* A restart re-arms the timers (the old ones died with the process)
+   and re-initiates every non-admin-down session; peers still probing
+   us via their own ConnectRetry complete the handshake passively. *)
+let revive t =
+  if t.started then begin
+    tracef t "speaker AS%d restarted" t.cfg.asn;
+    arm_timers t;
+    retry_idle t
+  end
+
 let local_attrs t =
   {
     Msg.origin = Msg.Igp;
@@ -849,28 +899,44 @@ let withdraw_network t prefix =
 let start t =
   if not t.started then begin
     t.started <- true;
+    Process.on_kill t.proc (fun () -> crash_cleanup t);
+    Process.on_restart t.proc (fun () -> revive t);
     List.iter (fun prefix -> announce t prefix) t.cfg.networks;
     List.iter (fun peer -> send_open t peer) (peer_list t);
-    let check_interval = Time.max (Time.div t.cfg.hold_time 3) (Time.of_ms 100) in
-    ignore (Process.every t.proc check_interval (fun () -> check_holds t));
+    arm_timers t;
     tracef t "speaker AS%d started with %d peers" t.cfg.asn (List.length t.peers)
   end
 
 let shutdown t =
   List.iter
     (fun peer ->
+      peer.admin_down <- true;
       if peer.state <> Idle then begin
-        send_msg t peer (Msg.Notification { code = 6; subcode = 0 });
+        if Process.is_alive t.proc then
+          send_msg t peer (Msg.Notification { code = 6; subcode = 0 });
         session_down t peer ~reason:"administrative shutdown"
       end)
     t.peers
 
 let start_peer t peer_id =
   let peer = find_peer t peer_id in
-  if t.started && peer.state = Idle then send_open t peer
+  peer.admin_down <- false;
+  if t.started && peer.state = Idle && Process.is_alive t.proc then
+    send_open t peer
+
+let reset_session t peer_id =
+  let peer = find_peer t peer_id in
+  if peer.state <> Idle && Process.is_alive t.proc then begin
+    (* Cease / administrative reset: the peer drops the session too,
+       and both ConnectRetry timers bring it back. *)
+    send_msg t peer (Msg.Notification { code = 6; subcode = 4 });
+    session_down t peer ~reason:"administrative session reset"
+  end
 
 let replace_peer_endpoint t peer_id endpoint =
   let peer = find_peer t peer_id in
-  if peer.state <> Idle then
-    invalid_arg "Speaker.replace_peer_endpoint: session not Idle";
+  (* Rebinding means the old transport is gone for good; a session
+     still riding it (e.g. OpenSent retries into a dead link) drops
+     first. *)
+  if peer.state <> Idle then session_down t peer ~reason:"endpoint replaced";
   bind_endpoint t peer endpoint

@@ -54,11 +54,17 @@ type config = {
           coalescing (see module docs). [false] = legacy per-peer,
           per-attribute-group UPDATEs, used as the differential
           baseline. *)
+  connect_retry : Time.t;
+      (** RFC 4271 ConnectRetry: Idle sessions that are not admin-down
+          are re-initiated with a fresh OPEN at this interval, so a
+          session lost to a peer crash or reset re-establishes by
+          itself once the peer answers again. {!Time.zero} disables
+          automatic re-initiation (pre-fault-injection behaviour). *)
 }
 
 val default_config : asn:int -> router_id:Ipv4.t -> config
 (** hold 9 s, MRAI 0, multipath on, no networks, 100 µs processing
-    delay, packing on. *)
+    delay, packing on, ConnectRetry 5 s. *)
 
 type t
 
@@ -77,20 +83,31 @@ val start : t -> unit
 (** Sends OPEN to every configured peer and arms the timers. *)
 
 val shutdown : t -> unit
-(** Graceful: NOTIFICATION (Cease) to every peer, sessions to Idle.
-    The underlying process stays alive. For a crash, kill the
-    process instead — peers find out via their hold timers. *)
+(** Graceful admin-down: NOTIFICATION (Cease) to every peer, sessions
+    to Idle, and every session marked administratively down —
+    ConnectRetry stops probing and incoming OPENs are refused until
+    {!start_peer}. The underlying process stays alive. For a crash,
+    {!Horse_emulation.Process.kill} the process instead: nothing is
+    sent, peers find out via their hold timers, and
+    {!Horse_emulation.Process.restart} later brings the sessions back
+    via ConnectRetry. *)
 
 val start_peer : t -> int -> unit
-(** (Re)starts one session: sends OPEN and moves the peer to OpenSent.
-    No-op unless the peer is Idle and the speaker has been started.
-    Used to bring a session back after {!shutdown} or a repaired
-    link. *)
+(** (Re)starts one session: clears admin-down, sends OPEN and moves
+    the peer to OpenSent (no OPEN is sent unless the peer is Idle and
+    the speaker has been started). Used to bring a session back after
+    {!shutdown} or a repaired link. *)
+
+val reset_session : t -> int -> unit
+(** Hard session reset ("clear ip bgp"): NOTIFICATION (Cease /
+    administrative reset) then the session drops to Idle on both ends
+    — {e without} marking it admin-down, so both ConnectRetry timers
+    re-establish it. No-op on an Idle session. *)
 
 val replace_peer_endpoint : t -> int -> Channel.endpoint -> unit
-(** Rebinds an Idle peer to a fresh channel endpoint (the old channel
-    of a failed link is gone for good). Follow with {!start_peer}.
-    @raise Invalid_argument if the session is not Idle. *)
+(** Rebinds a peer to a fresh channel endpoint (the old channel of a
+    failed link is gone for good); a session still riding the old
+    transport is dropped first. Follow with {!start_peer}. *)
 
 val announce : t -> Prefix.t -> unit
 (** Originates a prefix at runtime. *)

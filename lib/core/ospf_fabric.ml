@@ -5,12 +5,21 @@ open Horse_dataplane
 open Horse_emulation
 open Horse_ospf
 
-type session = { node_a : int; node_b : int; channel : Channel.t }
+type session = {
+  node_a : int;
+  node_b : int;
+  iface_at_a : int;
+  iface_at_b : int;
+  mutable channel : Channel.t;
+  session_name : string;
+}
 
 type t = {
   fabric_topo : Topology.t;
   sched : Sched.t;
+  cm : Connection_manager.t;
   daemons : (int, Daemon.t) Hashtbl.t;  (* node id -> daemon *)
+  processes : (int, Process.t) Hashtbl.t;
   tables : Fwd.t array;
   iface_links : (int, (int, int) Hashtbl.t) Hashtbl.t;
       (* node -> iface id -> out-link id *)
@@ -70,7 +79,9 @@ let build ?(hello_interval = Time.of_sec 2.0) ?(dead_interval = Time.of_sec 8.0)
     {
       fabric_topo = topo;
       sched;
+      cm;
       daemons = Hashtbl.create 64;
+      processes = Hashtbl.create 64;
       tables = Array.init (Topology.n_nodes topo) (fun _ -> Fwd.create ());
       iface_links = Hashtbl.create 64;
       ospf_installed = Hashtbl.create 64;
@@ -104,6 +115,7 @@ let build ?(hello_interval = Time.of_sec 2.0) ?(dead_interval = Time.of_sec 8.0)
         in
         let daemon = Daemon.create ~trace proc config in
         Hashtbl.replace t.daemons n.Topology.id daemon;
+        Hashtbl.replace t.processes n.Topology.id proc;
         Hashtbl.replace t.iface_links n.Topology.id (Hashtbl.create 8)
       end)
     (Topology.nodes topo);
@@ -133,7 +145,14 @@ let build ?(hello_interval = Time.of_sec 2.0) ?(dead_interval = Time.of_sec 8.0)
               (Hashtbl.find t.iface_links l.Topology.dst)
               iface_b l.Topology.peer;
             t.sessions <-
-              { node_a = l.Topology.src; node_b = l.Topology.dst; channel }
+              {
+                node_a = l.Topology.src;
+                node_b = l.Topology.dst;
+                iface_at_a = iface_a;
+                iface_at_b = iface_b;
+                channel;
+                session_name = name;
+              }
               :: t.sessions
         | None, _ | _, None -> ())
     (Topology.links topo);
@@ -221,13 +240,91 @@ let adjacencies_expected t = List.length t.sessions
 let adjacencies_full t =
   Hashtbl.fold (fun _node d acc -> acc + Daemon.full_neighbors d) t.daemons 0 / 2
 
+let find_session t ~a ~b =
+  List.find_opt
+    (fun s -> (s.node_a = a && s.node_b = b) || (s.node_a = b && s.node_b = a))
+    t.sessions
+
 let fail_link t ~a ~b =
-  match
-    List.find_opt
-      (fun s -> (s.node_a = a && s.node_b = b) || (s.node_a = b && s.node_b = a))
-      t.sessions
-  with
+  match find_session t ~a ~b with
   | None -> false
   | Some session ->
       Channel.close session.channel;
       true
+
+let restore_link t ~a ~b =
+  match find_session t ~a ~b with
+  | Some session when not (Channel.is_open session.channel) -> (
+      match
+        ( Hashtbl.find_opt t.daemons session.node_a,
+          Hashtbl.find_opt t.daemons session.node_b )
+      with
+      | Some daemon_a, Some daemon_b ->
+          let channel =
+            Connection_manager.control_channel ~name:session.session_name t.cm
+          in
+          let ep_a, ep_b = Channel.endpoints channel in
+          Daemon.rebind_interface daemon_a session.iface_at_a ep_a;
+          Daemon.rebind_interface daemon_b session.iface_at_b ep_b;
+          session.channel <- channel;
+          true
+      | None, _ | _, None -> false)
+  | Some _ | None -> false
+
+(* --- fault-injection surface ---------------------------------------- *)
+
+let crash_node t node =
+  match Hashtbl.find_opt t.processes node with
+  | Some proc when Process.is_alive proc ->
+      Process.kill proc;
+      true
+  | Some _ | None -> false
+
+let restart_node t node =
+  match Hashtbl.find_opt t.processes node with
+  | Some proc when not (Process.is_alive proc) ->
+      Process.restart proc;
+      true
+  | Some _ | None -> false
+
+let impair_link t ~a ~b ~rng imp =
+  match find_session t ~a ~b with
+  | None -> false
+  | Some session ->
+      (match imp with
+      | Some imp -> Channel.set_impairment session.channel ~rng imp
+      | None -> Channel.clear_impairment session.channel);
+      true
+
+let node_name t id = (Topology.node t.fabric_topo id).Topology.name
+
+let node_id t name =
+  Option.map
+    (fun (n : Topology.node) -> n.Topology.id)
+    (Topology.node_by_name t.fabric_topo name)
+
+let fault_target t =
+  let with1 n f = match node_id t n with Some id -> f id | None -> false in
+  let with2 a b f =
+    match (node_id t a, node_id t b) with
+    | Some a, Some b -> f a b
+    | _, _ -> false
+  in
+  {
+    Horse_faults.Injector.describe = "ospf-fabric";
+    link_down = (fun ~a ~b -> with2 a b (fun a b -> fail_link t ~a ~b));
+    link_up = (fun ~a ~b -> with2 a b (fun a b -> restore_link t ~a ~b));
+    node_crash = (fun n -> with1 n (crash_node t));
+    node_restart = (fun n -> with1 n (restart_node t));
+    (* OSPF has no session abstraction to reset; model it as a flap. *)
+    session_reset = (fun ~a:_ ~b:_ -> false);
+    impair =
+      (fun ~a ~b ~rng imp -> with2 a b (fun a b -> impair_link t ~a ~b ~rng imp));
+    links =
+      (fun () ->
+        List.rev_map
+          (fun s -> (node_name t s.node_a, node_name t s.node_b))
+          t.sessions);
+    converged =
+      (fun () -> adjacencies_full t = adjacencies_expected t && is_converged t);
+  }

@@ -13,6 +13,7 @@ open Horse_net
 open Horse_engine
 open Horse_topo
 open Horse_dataplane
+open Horse_emulation
 open Horse_ospf
 
 type t
@@ -53,3 +54,32 @@ val fail_link : t -> a:int -> b:int -> bool
 (** Cuts the control channel between two adjacent daemons; both ends
     see the closure, drop the adjacency, re-originate their LSAs and
     reconverge around the link. *)
+
+val restore_link : t -> a:int -> b:int -> bool
+(** Re-creates the control channel of a previously failed link and
+    rebinds both daemons' interfaces to it; hellos resume immediately
+    and the adjacency re-forms through the normal Init → TwoWay → Full
+    progression. Returns [false] if no session exists between the
+    nodes or the link is not failed. *)
+
+val crash_node : t -> int -> bool
+(** Kills the node's daemon process — silent on the wire; neighbours
+    notice via their dead intervals. [false] if the node has no daemon
+    or is already dead. *)
+
+val restart_node : t -> int -> bool
+(** Respawns a crashed daemon: it re-originates its LSA and resumes
+    hellos on every interface. [false] unless the node is currently
+    crashed. *)
+
+val impair_link :
+  t -> a:int -> b:int -> rng:Rng.t -> Channel.impairment option -> bool
+(** Applies ([Some]) or clears ([None]) a channel impairment on the
+    link between the nodes. *)
+
+val fault_target : t -> Horse_faults.Injector.target
+(** The fabric as a fault-injection target (node names resolve via the
+    topology). [session_reset] is unsupported (OSPF adjacencies have
+    no administrative reset here) and reports the fault as skipped;
+    [converged] means every adjacency Full and every routing table
+    complete. *)

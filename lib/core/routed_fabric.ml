@@ -285,3 +285,93 @@ let restore_link t ~a ~b =
           true
       | None, _ | _, None -> false)
   | Some _ | None -> false
+
+(* --- fault-injection surface ---------------------------------------- *)
+
+let crash_node t node =
+  match Hashtbl.find_opt t.processes node with
+  | Some proc when Process.is_alive proc ->
+      Process.kill proc;
+      true
+  | Some _ | None -> false
+
+let restart_node t node =
+  match Hashtbl.find_opt t.processes node with
+  | Some proc when not (Process.is_alive proc) ->
+      Process.restart proc;
+      true
+  | Some _ | None -> false
+
+let reset_session t ~a ~b =
+  match find_session t ~a ~b with
+  | None -> false
+  | Some session -> (
+      (* One-sided, like "clear ip bgp" on router [a]'s end: the Cease
+         travels to the other side, and both ConnectRetry timers bring
+         the session back. *)
+      match Hashtbl.find_opt t.speakers session.node_a with
+      | Some speaker ->
+          Speaker.reset_session speaker session.peer_at_a;
+          true
+      | None -> false)
+
+let impair_link t ~a ~b ~rng imp =
+  match find_session t ~a ~b with
+  | None -> false
+  | Some session ->
+      (match imp with
+      | Some imp -> Channel.set_impairment session.channel ~rng imp
+      | None -> Channel.clear_impairment session.channel);
+      true
+
+let node_name t id = (Topology.node t.fabric_topo id).Topology.name
+
+let node_id t name =
+  Option.map
+    (fun (n : Topology.node) -> n.Topology.id)
+    (Topology.node_by_name t.fabric_topo name)
+
+let fault_target t =
+  let with1 n f = match node_id t n with Some id -> f id | None -> false in
+  let with2 a b f =
+    match (node_id t a, node_id t b) with
+    | Some a, Some b -> f a b
+    | _, _ -> false
+  in
+  {
+    Horse_faults.Injector.describe = "routed-fabric";
+    link_down = (fun ~a ~b -> with2 a b (fun a b -> fail_link t ~a ~b));
+    link_up = (fun ~a ~b -> with2 a b (fun a b -> restore_link t ~a ~b));
+    node_crash = (fun n -> with1 n (crash_node t));
+    node_restart = (fun n -> with1 n (restart_node t));
+    session_reset = (fun ~a ~b -> with2 a b (fun a b -> reset_session t ~a ~b));
+    impair =
+      (fun ~a ~b ~rng imp -> with2 a b (fun a b -> impair_link t ~a ~b ~rng imp));
+    links =
+      (fun () ->
+        List.rev_map
+          (fun s -> (node_name t s.node_a, node_name t s.node_b))
+          t.sessions);
+    converged =
+      (fun () -> sessions_established t = sessions_expected t && is_converged t);
+  }
+
+let fib_fingerprint t =
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun node table ->
+      Buffer.add_string buf (string_of_int node);
+      List.iter
+        (fun (prefix, hops) ->
+          Buffer.add_char buf '|';
+          Buffer.add_string buf (Prefix.to_string prefix);
+          Buffer.add_char buf '>';
+          List.iter
+            (fun h ->
+              Buffer.add_string buf (string_of_int h);
+              Buffer.add_char buf ',')
+            hops)
+        (Fwd.routes table);
+      Buffer.add_char buf '\n')
+    t.tables;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

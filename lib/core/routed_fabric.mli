@@ -13,6 +13,7 @@ open Horse_net
 open Horse_engine
 open Horse_topo
 open Horse_dataplane
+open Horse_emulation
 open Horse_bgp
 
 type t
@@ -85,3 +86,32 @@ val restore_link : t -> a:int -> b:int -> bool
 (** Re-establishes a previously failed session over a fresh
     CM-observed channel and restarts both ends. Returns [false] if
     the session does not exist or was never failed. *)
+
+val crash_node : t -> int -> bool
+(** Kills the node's speaker process — silent on the wire; peers find
+    out via their hold timers. [false] if the node has no speaker or
+    is already dead. *)
+
+val restart_node : t -> int -> bool
+(** Respawns a crashed speaker: its ConnectRetry re-initiates every
+    session and peers re-send their tables. [false] unless the node
+    is currently crashed. *)
+
+val reset_session : t -> a:int -> b:int -> bool
+(** One-sided administrative session reset (Cease NOTIFICATION from
+    [a]'s end); both ConnectRetry timers then re-establish it. *)
+
+val impair_link : t -> a:int -> b:int -> rng:Rng.t -> Channel.impairment option -> bool
+(** Applies ([Some]) or clears ([None]) a channel impairment on the
+    session between the nodes. *)
+
+val fault_target : t -> Horse_faults.Injector.target
+(** The fabric as a fault-injection target (node names resolve via
+    the topology); [converged] means every session established and
+    every FIB complete. *)
+
+val fib_fingerprint : t -> string
+(** Hex digest over every node's full forwarding table (prefixes and
+    next-hop link ids, in {!Horse_dataplane.Fwd.routes} order). Two
+    runs that converge to identical FIBs produce identical
+    fingerprints — the fault-plane determinism check. *)

@@ -31,6 +31,8 @@ type result = {
   control_bytes : int;
   flows_started : int;
   registry : Horse_telemetry.Registry.t;
+  injector : Horse_faults.Injector.t option;
+  fib_fingerprint : string option;
 }
 
 (* The demonstration's flow set: one UDP flow per server towards a
@@ -70,6 +72,46 @@ let mark_converged rt =
 
 (* --- BGP + ECMP (src/dst hash) ------------------------------------- *)
 
+(* SDN fabrics expose link up/down only; expose that subset as a
+   fault-injection target so flap plans still apply (crashes and
+   impairments are recorded as skipped). *)
+let sdn_fault_target fabric (topo : Topology.t) =
+  let id name =
+    Option.map
+      (fun (n : Topology.node) -> n.Topology.id)
+      (Topology.node_by_name topo name)
+  in
+  let with2 a b f =
+    match (id a, id b) with Some a, Some b -> f a b | _, _ -> false
+  in
+  let is_switch (n : Topology.node) =
+    match n.Topology.kind with
+    | Topology.Switch | Topology.Router -> true
+    | Topology.Host -> false
+  in
+  {
+    Horse_faults.Injector.describe = "sdn-fabric";
+    link_down = (fun ~a ~b -> with2 a b (fun a b -> Sdn_fabric.fail_link fabric ~a ~b));
+    link_up = (fun ~a ~b -> with2 a b (fun a b -> Sdn_fabric.restore_link fabric ~a ~b));
+    node_crash = (fun _ -> false);
+    node_restart = (fun _ -> false);
+    session_reset = (fun ~a:_ ~b:_ -> false);
+    impair = (fun ~a:_ ~b:_ ~rng:_ _ -> false);
+    links =
+      (fun () ->
+        List.filter_map
+          (fun (l : Topology.link) ->
+            if l.Topology.link_id < l.Topology.peer then
+              let src = Topology.node topo l.Topology.src in
+              let dst = Topology.node topo l.Topology.dst in
+              if is_switch src && is_switch dst then
+                Some (src.Topology.name, dst.Topology.name)
+              else None
+            else None)
+          (Topology.links topo));
+    converged = (fun () -> Sdn_fabric.pending_flows fabric = 0);
+  }
+
 let setup_bgp rt (ft : Fat_tree.t) =
   let half = ft.Fat_tree.k / 2 in
   let edge_prefix = Hashtbl.create 64 in
@@ -99,7 +141,9 @@ let setup_bgp rt (ft : Fat_tree.t) =
               Trace.addf (Experiment.trace rt.exp)
                 ~at:(Sched.now (Experiment.scheduler rt.exp))
                 ~label:"scenario" "flow %a unroutable: %s" Flow_key.pp key msg)
-        rt.keys)
+        rt.keys);
+  ( Some (Routed_fabric.fault_target fabric),
+    Some (fun () -> Routed_fabric.fib_fingerprint fabric) )
 
 (* --- SDN (reactive controller) -------------------------------------- *)
 
@@ -145,7 +189,8 @@ let setup_sdn rt (ft : Fat_tree.t) te =
           Sdn_fabric.route_flow fabric key ~on_ready:(fun path ->
               start_flow rt key path;
               if Flow_key.Table.length rt.started = n then mark_converged rt))
-        rt.keys)
+        rt.keys);
+  (Some (sdn_fault_target fabric ft.Fat_tree.topo), None)
 
 (* --- P4 (programmable pipelines) ------------------------------------- *)
 
@@ -166,13 +211,14 @@ let setup_p4 rt (ft : Fat_tree.t) =
               Trace.addf (Experiment.trace rt.exp)
                 ~at:(Sched.now (Experiment.scheduler rt.exp))
                 ~label:"scenario" "flow %a unroutable: %s" Flow_key.pp key msg)
-        rt.keys)
+        rt.keys);
+  (None, None)
 
 (* --- entry point ----------------------------------------------------- *)
 
 let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
-    ?(flow_rate = 1e9) ~pods ~te ~duration () =
-  let rt, setup_wall_s =
+    ?(flow_rate = 1e9) ?faults ~pods ~te ~duration () =
+  let (rt, injector, fingerprint), setup_wall_s =
     Wall.time (fun () ->
         let ft = Fat_tree.build ~k:pods () in
         let exp = Experiment.create ?config ~seed ft.Fat_tree.topo in
@@ -185,13 +231,28 @@ let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
             converged_at = None;
           }
         in
-        Sched.with_span (Experiment.scheduler exp) ~name:"setup" (fun () ->
-            match te with
-            | Bgp_ecmp -> setup_bgp rt ft
-            | P4_ecmp -> setup_p4 rt ft
-            | Sdn_ecmp | Hedera_gff | Hedera_annealing -> setup_sdn rt ft te);
+        let target, fingerprint =
+          Sched.with_span (Experiment.scheduler exp) ~name:"setup" (fun () ->
+              match te with
+              | Bgp_ecmp -> setup_bgp rt ft
+              | P4_ecmp -> setup_p4 rt ft
+              | Sdn_ecmp | Hedera_gff | Hedera_annealing -> setup_sdn rt ft te)
+        in
+        let injector =
+          match (faults, target) with
+          | None, _ -> None
+          | Some plan, Some target ->
+              Some
+                (Horse_faults.Injector.arm
+                   (Experiment.scheduler exp)
+                   ~target plan)
+          | Some _, None ->
+              invalid_arg
+                (Printf.sprintf "run_fat_tree_te: %s has no fault target"
+                   (te_name te))
+        in
         Fluid.start_sampling (Experiment.fluid exp) ~every:sample_every;
-        rt)
+        (rt, injector, fingerprint))
   in
   let sched_stats, run_wall_s =
     Wall.time (fun () -> Experiment.run ~until:duration rt.exp)
@@ -214,6 +275,8 @@ let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
     control_bytes = Connection_manager.bytes_observed (Experiment.cm rt.exp);
     flows_started = Flow_key.Table.length rt.started;
     registry = Experiment.registry rt.exp;
+    injector;
+    fib_fingerprint = Option.map (fun f -> f ()) fingerprint;
   }
 
 let pp_result fmt r =

@@ -43,6 +43,12 @@ type result = {
   flows_started : int;
   registry : Horse_telemetry.Registry.t;
       (** the experiment's telemetry registry, for exporters *)
+  injector : Horse_faults.Injector.t option;
+      (** present when a fault plan was armed: injection trace and
+          per-fault reconvergence *)
+  fib_fingerprint : string option;
+      (** BGP scenario only: digest of every final FIB, for
+          determinism checks *)
 }
 
 val run_fat_tree_te :
@@ -50,12 +56,17 @@ val run_fat_tree_te :
   ?sample_every:Time.t ->
   ?config:Sched.config ->
   ?flow_rate:float ->
+  ?faults:Horse_faults.Plan.t ->
   pods:int ->
   te:te ->
   duration:Time.t ->
   unit ->
   result
 (** Defaults: seed 42, sampling every 500 ms, 1 Gbps flows, scheduler
-    defaults (1 ms increment, 1 s quiet timeout). *)
+    defaults (1 ms increment, 1 s quiet timeout). [faults] arms a
+    fault-injection plan against the chosen control plane before the
+    run ({!Bgp_ecmp}: full target; SDN variants: link faults only;
+    raises [Invalid_argument] for {!P4_ecmp}, which has no fault
+    surface yet). *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -8,6 +8,16 @@ type side = {
   mutable on_close : (unit -> unit) option;
 }
 
+type impairment = {
+  loss : float;
+  extra_delay : Time.t;
+  jitter : Time.t;
+  duplicate : float;
+}
+
+let no_impairment =
+  { loss = 0.0; extra_delay = Time.zero; jitter = Time.zero; duplicate = 0.0 }
+
 type t = {
   sched : Sched.t;
   latency : Time.t;
@@ -17,6 +27,9 @@ type t = {
   mutable open_ : bool;
   mutable messages : int;
   mutable bytes : int;
+  mutable impair : (impairment * Rng.t) option;
+  mutable impaired_dropped : int;
+  mutable impaired_duplicated : int;
 }
 
 type endpoint = { chan : t; mine : side; theirs : side; dir_out : direction }
@@ -33,6 +46,9 @@ let create sched ?(latency = Time.of_ms 1) () =
     open_ = true;
     messages = 0;
     bytes = 0;
+    impair = None;
+    impaired_dropped = 0;
+    impaired_duplicated = 0;
   }
 
 let endpoints t =
@@ -52,16 +68,49 @@ let set_receiver e f =
   e.mine.backlog <- [];
   List.iter f queued
 
+(* Impairments act at send time, on the sender's side of the pipe —
+   like a lossy link, not a broken receiver. Per message the draw
+   order is fixed (loss, jitter, duplicate, duplicate's jitter) and
+   draws are taken whenever the corresponding knob is enabled,
+   regardless of earlier outcomes, so a given seed always consumes the
+   stream identically for the same message sequence. *)
+let impaired_schedule t target msg =
+  match t.impair with
+  | None ->
+      ignore
+        (Sched.schedule_after t.sched t.latency (fun () ->
+             if t.open_ then deliver target msg))
+  | Some (imp, rng) ->
+      let draw_jitter () =
+        if Time.(imp.jitter > Time.zero) then
+          Time.of_us (Rng.int rng (max 1 (Time.to_us imp.jitter)))
+        else Time.zero
+      in
+      let lost = imp.loss > 0.0 && Rng.float rng 1.0 < imp.loss in
+      let base = Time.add t.latency imp.extra_delay in
+      let delay = Time.add base (draw_jitter ()) in
+      let dup = imp.duplicate > 0.0 && Rng.float rng 1.0 < imp.duplicate in
+      let dup_delay = Time.add base (draw_jitter ()) in
+      if lost then t.impaired_dropped <- t.impaired_dropped + 1
+      else begin
+        ignore
+          (Sched.schedule_after t.sched delay (fun () ->
+               if t.open_ then deliver target msg));
+        if dup then begin
+          t.impaired_duplicated <- t.impaired_duplicated + 1;
+          ignore
+            (Sched.schedule_after t.sched dup_delay (fun () ->
+                 if t.open_ then deliver target msg))
+        end
+      end
+
 let send e msg =
   let t = e.chan in
   if t.open_ then begin
     t.messages <- t.messages + 1;
     t.bytes <- t.bytes + Bytes.length msg;
     (match t.observer with Some obs -> obs e.dir_out msg | None -> ());
-    let target = e.theirs in
-    ignore
-      (Sched.schedule_after t.sched t.latency (fun () ->
-           if t.open_ then deliver target msg))
+    impaired_schedule t e.theirs msg
   end
 
 let send_many e msgs =
@@ -79,12 +128,32 @@ let send_many e msgs =
             | Some obs -> obs e.dir_out msg
             | None -> ())
           msgs;
-        let target = e.theirs in
-        (* One scheduler event delivers the whole batch in order. *)
-        ignore
-          (Sched.schedule_after t.sched t.latency (fun () ->
-               if t.open_ then List.iter (deliver target) msgs))
+        match t.impair with
+        | Some _ ->
+            (* Per-message fates (drop/duplicate/jitter) break the
+               single-event batch; fall back to per-message delivery. *)
+            List.iter (impaired_schedule t e.theirs) msgs
+        | None ->
+            let target = e.theirs in
+            (* One scheduler event delivers the whole batch in order. *)
+            ignore
+              (Sched.schedule_after t.sched t.latency (fun () ->
+                   if t.open_ then List.iter (deliver target) msgs))
       end
+
+let set_impairment t ~rng imp =
+  if imp.loss < 0.0 || imp.loss > 1.0 then
+    invalid_arg "Channel.set_impairment: loss must be in [0, 1]";
+  if imp.duplicate < 0.0 || imp.duplicate > 1.0 then
+    invalid_arg "Channel.set_impairment: duplicate must be in [0, 1]";
+  if Time.(imp.extra_delay < Time.zero) || Time.(imp.jitter < Time.zero) then
+    invalid_arg "Channel.set_impairment: delays must be non-negative";
+  t.impair <- Some (imp, rng)
+
+let clear_impairment t = t.impair <- None
+let impairment t = Option.map fst t.impair
+let impaired_dropped t = t.impaired_dropped
+let impaired_duplicated t = t.impaired_duplicated
 
 let set_observer t obs = t.observer <- Some obs
 

@@ -20,6 +20,19 @@ type endpoint
 
 type direction = A_to_b | B_to_a
 
+type impairment = {
+  loss : float;  (** per-message drop probability, [0, 1] *)
+  extra_delay : Time.t;  (** added to the channel latency *)
+  jitter : Time.t;  (** uniform extra delay in [0, jitter) per message *)
+  duplicate : float;  (** probability a message is delivered twice *)
+}
+(** A lossy/slow link model applied at send time (see
+    {!set_impairment}). With jitter, deliveries may reorder — exactly
+    the stress a real flapping WAN path puts on a routing session. *)
+
+val no_impairment : impairment
+(** All zeroes — a clean link. *)
+
 val create : Sched.t -> ?latency:Time.t -> unit -> t
 (** Default latency 1 ms (a LAN-ish control RTT of 2 ms). *)
 
@@ -59,3 +72,18 @@ val close : t -> unit
 val is_open : t -> bool
 val messages_sent : t -> int
 val bytes_sent : t -> int
+
+val set_impairment : t -> rng:Rng.t -> impairment -> unit
+(** Applies an impairment to both directions from now on. Draws come
+    from [rng] in a fixed per-message order, so a seeded stream
+    reproduces drop/duplicate/jitter decisions exactly. Counters and
+    the observer still see every message at send time (the sender did
+    send it; the link ate it).
+    @raise Invalid_argument on probabilities outside [0, 1] or
+    negative delays. *)
+
+val clear_impairment : t -> unit
+
+val impairment : t -> impairment option
+val impaired_dropped : t -> int
+val impaired_duplicated : t -> int

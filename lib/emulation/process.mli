@@ -34,5 +34,16 @@ val kill : t -> unit
 (** Stops the process: every pending and future timer and tick is
     suppressed. Idempotent. *)
 
+val restart : t -> unit
+(** Respawns a killed process: it becomes alive again (timers armed
+    from now on fire; ticks resume) and the {!on_restart} hooks run so
+    the owning daemon can re-arm its timers and re-initiate sessions.
+    No-op on a live process. *)
+
 val on_kill : t -> (unit -> unit) -> unit
-(** Cleanup hooks, run once at {!kill} in registration order. *)
+(** Cleanup hooks, run at every {!kill} in registration order. Hooks
+    persist across kill/restart cycles. *)
+
+val on_restart : t -> (unit -> unit) -> unit
+(** Respawn hooks, run at every {!restart} in registration order;
+    registered once, they fire on every crash/restart cycle. *)

@@ -15,6 +15,19 @@ let int64 t =
 
 let split t = { state = mix (int64 t) }
 
+(* FNV-1a over the key bytes, folded into the parent's current state
+   without advancing it: the derived stream depends only on (parent
+   state, key), so sites keyed by distinct names get streams that do
+   not shift when other sites are added or removed. *)
+let split_key t key =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    key;
+  { state = mix (Int64.add (mix t.state) (Int64.mul !h golden)) }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling to avoid modulo bias. *)

@@ -14,6 +14,13 @@ val split : t -> t
 (** A new generator whose stream is independent of (but determined by)
     the parent's current state; advances the parent. *)
 
+val split_key : t -> string -> t
+(** [split_key t key] is a generator determined only by [t]'s current
+    state and [key] — the parent is {e not} advanced, so derived
+    streams are order-independent: adding or removing one keyed stream
+    never perturbs another's draw sequence. Used for per-fault-site
+    streams in {!Horse_faults}. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit value. *)
 

@@ -12,6 +12,7 @@ type config = {
   quiet_timeout : Time.t;
   start_in_fti : bool;
   fti_pacing : float;
+  max_wall_s : float;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     quiet_timeout = Time.of_sec 1.0;
     start_in_fti = false;
     fti_pacing = 0.0;
+    max_wall_s = 0.0;
   }
 
 type transition = {
@@ -40,6 +42,7 @@ type stats = {
   wall_in_des : float;
   wall_total : float;
   end_time : Time.t;
+  aborted : bool;
 }
 
 (* The scheduler's own bookkeeping lives in the telemetry registry;
@@ -59,6 +62,7 @@ type metrics = {
   g_wall_total_s : Gauge.t;
   g_mode : Gauge.t;
   g_end_time_s : Gauge.t;
+  m_watchdog_aborts : Counter.t;
   h_fti_wall : Horse_telemetry.Histogram.t;
 }
 
@@ -95,6 +99,9 @@ let make_metrics reg =
     g_end_time_s =
       gauge ~help:"Virtual clock at the last snapshot, seconds"
         "end_time_seconds";
+    m_watchdog_aborts =
+      counter ~help:"Runs aborted by the wall-clock watchdog"
+        "watchdog_aborts_total";
     h_fti_wall =
       Registry.histogram reg ~subsystem:"sched"
         ~help:"Wall-clock cost of one FTI increment, seconds" ~lo:1e-7 ~hi:1.0
@@ -114,6 +121,8 @@ type t = {
   mutable pollers : (unit -> unit) array;
   mutable rev_transitions : transition list;
   mutable run_start_wall : float;
+  mutable abort_flag : bool;
+  mutable rev_abort_hooks : (unit -> unit) list;
   deferred : (unit -> unit) Queue.t;
 }
 
@@ -139,6 +148,8 @@ let create ?(config = default_config) ?registry () =
     pollers = [||];
     rev_transitions = [];
     run_start_wall = Wall.now ();
+    abort_flag = false;
+    rev_abort_hooks = [];
     deferred = Queue.create ();
   }
 
@@ -222,6 +233,8 @@ let control_activity ?(reason = "control-plane activity") t =
   | Des -> record_transition t Fti reason
 
 let stop t = t.stop_requested <- true
+let on_abort t f = t.rev_abort_hooks <- f :: t.rev_abort_hooks
+let aborted t = t.abort_flag
 
 let snapshot t =
   Gauge.set t.m.g_end_time_s (Time.to_sec t.clock);
@@ -235,6 +248,7 @@ let snapshot t =
     wall_in_des = Gauge.value t.m.g_wall_des_s;
     wall_total = Gauge.value t.m.g_wall_total_s;
     end_time = t.clock;
+    aborted = t.abort_flag;
   }
 
 let account t mode0 wall0 clock0 =
@@ -336,13 +350,28 @@ let fti_step t until =
   then record_transition t Des "quiet timeout";
   match until with Some u -> Time.(t.clock < u) | None -> true
 
+(* Wall-clock watchdog: with [max_wall_s > 0], a run that outlives its
+   wall budget is aborted between steps — [run] still returns normally
+   so callers flush exporters and emit a partial report instead of
+   spinning forever. *)
+let watchdog_expired t =
+  t.cfg.max_wall_s > 0.0
+  && Wall.now () -. t.run_start_wall > t.cfg.max_wall_s
+
+let fire_abort t =
+  t.abort_flag <- true;
+  Counter.incr t.m.m_watchdog_aborts;
+  List.iter (fun f -> f ()) (List.rev t.rev_abort_hooks)
+
 let run ?until t =
   if t.running then invalid_arg "Sched.run: already running";
   t.running <- true;
   t.stop_requested <- false;
+  t.abort_flag <- false;
   t.run_start_wall <- Wall.now ();
   let rec loop () =
     if t.stop_requested then ()
+    else if watchdog_expired t then fire_abort t
     else
       let continue =
         match t.cur_mode with

@@ -45,6 +45,12 @@ type config = {
       (** 0 (default) runs FTI as fast as possible; [x > 0] sleeps so
           FTI virtual time advances at [x]× wall speed — only useful
           for interactive demonstrations. *)
+  max_wall_s : float;
+      (** Wall-clock watchdog: a {!run} that exceeds this many wall
+          seconds is aborted gracefully between steps — {!run} returns
+          a snapshot with [aborted = true] and registered {!on_abort}
+          hooks fire first, so callers can still flush telemetry and
+          print a partial report. [0.0] (default) disables it. *)
 }
 
 val default_config : config
@@ -67,6 +73,8 @@ type stats = {
   wall_in_des : float;
   wall_total : float;
   end_time : Time.t;
+  aborted : bool;
+      (** the run was cut short by the [max_wall_s] watchdog *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -145,6 +153,14 @@ val control_activity : ?reason:string -> t -> unit
 
 val stop : t -> unit
 (** Makes the current {!run} return after the event in progress. *)
+
+val on_abort : t -> (unit -> unit) -> unit
+(** Registers a hook run (in registration order) when the [max_wall_s]
+    watchdog aborts a run, before {!run} returns. Use it to flush
+    exporters or mark partial results. *)
+
+val aborted : t -> bool
+(** Whether the last (or current) run was aborted by the watchdog. *)
 
 val run : ?until:Time.t -> t -> stats
 (** Executes events until [until] (virtual), or — when [until] is

@@ -29,7 +29,7 @@ let pp_neighbor_state fmt s =
 
 type iface = {
   iface_id : int;
-  endpoint : Channel.endpoint;
+  mutable endpoint : Channel.endpoint;
   metric : int;
   mutable nbr_id : Ipv4.t option;
   mutable nbr_state : neighbor_state;
@@ -345,6 +345,16 @@ let create ?trace proc cfg =
     lsa_originations = 0;
   }
 
+let bind_iface t iface endpoint =
+  iface.endpoint <- endpoint;
+  Channel.set_receiver endpoint (fun bytes -> receive t iface bytes);
+  Channel.set_on_close endpoint (fun () ->
+      if Process.is_alive t.proc && iface.nbr_state <> Down then begin
+        let was_full = iface.nbr_state = Full in
+        set_neighbor_state t iface Down;
+        if was_full then originate t
+      end)
+
 let add_interface ?(metric = 1) t endpoint =
   let iface =
     {
@@ -358,24 +368,58 @@ let add_interface ?(metric = 1) t endpoint =
   in
   t.next_iface <- t.next_iface + 1;
   t.ifaces <- iface :: t.ifaces;
-  Channel.set_receiver endpoint (fun bytes -> receive t iface bytes);
-  Channel.set_on_close endpoint (fun () ->
-      if Process.is_alive t.proc && iface.nbr_state <> Down then begin
-        let was_full = iface.nbr_state = Full in
-        set_neighbor_state t iface Down;
-        if was_full then originate t
-      end);
+  bind_iface t iface endpoint;
   iface.iface_id
+
+let rebind_interface t iface_id endpoint =
+  let iface = find_iface t iface_id in
+  bind_iface t iface endpoint;
+  (* The adjacency re-forms through hellos; reset the liveness clock
+     so the dead-interval sweep measures from the repair, not from
+     before the failure. *)
+  iface.last_hello <- now t;
+  if t.started && Process.is_alive t.proc then send_hello t iface
+
+let arm_timers t =
+  ignore
+    (Process.every t.proc t.cfg.hello_interval (fun () ->
+         List.iter (fun iface -> send_hello t iface) (iface_list t);
+         check_dead t))
+
+(* A crash loses all protocol state: adjacencies drop silently (the
+   neighbours' dead-interval timers notice), pending SPF work is
+   forgotten and the routing table empties so installed routes are
+   withdrawn from the data plane. The LSDB survives as scratch state
+   — a restarted daemon re-originates with a higher sequence number
+   and neighbours resynchronise it anyway. *)
+let crash_cleanup t =
+  t.spf_pending <- false;
+  List.iter
+    (fun iface ->
+      iface.nbr_id <- None;
+      if iface.nbr_state <> Down then set_neighbor_state t iface Down)
+    t.ifaces;
+  if t.route_cache <> [] then begin
+    t.route_cache <- [];
+    List.iter (fun f -> f []) t.route_hooks
+  end
+
+let revive t =
+  if t.started then begin
+    tracef t "daemon %a restarted" Ipv4.pp t.cfg.router_id;
+    originate t;
+    List.iter (fun iface -> send_hello t iface) (iface_list t);
+    arm_timers t
+  end
 
 let start t =
   if not t.started then begin
     t.started <- true;
+    Process.on_kill t.proc (fun () -> crash_cleanup t);
+    Process.on_restart t.proc (fun () -> revive t);
     originate t (* stub-only LSA until adjacencies form *);
     List.iter (fun iface -> send_hello t iface) (iface_list t);
-    ignore
-      (Process.every t.proc t.cfg.hello_interval (fun () ->
-           List.iter (fun iface -> send_hello t iface) (iface_list t);
-           check_dead t));
+    arm_timers t;
     tracef t "daemon %a started with %d interfaces" Ipv4.pp t.cfg.router_id
       (List.length t.ifaces)
   end

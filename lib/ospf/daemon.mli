@@ -51,7 +51,21 @@ val add_interface : ?metric:int -> t -> Channel.endpoint -> int
 (** Attaches a point-to-point interface (default metric 1) and returns
     its id. Call before {!start}. *)
 
+val rebind_interface : t -> int -> Channel.endpoint -> unit
+(** Rebinds an existing interface to a fresh channel endpoint after a
+    repaired link (the failed link's channel is gone for good) and
+    sends an immediate hello; the adjacency then re-forms through the
+    normal hello exchange. *)
+
 val start : t -> unit
+(** Arms the hello/dead-interval timers and originates the first LSA.
+    After {!start}, the daemon also survives a
+    {!Horse_emulation.Process.kill} /
+    {!Horse_emulation.Process.restart} cycle: a crash drops all
+    adjacencies silently (neighbours notice via their dead intervals)
+    and withdraws installed routes; a restart re-originates,
+    re-hellos and re-arms the timers, so adjacencies re-form without
+    outside help. *)
 
 val router_id : t -> Ipv4.t
 val routes : t -> Lsdb.route list

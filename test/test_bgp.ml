@@ -438,9 +438,79 @@ let test_hold_timer_expiry_on_kill () =
   (* Crash router A: no NOTIFICATION, peers detect via hold timer. *)
   ignore (Sched.schedule_at sched (Time.of_sec 6.0) (fun () -> Process.kill proc_a));
   ignore (Sched.run ~until:(Time.of_sec 30.0) sched);
+  (* ConnectRetry keeps probing the dead peer, so the session sits in
+     Idle or OpenSent — anything but Established. *)
   check Alcotest.bool "session dropped" true
-    (Speaker.peer_state b peer_ba = Speaker.Idle);
+    (Speaker.peer_state b peer_ba <> Speaker.Established);
   check Alcotest.bool "routes retracted" true (Speaker.best b (p "10.1.0.0/16") = [])
+
+(* The self-healing acceptance check: kill a speaker, restart it, and
+   the session must come back through ConnectRetry alone — no
+   fabric-level start_peer / replace_endpoint intervention. *)
+let test_connect_retry_after_restart () =
+  let sched, _, a, b, proc_a, _, peer_ab, peer_ba = two_routers () in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Speaker.start a;
+         Speaker.start b));
+  ignore (Sched.run ~until:(Time.of_sec 5.0) sched);
+  ignore (Sched.schedule_at sched (Time.of_sec 6.0) (fun () -> Process.kill proc_a));
+  (* Restart before B's hold timer has even expired: B still thinks
+     the session is up, A's ConnectRetry OPEN must displace the stale
+     session. *)
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 10.0) (fun () -> Process.restart proc_a));
+  ignore (Sched.run ~until:(Time.of_sec 40.0) sched);
+  check Alcotest.bool "a re-established" true
+    (Speaker.peer_state a peer_ab = Speaker.Established);
+  check Alcotest.bool "b re-established" true
+    (Speaker.peer_state b peer_ba = Speaker.Established);
+  check Alcotest.bool "b re-learned a's prefix" true
+    (Speaker.best b (p "10.1.0.0/16") <> []);
+  check Alcotest.bool "a re-learned b's prefix" true
+    (Speaker.best a (p "10.2.0.0/16") <> [])
+
+(* Same, but the restart comes after the peer's hold timer expiry:
+   the session is re-initiated from both Idle ends. *)
+let test_connect_retry_after_hold_expiry () =
+  let sched, _, a, b, proc_a, _, peer_ab, peer_ba = two_routers () in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Speaker.start a;
+         Speaker.start b));
+  ignore (Sched.run ~until:(Time.of_sec 5.0) sched);
+  ignore (Sched.schedule_at sched (Time.of_sec 6.0) (fun () -> Process.kill proc_a));
+  ignore (Sched.run ~until:(Time.of_sec 20.0) sched);
+  check Alcotest.bool "b dropped the session first" true
+    (Speaker.peer_state b peer_ba <> Speaker.Established);
+  check Alcotest.bool "b retracted a's prefix" true
+    (Speaker.best b (p "10.1.0.0/16") = []);
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 21.0) (fun () -> Process.restart proc_a));
+  ignore (Sched.run ~until:(Time.of_sec 45.0) sched);
+  check Alcotest.bool "a re-established" true
+    (Speaker.peer_state a peer_ab = Speaker.Established);
+  check Alcotest.bool "b re-learned a's prefix" true
+    (Speaker.best b (p "10.1.0.0/16") <> [])
+
+let test_session_reset_self_heals () =
+  let sched, _, a, b, _, _, peer_ab, peer_ba = two_routers () in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Speaker.start a;
+         Speaker.start b));
+  ignore (Sched.run ~until:(Time.of_sec 5.0) sched);
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 6.0) (fun () ->
+         Speaker.reset_session a peer_ab));
+  ignore (Sched.run ~until:(Time.of_sec 7.0) sched);
+  check Alcotest.bool "b saw the Cease promptly" true
+    (Speaker.peer_state b peer_ba = Speaker.Idle);
+  ignore (Sched.run ~until:(Time.of_sec 20.0) sched);
+  check Alcotest.bool "session re-established by ConnectRetry" true
+    (Speaker.peer_state a peer_ab = Speaker.Established
+    && Speaker.peer_state b peer_ba = Speaker.Established);
+  check Alcotest.bool "routes back" true (Speaker.best b (p "10.1.0.0/16") <> [])
 
 let test_graceful_shutdown () =
   let sched, _, a, b, _, _, _, peer_ba = two_routers () in
@@ -926,6 +996,12 @@ let () =
             test_runtime_announce_and_withdraw;
           Alcotest.test_case "hold timer on crash" `Quick
             test_hold_timer_expiry_on_kill;
+          Alcotest.test_case "connect-retry heals kill/restart" `Quick
+            test_connect_retry_after_restart;
+          Alcotest.test_case "connect-retry after hold expiry" `Quick
+            test_connect_retry_after_hold_expiry;
+          Alcotest.test_case "session reset self-heals" `Quick
+            test_session_reset_self_heals;
           Alcotest.test_case "graceful shutdown" `Quick test_graceful_shutdown;
           Alcotest.test_case "wrong asn rejected" `Quick test_wrong_asn_rejected;
           Alcotest.test_case "as-path loop prevention" `Quick

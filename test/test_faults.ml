@@ -1,0 +1,378 @@
+(* Tests for horse_faults: plan codec, keyed rng streams, channel
+   impairments, the scheduler watchdog, and end-to-end deterministic
+   fault injection with self-healing control planes. *)
+
+open Horse_engine
+open Horse_topo
+open Horse_emulation
+open Horse_core
+open Horse_faults
+
+let check = Alcotest.check
+
+(* --- keyed rng streams -------------------------------------------------- *)
+
+let draws rng = List.init 16 (fun _ -> Rng.int rng 1_000_000)
+
+let test_split_key_stable_and_order_independent () =
+  let base = Rng.create 99 in
+  let d1 = draws (Rng.split_key base "site-a") in
+  (* Splitting other keys in between must not perturb site-a's
+     stream (fault sites are order-independent). *)
+  let _ = draws (Rng.split_key base "site-b") in
+  let _ = draws (Rng.split_key base "zzz") in
+  let d1' = draws (Rng.split_key base "site-a") in
+  check (Alcotest.list Alcotest.int) "same key, same stream" d1 d1';
+  let d2 = draws (Rng.split_key base "site-b") in
+  check Alcotest.bool "different keys, different streams" true (d1 <> d2);
+  let other = draws (Rng.split_key (Rng.create 100) "site-a") in
+  check Alcotest.bool "different seeds, different streams" true (d1 <> other)
+
+(* --- plan json codec ---------------------------------------------------- *)
+
+let full_plan =
+  {
+    Plan.seed = 7;
+    events =
+      [
+        { Plan.at = Time.of_sec 5.0; action = Plan.Link_down { a = "r0"; b = "r1" } };
+        { Plan.at = Time.of_sec 6.5; action = Plan.Link_up { a = "r0"; b = "r1" } };
+        { Plan.at = Time.of_sec 7.0; action = Plan.Node_crash "r2" };
+        { Plan.at = Time.of_sec 9.0; action = Plan.Node_restart "r2" };
+        { Plan.at = Time.of_sec 10.0; action = Plan.Session_reset { a = "r1"; b = "r2" } };
+        {
+          Plan.at = Time.of_sec 11.0;
+          action =
+            Plan.Impair
+              ( { a = "r0"; b = "r1" },
+                {
+                  Channel.loss = 0.25;
+                  extra_delay = Time.of_ms 10;
+                  jitter = Time.of_ms 5;
+                  duplicate = 0.125;
+                } );
+        };
+        { Plan.at = Time.of_sec 12.0; action = Plan.Clear_impair { a = "r0"; b = "r1" } };
+        { Plan.at = Time.of_sec 13.0; action = Plan.Partition [ "r0"; "r1" ] };
+        { Plan.at = Time.of_sec 14.0; action = Plan.Heal [ "r0"; "r1" ] };
+      ];
+    generators =
+      [
+        {
+          Plan.g_site = { a = "r2"; b = "r3" };
+          g_start = Time.of_sec 5.0;
+          g_stop = Time.of_sec 20.0;
+          g_down_for = Time.of_sec 1.0;
+          g_flavor = Plan.Periodic (Time.of_sec 4.0);
+        };
+        {
+          Plan.g_site = { a = "r0"; b = "r3" };
+          g_start = Time.of_sec 5.0;
+          g_stop = Time.of_sec 20.0;
+          g_down_for = Time.of_ms 500;
+          g_flavor = Plan.Poisson 0.5;
+        };
+      ];
+  }
+
+let test_plan_json_roundtrip () =
+  match Plan.of_string (Plan.to_string full_plan) with
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+  | Ok plan' ->
+      check Alcotest.bool "round-trips exactly" true (full_plan = plan')
+
+let test_plan_decode_errors () =
+  (match Plan.of_string "{ nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Plan.of_string {|{"seed": 1, "events": [{"at": 1.0, "action": "warp"}]}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown action accepted"
+
+let test_flap_storm_shape () =
+  let plan =
+    Plan.flap_storm ~seed:3
+      ~sites:[ ("a", "b"); ("c", "d") ]
+      ~start:(Time.of_sec 1.0) ~stop:(Time.of_sec 9.0)
+      ~period:(Time.of_sec 2.0) ~down_for:(Time.of_sec 1.0) ()
+  in
+  check Alcotest.int "one generator per site" 2 (List.length plan.Plan.generators);
+  List.iter
+    (fun g ->
+      match g.Plan.g_flavor with
+      | Plan.Periodic p -> check Alcotest.bool "period kept" true (p = Time.of_sec 2.0)
+      | Plan.Poisson _ -> Alcotest.fail "expected periodic")
+    plan.Plan.generators
+
+(* --- channel impairments ------------------------------------------------ *)
+
+let impaired_channel imp =
+  let sched = Sched.create () in
+  let chan = Channel.create sched ~latency:(Time.of_ms 1) () in
+  let ep_a, ep_b = Channel.endpoints chan in
+  let arrivals = ref [] in
+  Channel.set_receiver ep_b (fun _ -> arrivals := Sched.now sched :: !arrivals);
+  Channel.set_impairment chan ~rng:(Rng.create 5) imp;
+  (sched, ep_a, chan, arrivals)
+
+let test_impairment_loss_all () =
+  let sched, ep_a, chan, arrivals =
+    impaired_channel { Channel.no_impairment with Channel.loss = 1.0 }
+  in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         for _ = 1 to 50 do
+           Channel.send ep_a (Bytes.of_string "x")
+         done));
+  ignore (Sched.run ~until:(Time.of_sec 1.0) sched);
+  check Alcotest.int "nothing delivered" 0 (List.length !arrivals);
+  check Alcotest.int "drops counted" 50 (Channel.impaired_dropped chan)
+
+let test_impairment_duplicate_all () =
+  let sched, ep_a, chan, arrivals =
+    impaired_channel { Channel.no_impairment with Channel.duplicate = 1.0 }
+  in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Channel.send_many ep_a (List.init 10 (fun _ -> Bytes.of_string "x"))));
+  ignore (Sched.run ~until:(Time.of_sec 1.0) sched);
+  check Alcotest.int "everything delivered twice" 20 (List.length !arrivals);
+  check Alcotest.int "duplicates counted" 10 (Channel.impaired_duplicated chan)
+
+let test_impairment_extra_delay () =
+  let sched, ep_a, _, arrivals =
+    impaired_channel
+      { Channel.no_impairment with Channel.extra_delay = Time.of_ms 10 }
+  in
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Channel.send ep_a (Bytes.of_string "x")));
+  ignore (Sched.run ~until:(Time.of_sec 1.0) sched);
+  match !arrivals with
+  | [ at ] ->
+      check Alcotest.bool "latency + extra delay" true (at = Time.of_ms 11)
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l)
+
+let test_impairment_deterministic () =
+  let run () =
+    let sched = Sched.create () in
+    let chan = Channel.create sched ~latency:(Time.of_ms 1) () in
+    let ep_a, ep_b = Channel.endpoints chan in
+    let arrivals = ref [] in
+    Channel.set_receiver ep_b (fun b ->
+        arrivals := (Sched.now sched, Bytes.to_string b) :: !arrivals);
+    Channel.set_impairment chan ~rng:(Rng.create 42)
+      {
+        Channel.loss = 0.3;
+        extra_delay = Time.of_ms 2;
+        jitter = Time.of_ms 5;
+        duplicate = 0.2;
+      };
+    ignore
+      (Sched.schedule_at sched Time.zero (fun () ->
+           for i = 1 to 100 do
+             Channel.send ep_a (Bytes.of_string (string_of_int i))
+           done));
+    ignore (Sched.run ~until:(Time.of_sec 1.0) sched);
+    !arrivals
+  in
+  let a = run () and b = run () in
+  check Alcotest.bool "some loss happened" true (List.length a < 120);
+  check Alcotest.bool "identical delivery schedule across runs" true (a = b)
+
+(* --- scheduler watchdog ------------------------------------------------- *)
+
+let test_watchdog_aborts_runaway_run () =
+  let config = { Sched.default_config with Sched.max_wall_s = 0.02 } in
+  let sched = Sched.create ~config () in
+  let hook_fired = ref false in
+  Sched.on_abort sched (fun () -> hook_fired := true);
+  let sink = ref 0 in
+  ignore
+    (Sched.every sched (Time.of_us 10) (fun () ->
+         for i = 0 to 200 do
+           sink := !sink + i
+         done));
+  let stats = Sched.run ~until:(Time.of_sec 100.0) sched in
+  check Alcotest.bool "aborted flag in stats" true stats.Sched.aborted;
+  check Alcotest.bool "aborted accessor" true (Sched.aborted sched);
+  check Alcotest.bool "abort hook fired" true !hook_fired;
+  check Alcotest.bool "stopped before the horizon" true
+    Time.(stats.Sched.end_time < Time.of_sec 100.0)
+
+let test_watchdog_off_by_default () =
+  let sched = Sched.create () in
+  ignore (Sched.schedule_at sched (Time.of_sec 1.0) (fun () -> ()));
+  let stats = Sched.run ~until:(Time.of_sec 2.0) sched in
+  check Alcotest.bool "no abort" false stats.Sched.aborted
+
+(* --- end-to-end: deterministic injection on the BGP ring ---------------- *)
+
+let ring_plan =
+  let storm =
+    Plan.flap_storm ~seed:11
+      ~sites:[ ("r1", "r2") ]
+      ~start:(Time.of_sec 40.0) ~stop:(Time.of_sec 50.0)
+      ~period:(Time.of_sec 3.0) ~down_for:(Time.of_sec 1.0) ()
+  in
+  {
+    storm with
+    Plan.events =
+      [
+        { Plan.at = Time.of_sec 5.0; action = Plan.Link_down { a = "r0"; b = "r1" } };
+        { Plan.at = Time.of_sec 8.0; action = Plan.Link_up { a = "r0"; b = "r1" } };
+        { Plan.at = Time.of_sec 10.0; action = Plan.Node_crash "r2" };
+        { Plan.at = Time.of_sec 18.0; action = Plan.Node_restart "r2" };
+        { Plan.at = Time.of_sec 24.0; action = Plan.Session_reset { a = "r2"; b = "r3" } };
+        {
+          Plan.at = Time.of_sec 26.0;
+          action =
+            Plan.Impair
+              ( { a = "r0"; b = "r1" },
+                {
+                  Channel.loss = 0.2;
+                  extra_delay = Time.of_ms 2;
+                  jitter = Time.of_ms 1;
+                  duplicate = 0.1;
+                } );
+        };
+        { Plan.at = Time.of_sec 30.0; action = Plan.Clear_impair { a = "r0"; b = "r1" } };
+        { Plan.at = Time.of_sec 32.0; action = Plan.Partition [ "r0" ] };
+        { Plan.at = Time.of_sec 36.0; action = Plan.Heal [ "r0" ] };
+      ];
+  }
+
+let run_ring plan =
+  let wan = Wan.ring 4 in
+  let exp = Experiment.create ~seed:1 wan.Wan.topo in
+  let router_index = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (r : Topology.node) -> Hashtbl.replace router_index r.Topology.id i)
+    wan.Wan.routers;
+  let fabric =
+    Routed_fabric.build ~cm:(Experiment.cm exp)
+      ~originate:(fun node ->
+        match Hashtbl.find_opt router_index node with
+        | Some i -> [ Wan.router_prefix wan i ]
+        | None -> [])
+      wan.Wan.topo
+  in
+  Experiment.at exp Time.zero (fun () -> Routed_fabric.start fabric);
+  let inj =
+    Injector.arm
+      (Experiment.scheduler exp)
+      ~target:(Routed_fabric.fault_target fabric)
+      plan
+  in
+  ignore (Experiment.run ~until:(Time.of_sec 70.0) exp);
+  (inj, fabric)
+
+let test_injection_heals_and_replays () =
+  let inj1, fabric1 = run_ring ring_plan in
+  (* Every fault kind applied; nothing skipped on the BGP fabric. *)
+  check Alcotest.bool "faults injected" true (Injector.injected inj1 > 12);
+  check Alcotest.int "none skipped" 0 (Injector.skipped inj1);
+  (* Self-healed: all sessions re-established, all FIBs complete. *)
+  check Alcotest.int "all sessions re-established"
+    (Routed_fabric.sessions_expected fabric1)
+    (Routed_fabric.sessions_established fabric1);
+  check Alcotest.bool "fibs complete" true (Routed_fabric.is_converged fabric1);
+  check Alcotest.int "no fault left healing" 0 (Injector.pending inj1);
+  check Alcotest.bool "reconvergence recorded" true
+    (List.length (Injector.reconvergence inj1) > 0);
+  (* Determinism: same seed + plan => identical fault trace and FIBs. *)
+  let inj2, fabric2 = run_ring ring_plan in
+  check
+    (Alcotest.list Alcotest.string)
+    "identical fault traces"
+    (Injector.trace_labels inj1)
+    (Injector.trace_labels inj2);
+  check Alcotest.string "identical final FIBs"
+    (Routed_fabric.fib_fingerprint fabric1)
+    (Routed_fabric.fib_fingerprint fabric2)
+
+let test_unknown_site_is_skipped () =
+  let plan =
+    {
+      Plan.empty with
+      Plan.events =
+        [
+          { Plan.at = Time.of_sec 1.0; action = Plan.Node_crash "nonexistent" };
+          { Plan.at = Time.of_sec 2.0; action = Plan.Link_down { a = "r0"; b = "r2" } };
+          (* not adjacent on the ring *)
+        ];
+    }
+  in
+  let inj, _ = run_ring plan in
+  check Alcotest.int "both skipped" 2 (Injector.skipped inj);
+  check Alcotest.int "none applied" 0 (Injector.injected inj)
+
+(* --- ospf fabric: fail + restore ---------------------------------------- *)
+
+let test_ospf_fabric_restore_link () =
+  let wan = Wan.ring 4 in
+  let exp = Experiment.create wan.Wan.topo in
+  let fabric =
+    Ospf_fabric.build ~cm:(Experiment.cm exp)
+      ~originate:(fun node -> [ (Wan.router_prefix wan node, 0) ])
+      wan.Wan.topo
+  in
+  let a = wan.Wan.routers.(0).Topology.id in
+  let b = wan.Wan.routers.(1).Topology.id in
+  Experiment.at exp Time.zero (fun () -> Ospf_fabric.start fabric);
+  let failed = ref false and restored = ref false in
+  Experiment.at exp (Time.of_sec 15.0) (fun () ->
+      failed := Ospf_fabric.fail_link fabric ~a ~b);
+  Experiment.at exp (Time.of_sec 25.0) (fun () ->
+      restored := Ospf_fabric.restore_link fabric ~a ~b);
+  ignore (Experiment.run ~until:(Time.of_sec 60.0) exp);
+  check Alcotest.bool "link failed" true !failed;
+  check Alcotest.bool "link restored" true !restored;
+  check Alcotest.int "all adjacencies full again"
+    (Ospf_fabric.adjacencies_expected fabric)
+    (Ospf_fabric.adjacencies_full fabric);
+  check Alcotest.bool "routing tables complete" true
+    (Ospf_fabric.is_converged fabric)
+
+let () =
+  Alcotest.run "horse_faults"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "split_key streams" `Quick
+            test_split_key_stable_and_order_independent;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_plan_json_roundtrip;
+          Alcotest.test_case "decode errors" `Quick test_plan_decode_errors;
+          Alcotest.test_case "flap_storm shape" `Quick test_flap_storm_shape;
+        ] );
+      ( "impairments",
+        [
+          Alcotest.test_case "loss 1.0 drops all" `Quick test_impairment_loss_all;
+          Alcotest.test_case "duplicate 1.0 doubles" `Quick
+            test_impairment_duplicate_all;
+          Alcotest.test_case "extra delay" `Quick test_impairment_extra_delay;
+          Alcotest.test_case "seeded draws reproduce" `Quick
+            test_impairment_deterministic;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "aborts runaway run" `Quick
+            test_watchdog_aborts_runaway_run;
+          Alcotest.test_case "off by default" `Quick test_watchdog_off_by_default;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "heals + deterministic replay" `Quick
+            test_injection_heals_and_replays;
+          Alcotest.test_case "unknown sites skipped" `Quick
+            test_unknown_site_is_skipped;
+        ] );
+      ( "ospf-fabric",
+        [
+          Alcotest.test_case "fail + restore link" `Quick
+            test_ospf_fabric_restore_link;
+        ] );
+    ]

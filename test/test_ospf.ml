@@ -230,6 +230,43 @@ let test_daemon_crash_clears_routes () =
   check Alcotest.bool "adjacency dead" true (Daemon.neighbor_state a ia = Daemon.Down);
   check Alcotest.int "routes cleared" 0 (List.length (Daemon.routes a))
 
+(* Restart a crashed daemon: hellos resume, the adjacency re-forms
+   through Init -> TwoWay -> Full and the routes come back. *)
+let test_daemon_restart_reforms_adjacency () =
+  let sched = Sched.create () in
+  let chan = Channel.create sched () in
+  let ep_a, ep_b = Channel.endpoints chan in
+  let proc_b = Process.create sched ~name:"2.2.2.2" in
+  let a =
+    Daemon.create
+      (Process.create sched ~name:"1.1.1.1")
+      (Daemon.default_config ~router_id:(ip "1.1.1.1"))
+  in
+  let b =
+    Daemon.create proc_b
+      {
+        (Daemon.default_config ~router_id:(ip "2.2.2.2")) with
+        Daemon.stub_prefixes = [ (p "10.2.0.0/16", 0) ];
+      }
+  in
+  let ia = Daemon.add_interface a ep_a in
+  ignore (Daemon.add_interface b ep_b);
+  ignore
+    (Sched.schedule_at sched Time.zero (fun () ->
+         Daemon.start a;
+         Daemon.start b));
+  ignore (Sched.run ~until:(Time.of_sec 5.0) sched);
+  ignore (Sched.schedule_at sched (Time.of_sec 6.0) (fun () -> Process.kill proc_b));
+  ignore (Sched.run ~until:(Time.of_sec 30.0) sched);
+  check Alcotest.bool "adjacency down after dead interval" true
+    (Daemon.neighbor_state a ia = Daemon.Down);
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 31.0) (fun () -> Process.restart proc_b));
+  ignore (Sched.run ~until:(Time.of_sec 60.0) sched);
+  check Alcotest.bool "adjacency full again" true
+    (Daemon.neighbor_state a ia = Daemon.Full);
+  check Alcotest.int "route re-learned" 1 (List.length (Daemon.routes a))
+
 (* --- fabric ------------------------------------------------------------------- *)
 
 let test_ospf_fabric_wan () =
@@ -350,6 +387,8 @@ let () =
           Alcotest.test_case "adjacency and routes" `Quick test_adjacency_and_routes;
           Alcotest.test_case "crash clears routes" `Quick
             test_daemon_crash_clears_routes;
+          Alcotest.test_case "restart re-forms adjacency" `Quick
+            test_daemon_restart_reforms_adjacency;
         ] );
       ( "fabric",
         [
