@@ -989,6 +989,145 @@ let failure_storm ~full =
      the final FIBs bit-for-bit@."
 
 (* ------------------------------------------------------------------ *)
+(* SCHED-STORM: the scheduler fast path A/B — timing-wheel timers,    *)
+(* demand-driven pollers and FTI fast-forward against the eager loop, *)
+(* on the fault-storm workload (bursts of control activity separated  *)
+(* by quiet FTI windows — exactly where the fast path must win).      *)
+(* ------------------------------------------------------------------ *)
+
+let sched_storm ~full =
+  section
+    "SCHED-STORM — scheduler fast path (wheel + wake hints + fast-forward) \
+     vs the eager loop";
+  let module Plan = Horse_faults.Plan in
+  let pods = 4 in
+  let duration = if full then Time.of_sec 60.0 else Time.of_sec 30.0 in
+  let ft = Fat_tree.build ~k:pods () in
+  let is_switch (n : Topology.node) =
+    match n.Topology.kind with
+    | Topology.Switch | Topology.Router -> true
+    | Topology.Host -> false
+  in
+  let sites =
+    List.filteri
+      (fun i _ -> i mod 7 = 0)
+      (List.filter_map
+         (fun (l : Topology.link) ->
+           if l.Topology.link_id < l.Topology.peer then
+             let src = Topology.node ft.Fat_tree.topo l.Topology.src in
+             let dst = Topology.node ft.Fat_tree.topo l.Topology.dst in
+             if is_switch src && is_switch dst then
+               Some (src.Topology.name, dst.Topology.name)
+             else None
+           else None)
+         (Topology.links ft.Fat_tree.topo))
+  in
+  let victim = ft.Fat_tree.aggs.(0).(0).Topology.name in
+  let plan =
+    let storm =
+      Plan.flap_storm ~seed:7 ~sites ~start:(Time.of_sec 5.0)
+        ~stop:(Time.div duration 2) ~rate:0.3 ~down_for:(Time.of_sec 1.5) ()
+    in
+    {
+      storm with
+      Plan.events =
+        [
+          { Plan.at = Time.of_sec 6.0; action = Plan.Node_crash victim };
+          { Plan.at = Time.of_sec 14.0; action = Plan.Node_restart victim };
+        ];
+    }
+  in
+  Format.fprintf fmt
+    "workload: fat-tree k=%d, bgp-ecmp, %a virtual, %d flap sites + a node \
+     crash/restart@.@."
+    pods Time.pp duration (List.length sites);
+  let run ~fast_path =
+    Scenario.run_fat_tree_te ~seed:42
+      ~config:{ Sched.default_config with Sched.fast_path }
+      ~faults:plan ~pods ~te:Scenario.Bgp_ecmp ~duration ()
+  in
+  let eager = run ~fast_path:false in
+  let fast = run ~fast_path:true in
+  Format.fprintf fmt "%-10s %14s %14s %12s %14s %10s@." "scheduler"
+    "poller ticks" "ticks saved" "fti incr" "fast-fwd" "wall(s)";
+  let row name (r : Scenario.result) =
+    let s = r.Scenario.sched_stats in
+    Format.fprintf fmt "%-10s %14d %14d %12d %14d %10.3f@." name
+      s.Sched.poller_ticks s.Sched.poller_ticks_saved s.Sched.fti_increments
+      s.Sched.fti_increments_skipped r.Scenario.run_wall_s
+  in
+  row "eager" eager;
+  row "fast" fast;
+  let timeline (r : Scenario.result) =
+    List.map
+      (fun (tr : Sched.transition) ->
+        ( Time.to_us tr.Sched.at,
+          Sched.mode_to_string tr.Sched.from_mode,
+          Sched.mode_to_string tr.Sched.to_mode,
+          tr.Sched.reason ))
+      r.Scenario.sched_stats.Sched.transitions
+  in
+  let timeline_equal = timeline eager = timeline fast in
+  let fib_equal =
+    eager.Scenario.fib_fingerprint = fast.Scenario.fib_fingerprint
+    && fast.Scenario.fib_fingerprint <> None
+  in
+  let tick_ratio =
+    float_of_int eager.Scenario.sched_stats.Sched.poller_ticks
+    /. float_of_int (max 1 fast.Scenario.sched_stats.Sched.poller_ticks)
+  in
+  Format.fprintf fmt
+    "@.poller-tick reduction: %.1fx; wall %.3fs -> %.3fs; mode timeline %s \
+     (%d transitions), final FIBs %s (%s)@."
+    tick_ratio eager.Scenario.run_wall_s fast.Scenario.run_wall_s
+    (if timeline_equal then "IDENTICAL" else "DIVERGED")
+    (List.length fast.Scenario.sched_stats.Sched.transitions)
+    (if fib_equal then "IDENTICAL" else "DIVERGED")
+    (Option.value fast.Scenario.fib_fingerprint ~default:"-");
+  let module Json = Horse_telemetry.Json in
+  let run_json (r : Scenario.result) =
+    let s = r.Scenario.sched_stats in
+    Json.Obj
+      [
+        ("poller_ticks", Json.Int s.Sched.poller_ticks);
+        ("poller_ticks_saved", Json.Int s.Sched.poller_ticks_saved);
+        ("fti_increments", Json.Int s.Sched.fti_increments);
+        ("fti_increments_skipped", Json.Int s.Sched.fti_increments_skipped);
+        ("events_executed", Json.Int s.Sched.events_executed);
+        ("transitions", Json.Int (List.length s.Sched.transitions));
+        ("run_wall_s", Json.Float r.Scenario.run_wall_s);
+        ( "fib_fingerprint",
+          match r.Scenario.fib_fingerprint with
+          | Some f -> Json.String f
+          | None -> Json.Null );
+      ]
+  in
+  let j =
+    Json.Obj
+      [
+        ("bench", Json.String "sched_fastpath");
+        ("pods", Json.Int pods);
+        ("duration_s", Json.Float (Time.to_sec duration));
+        ("eager", run_json eager);
+        ("fast", run_json fast);
+        ("tick_reduction", Json.Float tick_ratio);
+        ("timeline_equal", Json.Bool timeline_equal);
+        ("fib_equal", Json.Bool fib_equal);
+      ]
+  in
+  (try Unix.mkdir "results" 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = "results/BENCH_sched_fastpath.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "artifact written to %s@." path;
+  Format.fprintf fmt
+    "@.shape check: >=5x fewer poller ticks, wall no worse, and the fast \
+     path reproduces the eager mode timeline and final FIBs bit-for-bit@."
+
+(* ------------------------------------------------------------------ *)
 (* Microbenchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1164,7 +1303,7 @@ let () =
   let known =
     [ "fig1"; "fig3"; "te"; "ablation-timeout"; "ablation-increment";
       "protocols"; "ablation-placer"; "scaling"; "fct"; "failure"; "churn";
-      "bgp-scale"; "failure-storm"; "micro" ]
+      "bgp-scale"; "failure-storm"; "sched-storm"; "micro" ]
   in
   let commands = List.filter (fun a -> List.mem a known) args in
   let commands = if commands = [] then known else commands in
@@ -1184,6 +1323,7 @@ let () =
       | "churn" -> churn ~full
       | "bgp-scale" -> bgp_scale ~full
       | "failure-storm" -> failure_storm ~full
+      | "sched-storm" -> sched_storm ~full
       | "micro" -> micro ()
       | _ -> ())
     commands

@@ -73,6 +73,8 @@ type peer = {
   mutable negotiated_hold : Time.t;
   mutable last_rx : Time.t;
   mutable keepalive_timer : Sched.recurring option;
+  mutable hold_ev : Event_queue.handle option;
+      (* per-peer hold deadline, re-aimed in place on every RX *)
   mutable pending_announce : Prefix_set.t;
   mutable pending_withdraw : Prefix_set.t;
   mutable mrai_armed : bool;
@@ -643,6 +645,8 @@ let session_down t peer ~reason =
     peer.state <- Idle;
     Option.iter Sched.cancel_recurring peer.keepalive_timer;
     peer.keepalive_timer <- None;
+    (* The handle stays: the next send_open re-arms it in place. *)
+    Option.iter Sched.cancel peer.hold_ev;
     peer.pending_announce <- Prefix_set.empty;
     peer.pending_withdraw <- Prefix_set.empty;
     peer.advertised <- Prefix_set.empty;
@@ -651,9 +655,15 @@ let session_down t peer ~reason =
     Hooks.iter (fun f -> f peer.id) t.down_hooks
   end
 
-let send_open t peer =
+(* Hold-timer supervision: one deadline event per peer at
+   [last_rx + negotiated_hold], re-aimed in place on every received
+   message (an O(1) wheel operation) instead of the shared hold/3
+   sweep the speaker used to poll with — so a quiet Established
+   session keeps exactly one pending event and never wakes early. *)
+let rec send_open t peer =
   peer.state <- OpenSent;
   peer.last_rx <- now t;
+  arm_hold t peer;
   send_msg t peer
     (Msg.Open
        {
@@ -661,6 +671,30 @@ let send_open t peer =
          hold_time_s = int_of_float (Time.to_sec t.cfg.hold_time);
          bgp_id = t.cfg.router_id;
        })
+
+and arm_hold t peer =
+  let deadline = Time.add peer.last_rx peer.negotiated_hold in
+  match peer.hold_ev with
+  | Some h -> Sched.reschedule (sched t) h deadline
+  | None ->
+      peer.hold_ev <-
+        Some (Sched.schedule_at (sched t) deadline (fun () -> hold_expired t peer))
+
+and hold_expired t peer =
+  if Process.is_alive t.proc && peer.state <> Idle then
+    if Time.(Time.sub (now t) peer.last_rx >= peer.negotiated_hold) then
+      match peer.state with
+      | Idle -> ()
+      | OpenSent ->
+          (* Retry OPEN if the peer stays silent; re-arms itself. *)
+          send_open t peer
+      | OpenConfirm | Established ->
+          send_msg t peer (Msg.Notification { code = 4; subcode = 0 });
+          session_down t peer ~reason:"hold timer expired"
+    else
+      (* RX raced the deadline without re-aiming it (defensive; every
+         receive path re-arms): aim at the true deadline. *)
+      arm_hold t peer
 
 (* --- receiving ----------------------------------------------------- *)
 
@@ -720,7 +754,7 @@ let handle_update t peer (u : Msg.update) =
 
 let handle_message t peer msg =
   peer.last_rx <- now t;
-  match msg with
+  (match msg with
   | Msg.Open o ->
       Counter.incr t.m.rx_open;
       handle_open t peer o
@@ -735,7 +769,11 @@ let handle_message t peer msg =
   | Msg.Notification { code; subcode } ->
       Counter.incr t.m.rx_notification;
       session_down t peer
-        ~reason:(Printf.sprintf "notification %d/%d received" code subcode)
+        ~reason:(Printf.sprintf "notification %d/%d received" code subcode));
+  (* Every RX pushes the hold deadline out — after dispatch, so an
+     OPEN's freshly negotiated hold time is what gets armed (and a
+     session the message tore down stays disarmed). *)
+  if peer.state <> Idle then arm_hold t peer
 
 let process_message t peer bytes =
   match Msg.decode bytes with
@@ -773,6 +811,7 @@ let receive t peer bytes =
 let bind_endpoint t peer endpoint =
   peer.endpoint <- endpoint;
   Channel.set_receiver endpoint (fun bytes -> receive t peer bytes);
+  Channel.set_wake endpoint (fun () -> Process.wake t.proc);
   Channel.set_on_close endpoint (fun () ->
       if Process.is_alive t.proc then
         session_down t peer ~reason:"channel closed")
@@ -814,6 +853,7 @@ let add_peer ?(import = Policy.accept_all) ?(export = Policy.accept_all) t
       negotiated_hold = t.cfg.hold_time;
       last_rx = Time.zero;
       keepalive_timer = None;
+      hold_ev = None;
       pending_announce = Prefix_set.empty;
       pending_withdraw = Prefix_set.empty;
       mrai_armed = false;
@@ -827,27 +867,11 @@ let add_peer ?(import = Policy.accept_all) ?(export = Policy.accept_all) t
   bind_endpoint t peer endpoint;
   peer.id
 
-(* Hold-timer supervision: one shared periodic check. *)
-let check_holds t =
-  List.iter
-    (fun peer ->
-      match peer.state with
-      | Idle -> ()
-      | OpenSent ->
-          (* Retry OPEN if the peer stays silent. *)
-          if Time.(Time.sub (now t) peer.last_rx > peer.negotiated_hold) then
-            send_open t peer
-      | OpenConfirm | Established ->
-          if Time.(Time.sub (now t) peer.last_rx > peer.negotiated_hold) then begin
-            send_msg t peer (Msg.Notification { code = 4; subcode = 0 });
-            session_down t peer ~reason:"hold timer expired"
-          end)
-    t.peers
-
 (* ConnectRetry (RFC 4271 §8): Idle sessions that are not admin-down
    are periodically re-initiated with a fresh OPEN, so a session torn
    down by a peer crash or reset re-establishes by itself once the
-   peer answers again. *)
+   peer answers again. (Hold supervision is per-peer deadline events —
+   see [arm_hold]; there is no periodic sweep left.) *)
 let retry_idle t =
   List.iter
     (fun peer ->
@@ -855,8 +879,6 @@ let retry_idle t =
     t.peers
 
 let arm_timers t =
-  let check_interval = Time.max (Time.div t.cfg.hold_time 3) (Time.of_ms 100) in
-  ignore (Process.every t.proc check_interval (fun () -> check_holds t));
   if Time.(t.cfg.connect_retry > Time.zero) then
     ignore (Process.every t.proc t.cfg.connect_retry (fun () -> retry_idle t))
 
@@ -899,6 +921,13 @@ let withdraw_network t prefix =
 let start t =
   if not t.started then begin
     t.started <- true;
+    (* The daemon's FTI scheduling quantum (paper §2): polled every
+       increment while runnable. All protocol work here is
+       event-driven, so the quantum dozes whenever no message is
+       queued or being processed; channel delivery wakes it. *)
+    Process.tick t.proc (fun () ->
+        if t.busy || not (Queue.is_empty t.inbox) then Sched.Always
+        else Sched.Wake_on_input);
     Process.on_kill t.proc (fun () -> crash_cleanup t);
     Process.on_restart t.proc (fun () -> revive t);
     List.iter (fun prefix -> announce t prefix) t.cfg.networks;

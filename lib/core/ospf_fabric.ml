@@ -134,7 +134,12 @@ let build ?(hello_interval = Time.of_sec 2.0) ?(dead_interval = Time.of_sec 8.0)
                 (Topology.node topo l.Topology.src).Topology.name
                 (Topology.node topo l.Topology.dst).Topology.name
             in
-            let channel = Connection_manager.control_channel ~name cm in
+            let channel =
+              Connection_manager.control_channel ~name
+                ~owner_a:(Hashtbl.find t.processes l.Topology.src)
+                ~owner_b:(Hashtbl.find t.processes l.Topology.dst)
+                cm
+            in
             let ep_a, ep_b = Channel.endpoints channel in
             let iface_a = Daemon.add_interface daemon_a ep_a in
             let iface_b = Daemon.add_interface daemon_b ep_b in
@@ -261,7 +266,10 @@ let restore_link t ~a ~b =
       with
       | Some daemon_a, Some daemon_b ->
           let channel =
-            Connection_manager.control_channel ~name:session.session_name t.cm
+            Connection_manager.control_channel ~name:session.session_name
+              ~owner_a:(Hashtbl.find t.processes session.node_a)
+              ~owner_b:(Hashtbl.find t.processes session.node_b)
+              t.cm
           in
           let ep_a, ep_b = Channel.endpoints channel in
           Daemon.rebind_interface daemon_a session.iface_at_a ep_a;

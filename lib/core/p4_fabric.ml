@@ -74,7 +74,7 @@ let build ?(program = Prog.ecmp_router) ~cm topo =
             let channel =
               Connection_manager.control_channel
                 ~name:("p4runtime " ^ n.Topology.name)
-                cm
+                ~owner_a:proc cm
             in
             let sw_end, ctrl_end = Channel.endpoints channel in
             let ports =

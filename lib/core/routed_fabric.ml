@@ -136,7 +136,12 @@ let build ?(asn_base = 64512) ?(hold_time = Time.of_sec 9.0) ?(mrai = Time.zero)
                 (Topology.node topo l.Topology.src).Topology.name
                 (Topology.node topo l.Topology.dst).Topology.name
             in
-            let channel = Connection_manager.control_channel ~name cm in
+            let channel =
+              Connection_manager.control_channel ~name
+                ~owner_a:(Hashtbl.find t.processes l.Topology.src)
+                ~owner_b:(Hashtbl.find t.processes l.Topology.dst)
+                cm
+            in
             let ep_a, ep_b = Channel.endpoints channel in
             let peer_at_a =
               Speaker.add_peer speaker_a ~remote_asn:(Speaker.asn speaker_b) ep_a
@@ -274,7 +279,10 @@ let restore_link t ~a ~b =
       with
       | Some speaker_a, Some speaker_b ->
           let channel =
-            Connection_manager.control_channel ~name:session.session_name t.cm
+            Connection_manager.control_channel ~name:session.session_name
+              ~owner_a:(Hashtbl.find t.processes session.node_a)
+              ~owner_b:(Hashtbl.find t.processes session.node_b)
+              t.cm
           in
           let ep_a, ep_b = Channel.endpoints channel in
           Speaker.replace_peer_endpoint speaker_a session.peer_at_a ep_a;

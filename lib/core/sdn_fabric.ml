@@ -184,7 +184,7 @@ let build ?(channel_latency = Time.of_ms 1) ~cm ~fluid topo =
         let channel =
           Connection_manager.control_channel ~latency:channel_latency
             ~name:("openflow " ^ n.Topology.name)
-            cm
+            ~owner_a:proc cm
         in
         let switch_end, ctrl_end = Channel.endpoints channel in
         let ports =

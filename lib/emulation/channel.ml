@@ -6,6 +6,7 @@ type side = {
   mutable receiver : (Bytes.t -> unit) option;
   mutable backlog : Bytes.t list;  (* reversed *)
   mutable on_close : (unit -> unit) option;
+  mutable on_wake : (unit -> unit) option;
 }
 
 type impairment = {
@@ -34,7 +35,8 @@ type t = {
 
 type endpoint = { chan : t; mine : side; theirs : side; dir_out : direction }
 
-let new_side () = { receiver = None; backlog = []; on_close = None }
+let new_side () =
+  { receiver = None; backlog = []; on_close = None; on_wake = None }
 
 let create sched ?(latency = Time.of_ms 1) () =
   {
@@ -58,9 +60,15 @@ let endpoints t =
 let peer e = { chan = e.chan; mine = e.theirs; theirs = e.mine; dir_out = (match e.dir_out with A_to_b -> B_to_a | B_to_a -> A_to_b) }
 
 let deliver side msg =
-  match side.receiver with
+  (match side.receiver with
   | Some f -> f msg
-  | None -> side.backlog <- msg :: side.backlog
+  | None -> side.backlog <- msg :: side.backlog);
+  (* Input arrived: let the owning process's dozing pollers run.
+     After the receiver, so a poller woken by this message never
+     observes the channel state from before it. *)
+  match side.on_wake with Some w -> w () | None -> ()
+
+let set_wake e f = e.mine.on_wake <- Some f
 
 let set_receiver e f =
   e.mine.receiver <- Some f;
@@ -163,7 +171,11 @@ let close t =
   if t.open_ then begin
     t.open_ <- false;
     (match t.a.on_close with Some f -> f () | None -> ());
-    match t.b.on_close with Some f -> f () | None -> ()
+    (match t.b.on_close with Some f -> f () | None -> ());
+    (* A close is input too: dozing owners must get a tick to react
+       (tear sessions down, start reconnecting). *)
+    (match t.a.on_wake with Some w -> w () | None -> ());
+    match t.b.on_wake with Some w -> w () | None -> ()
   end
 
 let is_open t = t.open_

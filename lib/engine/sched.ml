@@ -13,6 +13,7 @@ type config = {
   start_in_fti : bool;
   fti_pacing : float;
   max_wall_s : float;
+  fast_path : bool;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     start_in_fti = false;
     fti_pacing = 0.0;
     max_wall_s = 0.0;
+    fast_path = true;
   }
 
 type transition = {
@@ -35,6 +37,9 @@ type transition = {
 type stats = {
   events_executed : int;
   fti_increments : int;
+  fti_increments_skipped : int;
+  poller_ticks : int;
+  poller_ticks_saved : int;
   transitions : transition list;
   virtual_in_fti : Time.t;
   virtual_in_des : Time.t;
@@ -52,6 +57,9 @@ type stats = {
 type metrics = {
   m_events : Counter.t;
   m_fti_increments : Counter.t;
+  m_fti_skipped : Counter.t;
+  m_poller_ticks : Counter.t;
+  m_poller_saved : Counter.t;
   m_transitions : Counter.t;
   m_virt_des_us : Counter.t;
   m_virt_fti_us : Counter.t;
@@ -73,7 +81,18 @@ let make_metrics reg =
     m_events =
       counter ~help:"Events executed by the hybrid scheduler" "events_total";
     m_fti_increments =
-      counter ~help:"Fixed-time increments stepped" "fti_increments_total";
+      counter ~help:"Fixed-time increments stepped (including fast-forwarded)"
+        "fti_increments_total";
+    m_fti_skipped =
+      counter
+        ~help:"FTI increments covered by fast-forward instead of stepping"
+        "fti_increments_skipped_total";
+    m_poller_ticks =
+      counter ~help:"Poller invocations across FTI increments"
+        "poller_ticks_total";
+    m_poller_saved =
+      counter ~help:"Poller invocations avoided by dozing and fast-forward"
+        "poller_ticks_saved_total";
     m_transitions =
       counter ~help:"DES<->FTI mode transitions" "transitions_total";
     m_virt_des_us =
@@ -108,6 +127,8 @@ let make_metrics reg =
         "fti_increment_wall_seconds";
   }
 
+type wake_hint = Wake_at of Time.t | Wake_on_input | Always
+
 type t = {
   cfg : config;
   queue : Event_queue.t;
@@ -118,12 +139,20 @@ type t = {
   mutable last_activity : Time.t;
   mutable running : bool;
   mutable stop_requested : bool;
-  mutable pollers : (unit -> unit) array;
+  pollers : poller Hooks.t;
+  mutable runnable_pollers : int;
   mutable rev_transitions : transition list;
   mutable run_start_wall : float;
   mutable abort_flag : bool;
   mutable rev_abort_hooks : (unit -> unit) list;
   deferred : (unit -> unit) Queue.t;
+}
+
+and poller = {
+  pfn : unit -> wake_hint;
+  owner : t;
+  mutable runnable : bool;
+  mutable wake_ev : Event_queue.handle option;
 }
 
 let gauge_of_mode = function Des -> 0.0 | Fti -> 1.0
@@ -145,7 +174,8 @@ let create ?(config = default_config) ?registry () =
     last_activity = Time.zero;
     running = false;
     stop_requested = false;
-    pollers = [||];
+    pollers = Hooks.create ();
+    runnable_pollers = 0;
     rev_transitions = [];
     run_start_wall = Wall.now ();
     abort_flag = false;
@@ -188,34 +218,106 @@ let schedule_after t delay action =
 
 let cancel = Event_queue.cancel
 
+let reschedule t h at = Event_queue.reschedule h (Time.max at t.clock)
+
 type recurring = {
   mutable cancelled : bool;
   mutable pending : Event_queue.handle option;
 }
 
+(* One event handle per recurring timer, re-aimed in place after each
+   firing — the wheel makes that O(1), where cancel + reinsert on the
+   old heap cost two O(log n) sifts per period. *)
 let every t ?start_after period f =
   if Time.(period <= Time.zero) then
     invalid_arg "Sched.every: period must be positive";
   let first_delay = Option.value start_after ~default:period in
   let r = { cancelled = false; pending = None } in
-  let rec arm at =
-    if not r.cancelled then
-      r.pending <-
-        Some
-          (schedule_at t at (fun () ->
-               f ();
-               (* Anchor the cadence on scheduled times, not execution
-                  times, so periods never drift. *)
-               arm (Time.add at period)))
+  let at = ref (Time.add t.clock first_delay) in
+  let fire () =
+    f ();
+    if not r.cancelled then begin
+      (* Anchor the cadence on scheduled times, not execution times,
+         so periods never drift. *)
+      at := Time.add !at period;
+      match r.pending with
+      | Some h -> Event_queue.reschedule h (Time.max !at t.clock)
+      | None -> ()
+    end
   in
-  arm (Time.add t.clock first_delay);
+  r.pending <- Some (schedule_at t !at fire);
   r
 
 let cancel_recurring r =
   r.cancelled <- true;
   Option.iter Event_queue.cancel r.pending
 
-let add_poller t f = t.pollers <- Array.append t.pollers [| f |]
+(* --- demand-driven pollers -------------------------------------------- *)
+
+let add_poller t f =
+  let p = { pfn = f; owner = t; runnable = true; wake_ev = None } in
+  Hooks.add t.pollers p;
+  t.runnable_pollers <- t.runnable_pollers + 1;
+  p
+
+let wake_poller p =
+  if not p.runnable then begin
+    p.runnable <- true;
+    p.owner.runnable_pollers <- p.owner.runnable_pollers + 1
+  end
+
+let doze p =
+  if p.runnable then begin
+    p.runnable <- false;
+    p.owner.runnable_pollers <- p.owner.runnable_pollers - 1
+  end
+
+let apply_hint t p hint =
+  match hint with
+  | Always -> ()
+  | Wake_on_input ->
+      doze p;
+      (* A stale timed wake-up would tick the poller for nothing. *)
+      (match p.wake_ev with Some h -> Event_queue.cancel h | None -> ())
+  | Wake_at at ->
+      if Time.(at <= t.clock) then () (* due now: stay runnable *)
+      else begin
+        doze p;
+        match p.wake_ev with
+        | Some h -> Event_queue.reschedule h at
+        | None ->
+            p.wake_ev <-
+              Some (Event_queue.schedule t.queue at (fun () -> wake_poller p))
+      end
+
+(* One FTI increment's poller pass. Eager mode ([fast_path = false])
+   reproduces the original scheduler exactly: every poller ticks every
+   increment and wake hints are ignored. The fast path ticks only
+   runnable pollers — in registration order, so waking a subset never
+   reorders work — and skips the whole walk when none are runnable. *)
+let tick_pollers t =
+  let n = Hooks.length t.pollers in
+  if n > 0 then begin
+    if not t.cfg.fast_path then
+      Hooks.iter
+        (fun p ->
+          Counter.incr t.m.m_poller_ticks;
+          ignore (p.pfn ()))
+        t.pollers
+    else if t.runnable_pollers = 0 then Counter.add t.m.m_poller_saved n
+    else begin
+      let ticked = ref 0 in
+      Hooks.iter
+        (fun p ->
+          if p.runnable then begin
+            incr ticked;
+            Counter.incr t.m.m_poller_ticks;
+            apply_hint t p (p.pfn ())
+          end)
+        t.pollers;
+      Counter.add t.m.m_poller_saved (n - !ticked)
+    end
+  end
 
 let record_transition t to_mode reason =
   let wall = if t.running then Wall.now () -. t.run_start_wall else 0.0 in
@@ -241,6 +343,9 @@ let snapshot t =
   {
     events_executed = Counter.value t.m.m_events;
     fti_increments = Counter.value t.m.m_fti_increments;
+    fti_increments_skipped = Counter.value t.m.m_fti_skipped;
+    poller_ticks = Counter.value t.m.m_poller_ticks;
+    poller_ticks_saved = Counter.value t.m.m_poller_saved;
     transitions = List.rev t.rev_transitions;
     virtual_in_fti = Time.of_us (Counter.value t.m.m_virt_fti_us);
     virtual_in_des = Time.of_us (Counter.value t.m.m_virt_des_us);
@@ -308,9 +413,48 @@ let des_step t until =
   account t Des wall0 clock0;
   continue
 
+(* Fast-forward: with no runnable poller, the increments up to the
+   next pending event are pure clock advances — and the quiet-timeout
+   boundary caps the skip, so the DES transition fires at exactly the
+   boundary the eager loop would pick. Skipped increments still count
+   in [fti_increments_total] (and the virtual-residency counters), so
+   stats and the mode timeline are identical to an eager run; only the
+   loop iterations and poller walks disappear. *)
+let fast_forward t until =
+  if
+    t.cfg.fast_path && t.cfg.fti_pacing <= 0.0 && t.runnable_pollers = 0
+    && not (has_deferred t)
+  then begin
+    let inc = Time.to_us t.cfg.fti_increment in
+    let clock = Time.to_us t.clock in
+    (* Increments we may skip before reaching [bound]: boundaries
+       strictly below it, so the step that lands on (or past) the
+       bound runs through the normal loop. *)
+    let gap_to bound = if bound > clock then (bound - clock - 1) / inc else 0 in
+    let k_ev =
+      match Event_queue.next_time t.queue with
+      | Some te -> gap_to (Time.to_us te)
+      | None -> max_int
+    in
+    let k_quiet =
+      gap_to (Time.to_us (Time.add t.last_activity t.cfg.quiet_timeout))
+    in
+    let k_until =
+      match until with Some u -> gap_to (Time.to_us u) | None -> max_int
+    in
+    let k = min k_ev (min k_quiet k_until) in
+    if k > 0 then begin
+      t.clock <- Time.of_us (clock + (k * inc));
+      Counter.add t.m.m_fti_increments k;
+      Counter.add t.m.m_fti_skipped k;
+      Counter.add t.m.m_poller_saved (k * Hooks.length t.pollers)
+    end
+  end
+
 (* One FTI increment: run every event due within the increment, give
-   each poller its tick, advance the clock by exactly one increment
-   (clipped to the horizon), then apply the quiet-timeout rule. *)
+   each runnable poller its tick, advance the clock by exactly one
+   increment (clipped to the horizon), fast-forward over a provably
+   idle window, then apply the quiet-timeout rule. *)
 let fti_step t until =
   let wall0 = Wall.now () and clock0 = t.clock in
   let target =
@@ -336,10 +480,11 @@ let fti_step t until =
       | None -> ()
   in
   drain ();
-  Array.iter (fun poll -> poll ()) t.pollers;
+  tick_pollers t;
   flush_deferred t;
   t.clock <- Time.max t.clock target;
   Counter.incr t.m.m_fti_increments;
+  fast_forward t until;
   if t.cfg.fti_pacing > 0.0 then
     Unix.sleepf (Time.to_sec t.cfg.fti_increment /. t.cfg.fti_pacing);
   Horse_telemetry.Histogram.add t.m.h_fti_wall (Wall.now () -. wall0);
@@ -390,11 +535,13 @@ let run ?until t =
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
     "@[<v>events executed : %d@,\
-     fti increments  : %d@,\
+     fti increments  : %d (%d fast-forwarded)@,\
+     poller ticks    : %d (%d saved)@,\
      transitions     : %d@,\
      virtual time    : %a (FTI %a / DES %a)@,\
      wall time       : %.3fs (FTI %.3fs / DES %.3fs)@]"
-    s.events_executed s.fti_increments
+    s.events_executed s.fti_increments s.fti_increments_skipped s.poller_ticks
+    s.poller_ticks_saved
     (List.length s.transitions)
     Time.pp s.end_time Time.pp s.virtual_in_fti Time.pp s.virtual_in_des
     s.wall_total s.wall_in_fti s.wall_in_des

@@ -51,6 +51,14 @@ type config = {
           a snapshot with [aborted = true] and registered {!on_abort}
           hooks fire first, so callers can still flush telemetry and
           print a partial report. [0.0] (default) disables it. *)
+  fast_path : bool;
+      (** default [true]: honour poller wake hints (dozing pollers are
+          skipped) and fast-forward the clock over provably idle FTI
+          windows. [false] reproduces the original eager loop — every
+          poller ticks every increment, every increment is stepped —
+          for A/B comparisons; results (event order, FIBs, the mode
+          timeline, [fti_increments]) are identical either way, only
+          wall cost differs. *)
 }
 
 val default_config : config
@@ -66,6 +74,15 @@ type transition = {
 type stats = {
   events_executed : int;
   fti_increments : int;
+      (** increments the virtual clock advanced by, including
+          fast-forwarded ones — identical for eager and fast-path
+          runs of the same experiment *)
+  fti_increments_skipped : int;
+      (** of {!field-fti_increments}, how many fast-forward covered in
+          one step instead of looping *)
+  poller_ticks : int;  (** poller invocations actually made *)
+  poller_ticks_saved : int;
+      (** poller invocations avoided by dozing and fast-forward *)
   transitions : transition list;  (** chronological *)
   virtual_in_fti : Time.t;
   virtual_in_des : Time.t;
@@ -119,6 +136,13 @@ val schedule_after : t -> Time.t -> (unit -> unit) -> Event_queue.handle
 
 val cancel : Event_queue.handle -> unit
 
+val reschedule : t -> Event_queue.handle -> Time.t -> unit
+(** Re-aims a scheduled event at a new absolute time (clamped to
+    [now]), reusing its action — O(1) on the timing wheel. An event
+    that already fired or was cancelled is re-armed, which is exactly
+    what a deadline timer wants: one handle per deadline, re-aimed on
+    every refresh. *)
+
 val defer : t -> (unit -> unit) -> unit
 (** Registers end-of-instant work: [f] runs before the virtual clock
     advances past the current instant — after every event scheduled at
@@ -140,10 +164,32 @@ val every : t -> ?start_after:Time.t -> Time.t -> (unit -> unit) -> recurring
 
 val cancel_recurring : recurring -> unit
 
-val add_poller : t -> (unit -> unit) -> unit
+type wake_hint =
+  | Wake_at of Time.t
+      (** doze until the given virtual time (a time at or before [now]
+          keeps the poller runnable) *)
+  | Wake_on_input
+      (** doze until {!wake_poller} — typically wired to message
+          delivery via [Process]/[Channel] *)
+  | Always  (** stay runnable: tick again next increment *)
+
+type poller
+(** A registered poller: runnable or dozing. *)
+
+val add_poller : t -> (unit -> wake_hint) -> poller
 (** Registers a per-FTI-increment tick callback. Pollers model the
     scheduling quantum an emulated process receives; they run only in
-    FTI mode, once per increment, in registration order. *)
+    FTI mode, once per increment, in registration order. Each tick
+    returns a wake hint; with [fast_path] the scheduler skips dozing
+    pollers (and whole increments when none are runnable), with eager
+    config the hint is ignored and every poller ticks every increment.
+    Pollers start runnable. *)
+
+val wake_poller : poller -> unit
+(** Makes a dozing poller runnable again from the next increment on
+    (idempotent). Input delivery calls this so a [Wake_on_input]
+    poller reacts on the increment after its message arrives — the
+    same latency it had when it polled eagerly. *)
 
 val control_activity : ?reason:string -> t -> unit
 (** Report control-plane activity at the current instant: switches to

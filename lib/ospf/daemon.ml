@@ -34,6 +34,8 @@ type iface = {
   mutable nbr_id : Ipv4.t option;
   mutable nbr_state : neighbor_state;
   mutable last_hello : Time.t;
+  mutable dead_ev : Event_queue.handle option;
+      (* per-interface dead-interval deadline, re-aimed on every hello *)
 }
 
 type counters = {
@@ -252,10 +254,36 @@ let set_neighbor_state t iface state =
     List.iter (fun f -> f iface.iface_id state) t.nbr_hooks
   end
 
+(* Neighbour liveness: one deadline event per interface at
+   [last_hello + dead_interval], re-aimed in place by every hello —
+   replaces the shared sweep that used to piggyback on the hello
+   timer, so a healthy adjacency costs no polling between hellos. *)
+let rec arm_dead t iface =
+  let deadline = Time.add iface.last_hello t.cfg.dead_interval in
+  let sched = Process.scheduler t.proc in
+  match iface.dead_ev with
+  | Some h -> Sched.reschedule sched h deadline
+  | None ->
+      iface.dead_ev <-
+        Some (Sched.schedule_at sched deadline (fun () -> dead_expired t iface))
+
+and dead_expired t iface =
+  if Process.is_alive t.proc && iface.nbr_state <> Down then
+    if Time.(Time.sub (now t) iface.last_hello >= t.cfg.dead_interval) then begin
+      let was_full = iface.nbr_state = Full in
+      set_neighbor_state t iface Down;
+      if was_full then originate t
+    end
+    else
+      (* A hello raced the deadline without re-aiming it (defensive;
+         handle_hello re-arms): aim at the true deadline. *)
+      arm_dead t iface
+
 let handle_hello t iface sender (h : Ospf_msg.hello) =
   t.hellos_received <- t.hellos_received + 1;
   Counter.incr t.m.rx_hello;
   iface.last_hello <- now t;
+  arm_dead t iface;
   iface.nbr_id <- Some sender;
   let sees_us = List.exists (Ipv4.equal t.cfg.router_id) h.Ospf_msg.neighbors in
   match (iface.nbr_state, sees_us) with
@@ -305,20 +333,6 @@ let receive t iface bytes =
     if Time.equal t.cfg.processing_delay Time.zero then process ()
     else Process.after t.proc t.cfg.processing_delay process
 
-let check_dead t =
-  List.iter
-    (fun iface ->
-      match iface.nbr_state with
-      | Down -> ()
-      | Init | Full ->
-          if Time.(Time.sub (now t) iface.last_hello > t.cfg.dead_interval)
-          then begin
-            let was_full = iface.nbr_state = Full in
-            set_neighbor_state t iface Down;
-            if was_full then originate t
-          end)
-    t.ifaces
-
 (* --- lifecycle ------------------------------------------------------------ *)
 
 let create ?trace proc cfg =
@@ -348,6 +362,7 @@ let create ?trace proc cfg =
 let bind_iface t iface endpoint =
   iface.endpoint <- endpoint;
   Channel.set_receiver endpoint (fun bytes -> receive t iface bytes);
+  Channel.set_wake endpoint (fun () -> Process.wake t.proc);
   Channel.set_on_close endpoint (fun () ->
       if Process.is_alive t.proc && iface.nbr_state <> Down then begin
         let was_full = iface.nbr_state = Full in
@@ -364,6 +379,7 @@ let add_interface ?(metric = 1) t endpoint =
       nbr_id = None;
       nbr_state = Down;
       last_hello = Time.zero;
+      dead_ev = None;
     }
   in
   t.next_iface <- t.next_iface + 1;
@@ -375,16 +391,15 @@ let rebind_interface t iface_id endpoint =
   let iface = find_iface t iface_id in
   bind_iface t iface endpoint;
   (* The adjacency re-forms through hellos; reset the liveness clock
-     so the dead-interval sweep measures from the repair, not from
-     before the failure. *)
+     so the dead deadline measures from the repair, not from before
+     the failure. *)
   iface.last_hello <- now t;
   if t.started && Process.is_alive t.proc then send_hello t iface
 
 let arm_timers t =
   ignore
     (Process.every t.proc t.cfg.hello_interval (fun () ->
-         List.iter (fun iface -> send_hello t iface) (iface_list t);
-         check_dead t))
+         List.iter (fun iface -> send_hello t iface) (iface_list t)))
 
 (* A crash loses all protocol state: adjacencies drop silently (the
    neighbours' dead-interval timers notice), pending SPF work is
@@ -397,6 +412,7 @@ let crash_cleanup t =
   List.iter
     (fun iface ->
       iface.nbr_id <- None;
+      Option.iter Sched.cancel iface.dead_ev;
       if iface.nbr_state <> Down then set_neighbor_state t iface Down)
     t.ifaces;
   if t.route_cache <> [] then begin
@@ -415,6 +431,11 @@ let revive t =
 let start t =
   if not t.started then begin
     t.started <- true;
+    (* The daemon's FTI scheduling quantum (paper §2). All protocol
+       work is event-driven (hellos and SPF run off timers, messages
+       off channel deliveries), so the quantum dozes until input
+       arrives and channel delivery wakes it. *)
+    Process.tick t.proc (fun () -> Sched.Wake_on_input);
     Process.on_kill t.proc (fun () -> crash_cleanup t);
     Process.on_restart t.proc (fun () -> revive t);
     originate t (* stub-only LSA until adjacencies form *);

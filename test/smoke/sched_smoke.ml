@@ -1,0 +1,148 @@
+(* Scheduler fast-path smoke: the down-scaled fault-storm TE scenario
+   run twice — eager scheduler (fast_path = false) vs the fast path
+   (timing-wheel timers, demand-driven pollers, FTI fast-forward).
+
+   Gates, failing @bench-smoke (and @runtest with it):
+   - the fast path makes >= 5x fewer poller invocations;
+   - fast-path wall time is no worse than eager (1.5x tolerance
+     against timer noise on loaded CI machines);
+   - determinism: both runs produce the same mode timeline
+     (at/from/to/reason for every transition) and the same final FIB
+     fingerprint — fast-forward must be invisible to the experiment.
+
+   Writes both runs' scheduler stats to the path given as argv(1). *)
+
+module Time = Horse_engine.Time
+module Sched = Horse_engine.Sched
+module Topology = Horse_topo.Topology
+module Fat_tree = Horse_topo.Fat_tree
+module Scenario = Horse_core.Scenario
+module Plan = Horse_faults.Plan
+module Json = Horse_telemetry.Json
+
+let tick_budget = 5.0
+let wall_tolerance = 1.5
+
+(* The fault_smoke plan: a deterministic flap storm plus a node
+   crash/restart, so the run alternates control-plane bursts with the
+   quiet FTI windows fast-forward exists for. *)
+let plan =
+  let ft = Fat_tree.build ~k:4 () in
+  let is_switch (n : Topology.node) =
+    match n.Topology.kind with
+    | Topology.Switch | Topology.Router -> true
+    | Topology.Host -> false
+  in
+  let sites =
+    List.filteri
+      (fun i _ -> i mod 9 = 0)
+      (List.filter_map
+         (fun (l : Topology.link) ->
+           if l.Topology.link_id < l.Topology.peer then
+             let src = Topology.node ft.Fat_tree.topo l.Topology.src in
+             let dst = Topology.node ft.Fat_tree.topo l.Topology.dst in
+             if is_switch src && is_switch dst then
+               Some (src.Topology.name, dst.Topology.name)
+             else None
+           else None)
+         (Topology.links ft.Fat_tree.topo))
+  in
+  let victim = ft.Fat_tree.aggs.(2).(0).Topology.name in
+  let storm =
+    Plan.flap_storm ~seed:5 ~sites ~start:(Time.of_sec 5.0)
+      ~stop:(Time.of_sec 15.0) ~period:(Time.of_sec 4.0)
+      ~down_for:(Time.of_sec 1.0) ()
+  in
+  {
+    storm with
+    Plan.events =
+      [
+        { Plan.at = Time.of_sec 6.0; action = Plan.Node_crash victim };
+        { Plan.at = Time.of_sec 12.0; action = Plan.Node_restart victim };
+      ];
+  }
+
+let run ~fast_path =
+  Scenario.run_fat_tree_te ~pods:4 ~te:Scenario.Bgp_ecmp
+    ~config:{ Sched.default_config with Sched.fast_path }
+    ~faults:plan ~duration:(Time.of_sec 20.0) ()
+
+let timeline (r : Scenario.result) =
+  List.map
+    (fun (tr : Sched.transition) ->
+      ( Time.to_us tr.Sched.at,
+        Sched.mode_to_string tr.Sched.from_mode,
+        Sched.mode_to_string tr.Sched.to_mode,
+        tr.Sched.reason ))
+    r.Scenario.sched_stats.Sched.transitions
+
+let run_json (r : Scenario.result) =
+  let s = r.Scenario.sched_stats in
+  Json.Obj
+    [
+      ("poller_ticks", Json.Int s.Sched.poller_ticks);
+      ("poller_ticks_saved", Json.Int s.Sched.poller_ticks_saved);
+      ("fti_increments", Json.Int s.Sched.fti_increments);
+      ("fti_increments_skipped", Json.Int s.Sched.fti_increments_skipped);
+      ("transitions", Json.Int (List.length s.Sched.transitions));
+      ("run_wall_s", Json.Float r.Scenario.run_wall_s);
+      ( "fib_fingerprint",
+        match r.Scenario.fib_fingerprint with
+        | Some f -> Json.String f
+        | None -> Json.Null );
+    ]
+
+let () =
+  let out = Sys.argv.(1) in
+  let eager = run ~fast_path:false in
+  let fast = run ~fast_path:true in
+  let e = eager.Scenario.sched_stats and f = fast.Scenario.sched_stats in
+  let ratio =
+    float_of_int e.Sched.poller_ticks
+    /. float_of_int (max 1 f.Sched.poller_ticks)
+  in
+  let oc = open_out out in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [
+            ("eager", run_json eager);
+            ("fast", run_json fast);
+            ("tick_reduction", Json.Float ratio);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "sched-smoke: poller ticks %d -> %d (%.1fx), %d/%d increments \
+     fast-forwarded, wall %.3fs -> %.3fs\n"
+    e.Sched.poller_ticks f.Sched.poller_ticks ratio
+    f.Sched.fti_increments_skipped f.Sched.fti_increments
+    eager.Scenario.run_wall_s fast.Scenario.run_wall_s;
+  if ratio < tick_budget then begin
+    Printf.eprintf
+      "sched-smoke: poller-tick budget missed: %.1fx < %.1fx — wake hints or \
+       fast-forward regressed?\n"
+      ratio tick_budget;
+    exit 1
+  end;
+  if
+    fast.Scenario.run_wall_s
+    > (wall_tolerance *. eager.Scenario.run_wall_s) +. 0.05
+  then begin
+    Printf.eprintf "sched-smoke: fast path slower than eager: %.3fs > %.3fs\n"
+      fast.Scenario.run_wall_s eager.Scenario.run_wall_s;
+    exit 1
+  end;
+  if timeline eager <> timeline fast then begin
+    Printf.eprintf
+      "sched-smoke: mode timeline diverged between eager and fast path\n";
+    exit 1
+  end;
+  if
+    eager.Scenario.fib_fingerprint <> fast.Scenario.fib_fingerprint
+    || fast.Scenario.fib_fingerprint = None
+  then begin
+    Printf.eprintf
+      "sched-smoke: final FIBs diverged between eager and fast path\n";
+    exit 1
+  end

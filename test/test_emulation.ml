@@ -147,7 +147,9 @@ let test_process_tick_in_fti () =
   let sched = Sched.create ~config () in
   let proc = Process.create sched ~name:"daemon" in
   let ticks = ref 0 in
-  Process.tick proc (fun () -> incr ticks);
+  Process.tick proc (fun () ->
+      incr ticks;
+      Sched.Always);
   ignore
     (Sched.schedule_at sched (Time.of_ms 10) (fun () -> Sched.control_activity sched));
   ignore (Sched.run ~until:(Time.of_ms 200) sched);

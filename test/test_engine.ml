@@ -207,6 +207,131 @@ let test_queue_compaction_preserves_order () =
     (List.init 10 (fun i -> i))
     (List.rev !out)
 
+let test_queue_reschedule () =
+  let q = Event_queue.create () in
+  let out = ref [] in
+  let ev i at = Event_queue.schedule q (Time.of_ms at) (fun () -> out := i :: !out) in
+  let a = ev 1 10 and _b = ev 2 20 and c = ev 3 30 in
+  (* Later, earlier, and re-arming an already-popped event. *)
+  Event_queue.reschedule a (Time.of_ms 25);
+  Event_queue.reschedule c (Time.of_ms 5);
+  check Alcotest.int "reschedule keeps size" 3 (Event_queue.size q);
+  (match Event_queue.pop q with
+  | Some (at, action) ->
+      check Alcotest.int "earliest is re-aimed c" 5 (Time.to_us at / 1000);
+      action ()
+  | None -> Alcotest.fail "expected an event");
+  Event_queue.reschedule c (Time.of_ms 22);
+  check Alcotest.int "fired event re-armed" 3 (Event_queue.size q);
+  Event_queue.cancel a;
+  Event_queue.reschedule a (Time.of_ms 21);
+  drain_all q;
+  check (Alcotest.list Alcotest.int) "order follows the re-aimed times"
+    [ 3; 2; 1; 3 ] (List.rev !out)
+
+let prop_wheel_matches_heap =
+  (* Differential suite: the timing wheel against the retired binary
+     heap under random schedule / cancel / reschedule / pop /
+     pop_until interleavings, with deadlines drawn across every wheel
+     level and the overflow heap. Any divergence in pop order,
+     executed actions, or sizes is a wheel bug. *)
+  qtest ~count:300 "event queue: wheel matches heap reference"
+    QCheck2.Gen.(
+      list_size (int_range 0 150)
+        (triple (int_bound 9) (int_bound 3) (int_bound 0x3FFFFFFF)))
+    (fun ops ->
+      let wheel = Event_queue.create () in
+      let heap = Heap_queue.create () in
+      let w_out = ref [] and h_out = ref [] in
+      let handles = ref [] and n_handles = ref 0 in
+      let now = ref 0 and next_id = ref 0 in
+      let ok = ref true in
+      (* Deadlines land in wheel level [band] (or the overflow heap
+         when band = 3) relative to the popped-up-to time. *)
+      let time_of band off =
+        let span =
+          match band with
+          | 0 -> 1 lsl 12
+          | 1 -> 1 lsl 18
+          | 2 -> 1 lsl 26
+          | _ -> 1 lsl 30
+        in
+        Time.of_us (!now + (off mod span))
+      in
+      let add at =
+        let id = !next_id in
+        incr next_id;
+        let wh = Event_queue.schedule wheel at (fun () -> w_out := id :: !w_out) in
+        let hh = Heap_queue.schedule heap at (fun () -> h_out := id :: !h_out) in
+        handles := (wh, hh) :: !handles;
+        incr n_handles
+      in
+      let pick k = List.nth !handles (k mod !n_handles) in
+      let pop_both until =
+        let w =
+          match until with
+          | None -> Event_queue.pop wheel
+          | Some u -> Event_queue.pop_until wheel u
+        and h =
+          match until with
+          | None -> Heap_queue.pop heap
+          | Some u -> Heap_queue.pop_until heap u
+        in
+        match (w, h) with
+        | Some (tw, aw), Some (th, ah) ->
+            if not (Time.equal tw th) then ok := false;
+            aw ();
+            ah ();
+            now := max !now (Time.to_us tw)
+        | None, None -> ()
+        | Some _, None | None, Some _ -> ok := false
+      in
+      List.iter
+        (fun (op, band, off) ->
+          (match op with
+          | 0 | 1 | 2 | 3 -> add (time_of band off)
+          | 4 ->
+              (* In the past: the queue is time-agnostic. *)
+              add (Time.of_us (max 0 (!now - (off mod 4096))))
+          | 5 ->
+              if !n_handles > 0 then begin
+                let wh, hh = pick off in
+                Event_queue.cancel wh;
+                Heap_queue.cancel hh;
+                if Event_queue.is_cancelled wh <> Heap_queue.is_cancelled hh
+                then ok := false
+              end
+          | 6 ->
+              if !n_handles > 0 then begin
+                let wh, hh = pick off in
+                let at = time_of band (off / 7) in
+                Event_queue.reschedule wh at;
+                Heap_queue.reschedule hh at
+              end
+          | 7 | 8 -> pop_both None
+          | _ -> pop_both (Some (time_of band off)));
+          if Event_queue.size wheel <> Heap_queue.size heap then ok := false;
+          (match (Event_queue.next_time wheel, Heap_queue.next_time heap) with
+          | Some a, Some b -> if not (Time.equal a b) then ok := false
+          | None, None -> ()
+          | Some _, None | None, Some _ -> ok := false))
+        ops;
+      (* Drain both to the end and compare the executed-action order.
+         Fuel bounds the loop so a pop-loses-events bug fails instead
+         of hanging. *)
+      let rec drain fuel =
+        if fuel = 0 then ok := false
+        else if not (Event_queue.is_empty wheel && Heap_queue.is_empty heap)
+        then begin
+          pop_both None;
+          drain (fuel - 1)
+        end
+      in
+      drain 1000;
+      !ok && !w_out = !h_out
+      && Event_queue.is_empty wheel
+      && Heap_queue.is_empty heap)
+
 (* --- Hybrid scheduler -------------------------------------------------- *)
 
 let test_des_jumps () =
@@ -282,7 +407,10 @@ let test_pollers_only_in_fti () =
   in
   let sched = Sched.create ~config () in
   let polls = ref 0 in
-  Sched.add_poller sched (fun () -> incr polls);
+  ignore
+    (Sched.add_poller sched (fun () ->
+         incr polls;
+         Sched.Always));
   ignore (Sched.schedule_at sched (Time.of_ms 500) (fun () -> ()));
   ignore (Sched.run ~until:(Time.of_sec 1.0) sched);
   check Alcotest.int "no polls in pure DES run" 0 !polls;
@@ -408,7 +536,8 @@ let test_start_in_fti () =
 
 let test_fti_wall_cost_exceeds_des () =
   (* The paper's core claim in miniature: the same quiet virtual hour
-     costs far less wall time in DES than in FTI. *)
+     costs far less wall time in DES than in FTI. Pinned to the eager
+     scheduler — fast-forward exists precisely to erase this cost. *)
   let run ~start_in_fti ~quiet_timeout =
     let config =
       {
@@ -416,6 +545,7 @@ let test_fti_wall_cost_exceeds_des () =
         Sched.start_in_fti;
         quiet_timeout;
         fti_increment = Time.of_ms 1;
+        fast_path = false;
       }
     in
     let sched = Sched.create ~config () in
@@ -428,6 +558,59 @@ let test_fti_wall_cost_exceeds_des () =
     fti.Sched.fti_increments;
   check Alcotest.bool "FTI costs more wall time" true
     (fti.Sched.wall_total > des.Sched.wall_total)
+
+let test_fast_forward_skips_idle_fti () =
+  (* The same quiet virtual hour again, fast path on: the increment
+     count the experiment observes is unchanged, but almost all of the
+     boundaries are fast-forwarded in O(1) jumps rather than stepped. *)
+  let config =
+    {
+      Sched.default_config with
+      Sched.start_in_fti = true;
+      quiet_timeout = Time.of_sec 7200.0;
+      fti_increment = Time.of_ms 1;
+    }
+  in
+  let sched = Sched.create ~config () in
+  let stats = Sched.run ~until:(Time.of_sec 3600.0) sched in
+  check Alcotest.int "FTI: one increment per millisecond" 3_600_000
+    stats.Sched.fti_increments;
+  check Alcotest.bool "almost all increments fast-forwarded" true
+    (stats.Sched.fti_increments_skipped > 3_599_000);
+  check (Alcotest.float 1e-6) "virtual hour still elapses" 3600.0
+    (Time.to_sec stats.Sched.end_time)
+
+let test_fast_forward_respects_events_and_pollers () =
+  (* Fast-forward must stop at event deadlines, and a runnable poller
+     (hint [Always]) pins the scheduler to eager stepping; a dozing
+     one ([Wake_at]) is woken exactly at its deadline. *)
+  let config =
+    {
+      Sched.default_config with
+      Sched.start_in_fti = true;
+      quiet_timeout = Time.of_sec 60.0;
+      fti_increment = Time.of_ms 1;
+    }
+  in
+  let sched = Sched.create ~config () in
+  let fired = ref (-1.0) in
+  ignore
+    (Sched.schedule_at sched (Time.of_sec 5.0) (fun () ->
+         fired := Time.to_sec (Sched.now sched)));
+  let wakes = ref [] in
+  ignore
+    (Sched.add_poller sched (fun () ->
+         wakes := Time.to_sec (Sched.now sched) :: !wakes;
+         Sched.Wake_at (Time.add (Sched.now sched) (Time.of_sec 2.0))));
+  ignore (Sched.run ~until:(Time.of_sec 10.0) sched);
+  check (Alcotest.float 1e-6) "event fired on time" 5.0 !fired;
+  (* Woken every 2 s from the first increment: 0, 2, ..., 10. *)
+  check Alcotest.int "poller woken at its deadlines only" 6
+    (List.length !wakes);
+  List.iteri
+    (fun i at ->
+      check (Alcotest.float 1e-6) "wake cadence" (float_of_int (5 - i) *. 2.0) at)
+    !wakes
 
 let test_rerun_continues () =
   let sched = Sched.create () in
@@ -577,7 +760,10 @@ let () =
             test_queue_size_after_cancel;
           Alcotest.test_case "compaction preserves order" `Quick
             test_queue_compaction_preserves_order;
+          Alcotest.test_case "reschedule re-aims in place" `Quick
+            test_queue_reschedule;
           prop_queue_sorted;
+          prop_wheel_matches_heap;
         ] );
       ( "hybrid_sched",
         [
@@ -602,6 +788,10 @@ let () =
           Alcotest.test_case "start in FTI" `Quick test_start_in_fti;
           Alcotest.test_case "FTI wall cost exceeds DES" `Slow
             test_fti_wall_cost_exceeds_des;
+          Alcotest.test_case "fast-forward skips idle FTI" `Quick
+            test_fast_forward_skips_idle_fti;
+          Alcotest.test_case "fast-forward respects events and pollers" `Quick
+            test_fast_forward_respects_events_and_pollers;
           Alcotest.test_case "re-run continues" `Quick test_rerun_continues;
           prop_sched_matches_reference;
           Alcotest.test_case "metrics agree with stats" `Quick
