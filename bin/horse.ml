@@ -36,12 +36,27 @@ let max_wall_arg =
   in
   Arg.(value & opt float 0.0 & info [ "max-wall" ] ~docv:"SECONDS" ~doc)
 
-let sched_config quiet_timeout increment_ms max_wall =
+let no_causal_arg =
+  let doc =
+    "Disable causal tracing (provenance chains, $(b,--explain), Perfetto \
+     causal tracks)."
+  in
+  Arg.(value & flag & info [ "no-causal" ] ~doc)
+
+let profile_arg =
+  let doc =
+    "Enable the scheduler self-profiler (per-poller tick-cost histograms)."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let sched_config quiet_timeout increment_ms max_wall no_causal profile =
   {
     Sched.default_config with
     Sched.quiet_timeout = Time.of_sec quiet_timeout;
     fti_increment = Time.of_sec (increment_ms /. 1000.0);
     max_wall_s = max_wall;
+    causal = not no_causal;
+    profile;
   }
 
 let warn_aborted (stats : Sched.stats) =
@@ -86,16 +101,25 @@ let metrics_out_arg =
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
 let trace_out_arg =
-  let doc = "Write the metric + span event stream to $(docv) (JSON lines)." in
+  let doc =
+    "Write the event trace to $(docv): JSON lines by default, or a \
+     Chrome-trace-event file loadable at ui.perfetto.dev when $(docv) ends \
+     in .perfetto.json."
+  in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
 let report_arg =
   let doc = "Print the human run report (counters, gauges, histograms, spans)." in
   Arg.(value & flag & info [ "report" ] ~doc)
 
+let ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
 (* Shared epilogue: export the registry as requested by the three
-   flags above. *)
-let emit_telemetry ~metrics_out ~trace_out ~report reg =
+   flags above. [stats] and [causal] feed the Perfetto exporter when
+   the trace path asks for it. *)
+let emit_telemetry ?stats ?causal ~metrics_out ~trace_out ~report reg =
   let module Export = Horse_telemetry.Export in
   let write what pp path =
     try
@@ -106,7 +130,18 @@ let emit_telemetry ~metrics_out ~trace_out ~report reg =
       exit 1
   in
   Option.iter (write "metrics" Export.prometheus) metrics_out;
-  Option.iter (write "trace" Export.jsonl) trace_out;
+  Option.iter
+    (fun path ->
+      match (ends_with ~suffix:".perfetto.json" path, stats) with
+      | true, Some (st : Sched.stats) ->
+          Horse_causal.Perfetto.write ~path ?graph:causal
+            ~spans:
+              (Horse_telemetry.Span.records (Horse_telemetry.Registry.spans reg))
+            ~transitions:st.Sched.transitions ~end_time:st.Sched.end_time ();
+          Format.printf
+            "perfetto trace written to %s (load it at ui.perfetto.dev)@." path
+      | _ -> write "trace" Export.jsonl path)
+    trace_out;
   if report then Format.printf "@.%a@." Horse_stats.Report.pp reg
 
 (* --- te ----------------------------------------------------------------- *)
@@ -132,11 +167,19 @@ let te_cmd =
     let doc = "Write the aggregate-rate series to $(docv)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run pods te duration seed quiet_timeout increment max_wall faults csv
-      metrics_out trace_out report =
+  let explain_arg =
+    let doc =
+      "Explain each reconvergence: walk the causal graph from every FIB \
+       entry back to the fault that triggered it and print the critical \
+       path with per-hop virtual-time latencies."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let run pods te duration seed quiet_timeout increment max_wall no_causal
+      profile faults csv explain metrics_out trace_out report =
     let result =
       Scenario.run_fat_tree_te ~seed
-        ~config:(sched_config quiet_timeout increment max_wall)
+        ~config:(sched_config quiet_timeout increment max_wall no_causal profile)
         ?faults:(load_faults faults) ~pods ~te
         ~duration:(Time.of_sec duration)
         ()
@@ -145,21 +188,45 @@ let te_cmd =
     Format.printf "@.%a@." Sched.pp_stats result.Scenario.sched_stats;
     warn_aborted result.Scenario.sched_stats;
     Option.iter (pp_fault_summary Format.std_formatter) result.Scenario.injector;
+    if explain then begin
+      match result.Scenario.causal with
+      | None ->
+          Format.printf
+            "explain: causal tracing is disabled (--no-causal); nothing to \
+             walk@."
+      | Some graph ->
+          let provenance =
+            List.map
+              (fun (node, prefix, cause) ->
+                (node, Horse_net.Prefix.to_string prefix, cause))
+              result.Scenario.fib_provenance
+          in
+          let reconvergence =
+            match result.Scenario.injector with
+            | None -> []
+            | Some inj -> Horse_faults.Injector.reconvergence inj
+          in
+          Format.printf "@.%a@." Horse_causal.Explain.pp_report
+            (Horse_causal.Explain.attribute ~graph ~provenance ~reconvergence)
+    end;
     Option.iter
       (fun path ->
         Horse_stats.Csv.save_series ~path
           [ (Scenario.te_name te, result.Scenario.aggregate) ];
         Format.printf "series written to %s@." path)
       csv;
-    emit_telemetry ~metrics_out ~trace_out ~report result.Scenario.registry
+    emit_telemetry ~stats:result.Scenario.sched_stats
+      ?causal:result.Scenario.causal ~metrics_out ~trace_out ~report
+      result.Scenario.registry
   in
   let doc = "Run one fat-tree traffic-engineering experiment on Horse." in
   Cmd.v
     (Cmd.info "te" ~doc)
     Term.(
       const run $ pods_arg $ te_arg $ duration_arg $ seed_arg
-      $ quiet_timeout_arg $ increment_arg $ max_wall_arg $ faults_arg
-      $ csv_arg $ metrics_out_arg $ trace_out_arg $ report_arg)
+      $ quiet_timeout_arg $ increment_arg $ max_wall_arg $ no_causal_arg
+      $ profile_arg $ faults_arg $ csv_arg $ explain_arg $ metrics_out_arg
+      $ trace_out_arg $ report_arg)
 
 (* --- fig1 ---------------------------------------------------------------- *)
 
@@ -168,12 +235,12 @@ let fig1_cmd =
     let doc = "Prefixes originated by each router." in
     Arg.(value & opt int 10 & info [ "prefixes" ] ~docv:"N" ~doc)
   in
-  let run duration quiet_timeout increment max_wall faults prefixes metrics_out
-      trace_out report =
+  let run duration quiet_timeout increment max_wall no_causal profile faults
+      prefixes metrics_out trace_out report =
     let wan = Wan.linear 2 in
     let exp =
       Experiment.create
-        ~config:(sched_config quiet_timeout increment max_wall)
+        ~config:(sched_config quiet_timeout increment max_wall no_causal profile)
         wan.Wan.topo
     in
     let originate node =
@@ -203,15 +270,17 @@ let fig1_cmd =
           tr.Sched.from_mode Sched.pp_mode tr.Sched.to_mode tr.Sched.reason)
       stats.Sched.transitions;
     Format.printf "@.%a@." Sched.pp_stats stats;
-    emit_telemetry ~metrics_out ~trace_out ~report (Experiment.registry exp)
+    emit_telemetry ~stats
+      ?causal:(Sched.causal (Experiment.scheduler exp))
+      ~metrics_out ~trace_out ~report (Experiment.registry exp)
   in
   let doc = "Two-router BGP mode-transition demo (the paper's Figure 1)." in
   Cmd.v
     (Cmd.info "fig1" ~doc)
     Term.(
       const run $ duration_arg $ quiet_timeout_arg $ increment_arg
-      $ max_wall_arg $ faults_arg $ prefixes_arg $ metrics_out_arg
-      $ trace_out_arg $ report_arg)
+      $ max_wall_arg $ no_causal_arg $ profile_arg $ faults_arg $ prefixes_arg
+      $ metrics_out_arg $ trace_out_arg $ report_arg)
 
 (* --- baseline ------------------------------------------------------------- *)
 
@@ -279,8 +348,8 @@ let wan_cmd =
     in
     Arg.(value & opt (some int) None & info [ "kill" ] ~docv:"ROUTER" ~doc)
   in
-  let run wan_kind duration seed quiet_timeout increment max_wall faults kill
-      metrics_out trace_out report =
+  let run wan_kind duration seed quiet_timeout increment max_wall no_causal
+      profile faults kill metrics_out trace_out report =
     let wan =
       match wan_kind with
       | `Abilene -> Wan.abilene ()
@@ -290,7 +359,7 @@ let wan_cmd =
     let hosts = Wan.attach_hosts wan in
     let exp =
       Experiment.create ~seed
-        ~config:(sched_config quiet_timeout increment max_wall)
+        ~config:(sched_config quiet_timeout increment max_wall no_causal profile)
         wan.Wan.topo
     in
     (* Each router originates its PoP prefix (its host lives in it). *)
@@ -402,15 +471,17 @@ let wan_cmd =
             (Horse_dataplane.Fluid.aggregate_series fluid)
             ~f:(fun v -> v /. 1e9) );
       ];
-    emit_telemetry ~metrics_out ~trace_out ~report (Experiment.registry exp)
+    emit_telemetry ~stats
+      ?causal:(Sched.causal (Experiment.scheduler exp))
+      ~metrics_out ~trace_out ~report (Experiment.registry exp)
   in
   let doc = "Run BGP + fluid traffic on a WAN topology (optionally kill a router)." in
   Cmd.v
     (Cmd.info "wan" ~doc)
     Term.(
       const run $ topo_arg $ duration_arg $ seed_arg $ quiet_timeout_arg
-      $ increment_arg $ max_wall_arg $ faults_arg $ fail_arg $ metrics_out_arg
-      $ trace_out_arg $ report_arg)
+      $ increment_arg $ max_wall_arg $ no_causal_arg $ profile_arg $ faults_arg
+      $ fail_arg $ metrics_out_arg $ trace_out_arg $ report_arg)
 
 (* --- topo ------------------------------------------------------------------ *)
 

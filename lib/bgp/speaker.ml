@@ -199,7 +199,7 @@ type t = {
   mutable keepalives_received : int;
   mutable notifications_sent : int;
   mutable decode_errors : int;
-  inbox : (peer * Bytes.t) Queue.t;
+  inbox : (peer * Bytes.t * Causal.id) Queue.t;
   mutable busy : bool;
 }
 
@@ -607,8 +607,15 @@ let refresh_and_propagate t prefix =
   | Rib.Unchanged -> ()
   | Rib.Changed routes ->
       Gauge.set t.m.g_rib (float_of_int (Rib.loc_rib_size t.rib));
-      notify_rib_change t prefix routes;
-      enqueue_prefix t prefix
+      (* Each changed prefix is an independent decision: FIB writes and
+         the UPDATEs it queues chain under this node, siblings under
+         the triggering message. *)
+      Sched.protect_cause (sched t) (fun () ->
+          ignore
+            (Sched.cause_point (sched t) ~kind:"bgp:decide" (fun () ->
+                 Prefix.to_string prefix));
+          notify_rib_change t prefix routes;
+          enqueue_prefix t prefix)
 
 (* --- session management -------------------------------------------- *)
 
@@ -619,6 +626,9 @@ let start_keepalive t peer =
     Some (Process.every t.proc interval (fun () -> send_msg t peer Msg.Keepalive))
 
 let session_established t peer =
+  ignore
+    (Sched.cause_point (sched t) ~kind:"bgp:session" (fun () ->
+         Printf.sprintf "established AS%d" peer.remote_asn));
   peer.state <- Established;
   t.established <- t.established + 1;
   peer.group.up_members <- peer.group.up_members + 1;
@@ -636,6 +646,9 @@ let session_established t peer =
 
 let session_down t peer ~reason =
   if peer.state <> Idle then begin
+    ignore
+      (Sched.cause_point (sched t) ~kind:"bgp:session" (fun () ->
+           Printf.sprintf "down AS%d (%s)" peer.remote_asn reason));
     tracef t "session to AS%d down (%s)" peer.remote_asn reason;
     if peer.state = Established then begin
       Gauge.add t.m.g_established (-1.0);
@@ -728,6 +741,16 @@ let handle_open t peer (o : Msg.open_msg) =
 let handle_update t peer (u : Msg.update) =
   t.updates_received <- t.updates_received + 1;
   Counter.incr t.m.rx_update;
+  (* Counts are hoisted so the stored thunk pins three ints, not the
+     whole decoded UPDATE. *)
+  let asn = peer.remote_asn
+  and n_wd = List.length u.Msg.withdrawn
+  and n_nlri =
+    match u.Msg.reach with None -> 0 | Some (_, nlri) -> List.length nlri
+  in
+  ignore
+    (Sched.cause_point (sched t) ~kind:"bgp:update" (fun () ->
+         Printf.sprintf "from AS%d wd=%d nlri=%d" asn n_wd n_nlri));
   let affected = ref Prefix_set.empty in
   List.iter
     (fun prefix ->
@@ -792,8 +815,12 @@ let process_message t peer bytes =
 let rec process_next t =
   match Queue.take_opt t.inbox with
   | None -> t.busy <- false
-  | Some (peer, bytes) ->
-      process_message t peer bytes;
+  | Some (peer, bytes, cause) ->
+      (* Re-attach the cause captured at delivery: without this, every
+         queued message would inherit the previous message's
+         provenance through the ambient state. *)
+      Sched.with_cause (sched t) cause (fun () ->
+          process_message t peer bytes);
       Process.after t.proc t.cfg.processing_delay (fun () -> process_next t)
 
 let receive t peer bytes =
@@ -801,7 +828,7 @@ let receive t peer bytes =
     if Time.equal t.cfg.processing_delay Time.zero then
       process_message t peer bytes
     else begin
-      Queue.add (peer, bytes) t.inbox;
+      Queue.add (peer, bytes, Sched.current_cause (sched t)) t.inbox;
       if not t.busy then begin
         t.busy <- true;
         Process.after t.proc t.cfg.processing_delay (fun () -> process_next t)

@@ -1,0 +1,137 @@
+module Causal = Horse_engine.Causal
+module Time = Horse_engine.Time
+
+type attribution = {
+  fault_label : string;
+  injected_at : Time.t;
+  reconverged_at : Time.t;
+  fib_writes : int;
+  hops : int;
+  critical : Causal.info list;
+  per_proto_latency : (string * Time.t) list;
+  messages : int;
+}
+
+let kind_prefix kind =
+  match String.index_opt kind ':' with
+  | Some i -> String.sub kind 0 i
+  | None -> kind
+
+let is_fault_hop ~label ~at (h : Causal.info) =
+  String.length h.Causal.kind >= 6
+  && String.sub h.Causal.kind 0 6 = "fault:"
+  && String.equal h.Causal.detail label
+  && Time.equal h.Causal.at at
+
+(* Latency attribution: the gap between consecutive hops is charged to
+   the subsystem being entered (the later hop) — the time a message
+   spent in flight is charged to [chan], processing delay before an
+   UPDATE handler to [bgp], and so on. *)
+let breakdown chain =
+  let tbl = Hashtbl.create 8 in
+  let rec walk = function
+    | (a : Causal.info) :: (b : Causal.info) :: rest ->
+        let d = Time.sub b.Causal.at a.Causal.at in
+        let key = kind_prefix b.Causal.kind in
+        let cur =
+          Option.value (Hashtbl.find_opt tbl key) ~default:Time.zero
+        in
+        Hashtbl.replace tbl key (Time.add cur d);
+        walk (b :: rest)
+    | [ _ ] | [] -> ()
+  in
+  walk chain;
+  List.sort
+    (fun (_, a) (_, b) -> Time.compare b a)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let attribute ~graph ~provenance ~reconvergence =
+  (* Chains are resolved once per distinct cause id, not per sample. *)
+  let chains =
+    List.filter_map
+      (fun (_node, _prefix, cause) ->
+        if Causal.is_none cause then None
+        else
+          match Causal.chain graph cause with [] -> None | c -> Some c)
+      provenance
+  in
+  List.map
+    (fun (label, injected_at, reconverged_at) ->
+      let matching =
+        List.filter
+          (List.exists (is_fault_hop ~label ~at:injected_at))
+          chains
+      in
+      let critical =
+        (* The chain whose FIB write landed last bounds this fault's
+           reconvergence: the critical path. *)
+        List.fold_left
+          (fun best chain ->
+            let ends c =
+              match List.rev c with
+              | last :: _ -> last.Causal.at
+              | [] -> Time.zero
+            in
+            match best with
+            | [] -> chain
+            | b -> if Time.(ends chain > ends b) then chain else b)
+          [] matching
+      in
+      (* Only the fault-onward suffix is the fault's doing; hops
+         before it belong to whatever scheduled the fault. *)
+      let critical =
+        let rec from_fault = function
+          | h :: rest when is_fault_hop ~label ~at:injected_at h ->
+              h :: rest
+          | _ :: rest -> from_fault rest
+          | [] -> []
+        in
+        match from_fault critical with [] -> critical | suffix -> suffix
+      in
+      {
+        fault_label = label;
+        injected_at;
+        reconverged_at;
+        fib_writes = List.length matching;
+        hops = List.length critical;
+        critical;
+        per_proto_latency = breakdown critical;
+        messages =
+          List.length
+            (List.filter
+               (fun (h : Causal.info) ->
+                 String.equal (kind_prefix h.Causal.kind) "chan")
+               critical);
+      })
+    reconvergence
+
+let pp_attribution fmt a =
+  Format.fprintf fmt "fault %s @@ %a -> reconverged @@ %a (%a)@."
+    a.fault_label Time.pp a.injected_at Time.pp a.reconverged_at Time.pp
+    (Time.sub a.reconverged_at a.injected_at);
+  if a.critical = [] then
+    Format.fprintf fmt
+      "  no surviving FIB entry traces to this fault (its writes were \
+       superseded by later events, or the fault was silent and detected \
+       by timers)@."
+  else begin
+    Format.fprintf fmt
+      "  %d FIB writes attributed; critical path (%d hops, %d messages):@."
+      a.fib_writes a.hops a.messages;
+    Causal.pp_chain fmt a.critical;
+    Format.fprintf fmt "  latency by subsystem:";
+    List.iter
+      (fun (k, d) -> Format.fprintf fmt " %s=%a" k Time.pp d)
+      a.per_proto_latency;
+    Format.fprintf fmt "@."
+  end
+
+let pp_report fmt = function
+  | [] ->
+      Format.fprintf fmt
+        "== Convergence explanation ==@.no reconvergence samples to \
+         explain (no faults applied, or the run ended before \
+         reconvergence)@."
+  | attrs ->
+      Format.fprintf fmt "== Convergence explanation ==@.";
+      List.iter (pp_attribution fmt) attrs

@@ -89,7 +89,12 @@ let handle t sw msg xid =
   | Ofmsg.Packet_in pi ->
       t.packet_ins <- t.packet_ins + 1;
       Counter.incr t.m_packet_ins;
-      List.iter (fun f -> f sw pi) t.packet_in_hooks
+      Sched.protect_cause (Process.scheduler t.proc) (fun () ->
+          ignore
+            (Sched.cause_point (Process.scheduler t.proc) ~kind:"ctrl:packet_in"
+               (fun () -> Printf.sprintf "dpid=%d port=%d" sw.sw_dpid
+                    pi.Ofmsg.in_port));
+          List.iter (fun f -> f sw pi) t.packet_in_hooks)
   | Ofmsg.Port_status ps -> List.iter (fun f -> f sw ps) t.port_status_hooks
   | Ofmsg.Stats_reply reply -> (
       match Hashtbl.find_opt t.pending xid with

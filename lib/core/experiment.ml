@@ -14,6 +14,7 @@ type t = {
 let create ?config ?registry ?(seed = 42) topo =
   let sched = Sched.create ?config ?registry () in
   let trace = Trace.create () in
+  Trace.bind_registry trace (Sched.registry sched);
   {
     sched;
     exp_topo = topo;

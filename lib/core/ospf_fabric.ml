@@ -53,23 +53,29 @@ let install_routes t node (routes : Lsdb.route list) =
         r
   in
   let table = t.tables.(node) in
-  List.iter (fun prefix -> Fwd.remove_route table prefix) !installed;
-  installed := [];
-  List.iter
-    (fun (route : Lsdb.route) ->
-      let next_hops =
-        List.filter_map
-          (fun rid ->
-            match Daemon.interface_of_neighbor daemon rid with
-            | Some iface -> Hashtbl.find_opt links iface
-            | None -> None)
-          route.Lsdb.next_hops
-      in
-      if next_hops <> [] then begin
-        Fwd.set_route table route.Lsdb.prefix ~next_hops;
-        installed := route.Lsdb.prefix :: !installed
-      end)
-    routes
+  Sched.protect_cause t.sched (fun () ->
+      ignore
+        (Sched.cause_point t.sched ~kind:"fib:write" (fun () ->
+             Printf.sprintf "%s (%d routes)"
+               (Topology.node t.fabric_topo node).Topology.name
+               (List.length routes)));
+      List.iter (fun prefix -> Fwd.remove_route table prefix) !installed;
+      installed := [];
+      List.iter
+        (fun (route : Lsdb.route) ->
+          let next_hops =
+            List.filter_map
+              (fun rid ->
+                match Daemon.interface_of_neighbor daemon rid with
+                | Some iface -> Hashtbl.find_opt links iface
+                | None -> None)
+              route.Lsdb.next_hops
+          in
+          if next_hops <> [] then begin
+            Fwd.set_route table route.Lsdb.prefix ~next_hops;
+            installed := route.Lsdb.prefix :: !installed
+          end)
+        routes)
 
 let build ?(hello_interval = Time.of_sec 2.0) ?(dead_interval = Time.of_sec 8.0)
     ~cm ~originate topo =

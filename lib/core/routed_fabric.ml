@@ -25,6 +25,7 @@ type t = {
   mutable prefixes : Prefix.t list;
   mutable fib_writes : int;
   fib_hooks : (int -> Prefix.t -> unit) Hooks.t;
+  fib_prov : (int * Prefix.t, Causal.id) Hashtbl.t;
   mutable n_sessions : int;
   mutable sessions : session list;
   mutable converged_fired : bool;
@@ -51,15 +52,28 @@ let install_fib t node peer_links prefix (routes : Rib.route list) =
       routes
   in
   let table = t.tables.(node) in
-  (match (routes, next_hops) with
-  | [], _ ->
-      Fwd.remove_route table prefix;
-      t.fib_writes <- t.fib_writes + 1
-  | _ :: _, [] -> () (* purely local: static routes already cover it *)
-  | _ :: _, _ :: _ ->
-      Fwd.set_route table prefix ~next_hops;
-      t.fib_writes <- t.fib_writes + 1);
-  Hooks.iter (fun f -> f node prefix) t.fib_hooks
+  let record_write () =
+    t.fib_writes <- t.fib_writes + 1;
+    (* Terminal provenance: the FIB entry remembers the decision chain
+       that last wrote it. *)
+    let cause =
+      Sched.cause_point t.sched ~kind:"fib:write" (fun () ->
+          Printf.sprintf "%s %s"
+            (Topology.node t.fabric_topo node).Topology.name
+            (Prefix.to_string prefix))
+    in
+    Hashtbl.replace t.fib_prov (node, prefix) cause
+  in
+  Sched.protect_cause t.sched (fun () ->
+      (match (routes, next_hops) with
+      | [], _ ->
+          Fwd.remove_route table prefix;
+          record_write ()
+      | _ :: _, [] -> () (* purely local: static routes already cover it *)
+      | _ :: _, _ :: _ ->
+          Fwd.set_route table prefix ~next_hops;
+          record_write ());
+      Hooks.iter (fun f -> f node prefix) t.fib_hooks)
 
 let build ?(asn_base = 64512) ?(hold_time = Time.of_sec 9.0) ?(mrai = Time.zero)
     ?(packing = true) ~cm ~originate topo =
@@ -77,6 +91,7 @@ let build ?(asn_base = 64512) ?(hold_time = Time.of_sec 9.0) ?(mrai = Time.zero)
       prefixes = [];
       fib_writes = 0;
       fib_hooks = Hooks.create ();
+      fib_prov = Hashtbl.create 256;
       n_sessions = 0;
       sessions = [];
       converged_fired = false;
@@ -363,6 +378,40 @@ let fault_target t =
     converged =
       (fun () -> sessions_established t = sessions_expected t && is_converged t);
   }
+
+(* One entry per BGP-learned prefix currently resolvable in a
+   speaker's FIB (own originations carry no provenance — nothing wrote
+   them but setup). *)
+let fib_provenance t =
+  let entries =
+    Hashtbl.fold
+      (fun node _speaker acc ->
+        let own =
+          Option.value (Hashtbl.find_opt t.originated node) ~default:[]
+        in
+        List.fold_left
+          (fun acc prefix ->
+            if List.exists (Prefix.equal prefix) own then acc
+            else if
+              Option.is_some
+                (Fwd.lookup t.tables.(node) (Prefix.network prefix))
+            then
+              let cause =
+                Option.value
+                  (Hashtbl.find_opt t.fib_prov (node, prefix))
+                  ~default:Causal.none
+              in
+              (node_name t node, prefix, cause) :: acc
+            else acc)
+          acc t.prefixes)
+      t.speakers []
+  in
+  List.sort
+    (fun (n1, p1, _) (n2, p2, _) ->
+      match String.compare n1 n2 with
+      | 0 -> Prefix.compare p1 p2
+      | c -> c)
+    entries
 
 let fib_fingerprint t =
   let buf = Buffer.create 4096 in

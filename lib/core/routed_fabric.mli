@@ -115,3 +115,13 @@ val fib_fingerprint : t -> string
     next-hop link ids, in {!Horse_dataplane.Fwd.routes} order). Two
     runs that converge to identical FIBs produce identical
     fingerprints — the fault-plane determinism check. *)
+
+val node_name : t -> int -> string
+(** The topology name of a node id. *)
+
+val fib_provenance : t -> (string * Prefix.t * Causal.id) list
+(** Every BGP-learned, currently-resolvable FIB entry as
+    (node name, prefix, causal id of its last write), sorted by
+    (name, prefix). The id is {!Causal.none} when tracing is off;
+    otherwise its {!Causal.chain} runs back through the decision, the
+    UPDATE, the channel hops and (after a fault) the fault node. *)

@@ -33,6 +33,8 @@ type result = {
   registry : Horse_telemetry.Registry.t;
   injector : Horse_faults.Injector.t option;
   fib_fingerprint : string option;
+  causal : Causal.t option;
+  fib_provenance : (string * Prefix.t * Causal.id) list;
 }
 
 (* The demonstration's flow set: one UDP flow per server towards a
@@ -143,7 +145,8 @@ let setup_bgp rt (ft : Fat_tree.t) =
                 ~label:"scenario" "flow %a unroutable: %s" Flow_key.pp key msg)
         rt.keys);
   ( Some (Routed_fabric.fault_target fabric),
-    Some (fun () -> Routed_fabric.fib_fingerprint fabric) )
+    Some (fun () -> Routed_fabric.fib_fingerprint fabric),
+    Some (fun () -> Routed_fabric.fib_provenance fabric) )
 
 (* --- SDN (reactive controller) -------------------------------------- *)
 
@@ -190,7 +193,7 @@ let setup_sdn rt (ft : Fat_tree.t) te =
               start_flow rt key path;
               if Flow_key.Table.length rt.started = n then mark_converged rt))
         rt.keys);
-  (Some (sdn_fault_target fabric ft.Fat_tree.topo), None)
+  (Some (sdn_fault_target fabric ft.Fat_tree.topo), None, None)
 
 (* --- P4 (programmable pipelines) ------------------------------------- *)
 
@@ -212,13 +215,13 @@ let setup_p4 rt (ft : Fat_tree.t) =
                 ~at:(Sched.now (Experiment.scheduler rt.exp))
                 ~label:"scenario" "flow %a unroutable: %s" Flow_key.pp key msg)
         rt.keys);
-  (None, None)
+  (None, None, None)
 
 (* --- entry point ----------------------------------------------------- *)
 
 let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
     ?(flow_rate = 1e9) ?faults ~pods ~te ~duration () =
-  let (rt, injector, fingerprint), setup_wall_s =
+  let (rt, injector, fingerprint, provenance), setup_wall_s =
     Wall.time (fun () ->
         let ft = Fat_tree.build ~k:pods () in
         let exp = Experiment.create ?config ~seed ft.Fat_tree.topo in
@@ -231,7 +234,7 @@ let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
             converged_at = None;
           }
         in
-        let target, fingerprint =
+        let target, fingerprint, provenance =
           Sched.with_span (Experiment.scheduler exp) ~name:"setup" (fun () ->
               match te with
               | Bgp_ecmp -> setup_bgp rt ft
@@ -252,7 +255,7 @@ let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
                    (te_name te))
         in
         Fluid.start_sampling (Experiment.fluid exp) ~every:sample_every;
-        (rt, injector, fingerprint))
+        (rt, injector, fingerprint, provenance))
   in
   let sched_stats, run_wall_s =
     Wall.time (fun () -> Experiment.run ~until:duration rt.exp)
@@ -277,6 +280,9 @@ let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
     registry = Experiment.registry rt.exp;
     injector;
     fib_fingerprint = Option.map (fun f -> f ()) fingerprint;
+    causal = Sched.causal (Experiment.scheduler rt.exp);
+    fib_provenance =
+      (match provenance with Some f -> f () | None -> []);
   }
 
 let pp_result fmt r =

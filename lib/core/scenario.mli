@@ -10,6 +10,7 @@
     Used by the FIG3 and DEMO-TE benchmarks and the
     [datacenter_te] example. *)
 
+open Horse_net
 open Horse_engine
 open Horse_stats
 
@@ -49,6 +50,12 @@ type result = {
   fib_fingerprint : string option;
       (** BGP scenario only: digest of every final FIB, for
           determinism checks *)
+  causal : Causal.t option;
+      (** the run's causal graph when [config.causal] (the default) *)
+  fib_provenance : (string * Prefix.t * Causal.id) list;
+      (** BGP scenario only: (node, prefix, causal id) for every
+          BGP-learned FIB entry — the input to the convergence
+          explainer *)
 }
 
 val run_fat_tree_te :

@@ -99,18 +99,41 @@ let impaired_schedule t target msg =
       let delay = Time.add base (draw_jitter ()) in
       let dup = imp.duplicate > 0.0 && Rng.float rng 1.0 < imp.duplicate in
       let dup_delay = Time.add base (draw_jitter ()) in
-      if lost then t.impaired_dropped <- t.impaired_dropped + 1
+      if lost then begin
+        t.impaired_dropped <- t.impaired_dropped + 1;
+        (* Leaf node: the message's provenance ends at the lossy link. *)
+        ignore (Sched.cause_point t.sched ~kind:"chan:drop" (fun () -> ""))
+      end
       else begin
         ignore
           (Sched.schedule_after t.sched delay (fun () ->
                if t.open_ then deliver target msg));
         if dup then begin
           t.impaired_duplicated <- t.impaired_duplicated + 1;
-          ignore
-            (Sched.schedule_after t.sched dup_delay (fun () ->
-                 if t.open_ then deliver target msg))
+          (* The copy gets its own node so downstream effects of the
+             duplicate are distinguishable from the original's. *)
+          Sched.protect_cause t.sched (fun () ->
+              ignore
+                (Sched.cause_point t.sched ~kind:"chan:dup" (fun () -> ""));
+              ignore
+                (Sched.schedule_after t.sched dup_delay (fun () ->
+                     if t.open_ then deliver target msg)))
         end
       end
+
+(* chan:send detail thunks, shared per distinct message length: the
+   graph stores one closure per size ever seen instead of one per
+   message, so tracing a storm promotes a handful of closures, not
+   thousands. *)
+let len_details : (int, unit -> string) Hashtbl.t = Hashtbl.create 64
+
+let detail_of_len n =
+  match Hashtbl.find_opt len_details n with
+  | Some f -> f
+  | None ->
+      let f () = string_of_int n ^ "B" in
+      Hashtbl.add len_details n f;
+      f
 
 let send e msg =
   let t = e.chan in
@@ -118,7 +141,12 @@ let send e msg =
     t.messages <- t.messages + 1;
     t.bytes <- t.bytes + Bytes.length msg;
     (match t.observer with Some obs -> obs e.dir_out msg | None -> ());
-    impaired_schedule t e.theirs msg
+    (* Bracketed so back-to-back sends are causal siblings, not a
+       chain. *)
+    let detail = detail_of_len (Bytes.length msg) in
+    Sched.protect_cause t.sched (fun () ->
+        ignore (Sched.cause_point t.sched ~kind:"chan:send" detail);
+        impaired_schedule t e.theirs msg)
   end
 
 let send_many e msgs =
@@ -140,13 +168,25 @@ let send_many e msgs =
         | Some _ ->
             (* Per-message fates (drop/duplicate/jitter) break the
                single-event batch; fall back to per-message delivery. *)
-            List.iter (impaired_schedule t e.theirs) msgs
+            List.iter
+              (fun msg ->
+                let detail = detail_of_len (Bytes.length msg) in
+                Sched.protect_cause t.sched (fun () ->
+                    ignore (Sched.cause_point t.sched ~kind:"chan:send" detail);
+                    impaired_schedule t e.theirs msg))
+              msgs
         | None ->
             let target = e.theirs in
             (* One scheduler event delivers the whole batch in order. *)
-            ignore
-              (Sched.schedule_after t.sched t.latency (fun () ->
-                   if t.open_ then List.iter (deliver target) msgs))
+            let detail =
+              let n = List.length msgs in
+              fun () -> "batch n=" ^ string_of_int n
+            in
+            Sched.protect_cause t.sched (fun () ->
+                ignore (Sched.cause_point t.sched ~kind:"chan:send" detail);
+                ignore
+                  (Sched.schedule_after t.sched t.latency (fun () ->
+                       if t.open_ then List.iter (deliver target) msgs)))
       end
 
 let set_impairment t ~rng imp =
@@ -170,8 +210,14 @@ let set_on_close e f = e.mine.on_close <- Some f
 let close t =
   if t.open_ then begin
     t.open_ <- false;
-    (match t.a.on_close with Some f -> f () | None -> ());
-    (match t.b.on_close with Some f -> f () | None -> ());
+    (* Each side's teardown is a causal sibling of the other's — both
+       children of whatever closed the channel. *)
+    (match t.a.on_close with
+    | Some f -> Sched.protect_cause t.sched f
+    | None -> ());
+    (match t.b.on_close with
+    | Some f -> Sched.protect_cause t.sched f
+    | None -> ());
     (* A close is input too: dozing owners must get a tick to react
        (tear sessions down, start reconnecting). *)
     (match t.a.on_wake with Some w -> w () | None -> ());

@@ -55,7 +55,7 @@ let tick t f =
       "poll_ticks_total"
   in
   let p =
-    Sched.add_poller t.sched (fun () ->
+    Sched.add_poller ~name:t.proc_name t.sched (fun () ->
         if t.alive then begin
           Horse_telemetry.Registry.Counter.incr m_ticks;
           f ()

@@ -1,0 +1,161 @@
+type id = int
+
+let none : id = -1
+let is_none i = i < 0
+
+type info = { at : Time.t; kind : string; detail : string; parent : id }
+
+(* Recording happens on the scheduler's hot path; reading happens after
+   the run. The layout serves the writer:
+
+   - struct-of-arrays with unboxed int columns, so appending a node is
+     four array stores and zero minor-heap allocation — nothing for
+     the GC to promote (boxed per-node records measurably dominated
+     tracing overhead on storm runs);
+   - each column is a spine of fixed-size chunks allocated on demand
+     and never copied: growth by array doubling left the dead
+     generations as major-heap garbage, and that churn — not the
+     stores — was the residual cost of tracing;
+   - detail strings are stored as the caller's thunk and built only
+     when read ({!info}, {!chain}, {!iter}, {!hash}) — formatting
+     (prefixes, AS numbers) is the expensive part of a node. Thunks
+     are called on every read, so they must be pure: capture only
+     immutable data frozen at the call site, never state that later
+     mutates, or same-seed {!hash} determinism breaks. *)
+
+let chunk_bits = 12
+let chunk = 1 lsl chunk_bits (* 4096 entries per chunk *)
+let chunk_mask = chunk - 1
+
+type t = {
+  mutable at_us : int array array;
+  mutable kinds : string array array;
+  mutable details : (unit -> string) array array;
+  mutable parents : int array array;
+  mutable len : int;
+  max_nodes : int;
+  mutable n_dropped : int;
+}
+
+let no_detail () = ""
+
+let create ?(max_nodes = 4_000_000) () =
+  if max_nodes <= 0 then invalid_arg "Causal.create: max_nodes <= 0";
+  {
+    at_us = [||];
+    kinds = [||];
+    details = [||];
+    parents = [||];
+    len = 0;
+    max_nodes;
+    n_dropped = 0;
+  }
+
+(* Open chunk [c] in every column, doubling the (tiny) spines as
+   needed. The chunks themselves are fixed-size and live for the
+   graph's whole lifetime — nothing here is ever moved or dropped. *)
+let add_chunk t c =
+  if c >= Array.length t.at_us then begin
+    let cap' = max 8 (2 * Array.length t.at_us) in
+    let extend empty a =
+      let a' = Array.make cap' empty in
+      Array.blit a 0 a' 0 (Array.length a);
+      a'
+    in
+    t.at_us <- extend [||] t.at_us;
+    t.kinds <- extend [||] t.kinds;
+    t.details <- extend [||] t.details;
+    t.parents <- extend [||] t.parents
+  end;
+  t.at_us.(c) <- Array.make chunk 0;
+  t.kinds.(c) <- Array.make chunk "";
+  t.details.(c) <- Array.make chunk no_detail;
+  t.parents.(c) <- Array.make chunk none
+
+let node t ~at ~kind ~detail ~parent =
+  if t.len >= t.max_nodes then begin
+    t.n_dropped <- t.n_dropped + 1;
+    none
+  end
+  else begin
+    let i = t.len in
+    let c = i lsr chunk_bits and o = i land chunk_mask in
+    if o = 0 then add_chunk t c;
+    t.at_us.(c).(o) <- Time.to_us at;
+    t.kinds.(c).(o) <- kind;
+    t.details.(c).(o) <- detail;
+    (* A parent beyond the live range (dropped or foreign) degrades to
+       a root rather than a dangling edge. *)
+    t.parents.(c).(o) <- (if parent >= 0 && parent < i then parent else none);
+    t.len <- i + 1;
+    i
+  end
+
+let length t = t.len
+let dropped t = t.n_dropped
+let parent_of t i = t.parents.(i lsr chunk_bits).(i land chunk_mask)
+
+let force t i =
+  let c = i lsr chunk_bits and o = i land chunk_mask in
+  {
+    at = Time.of_us t.at_us.(c).(o);
+    kind = t.kinds.(c).(o);
+    detail = t.details.(c).(o) ();
+    parent = t.parents.(c).(o);
+  }
+
+let info t i = if i >= 0 && i < t.len then Some (force t i) else None
+
+let chain t i =
+  let rec up acc i =
+    if i < 0 || i >= t.len then acc else up (force t i :: acc) (parent_of t i)
+  in
+  up [] i
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f i (force t i)
+  done
+
+(* Block-chained digest: hash 64k-node blocks, feeding each block's
+   digest into the next, so huge graphs never materialise one giant
+   string.  Only virtual-time-deterministic fields enter. *)
+let hash t =
+  let block = 65536 in
+  let buf = Buffer.create (block * 32) in
+  let d = ref "" in
+  let flush () =
+    d := Digest.string (!d ^ Buffer.contents buf);
+    Buffer.clear buf
+  in
+  for i = 0 to t.len - 1 do
+    let c = i lsr chunk_bits and o = i land chunk_mask in
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_char buf '|';
+    Buffer.add_string buf (string_of_int t.at_us.(c).(o));
+    Buffer.add_char buf '|';
+    Buffer.add_string buf t.kinds.(c).(o);
+    Buffer.add_char buf '|';
+    Buffer.add_string buf (t.details.(c).(o) ());
+    Buffer.add_char buf '|';
+    Buffer.add_string buf (string_of_int t.parents.(c).(o));
+    Buffer.add_char buf '\n';
+    if i land (block - 1) = block - 1 then flush ()
+  done;
+  Buffer.add_string buf (Printf.sprintf "len=%d dropped=%d" t.len t.n_dropped);
+  flush ();
+  Digest.to_hex !d
+
+let pp_chain fmt hops =
+  let prev = ref None in
+  List.iter
+    (fun h ->
+      let lat =
+        match !prev with
+        | None -> 0
+        | Some p -> Time.to_us h.at - Time.to_us p.at
+      in
+      prev := Some h;
+      Format.fprintf fmt "  [%.6fs] %s %s (+%dus)@."
+        (Time.to_sec h.at) h.kind h.detail lat)
+    hops

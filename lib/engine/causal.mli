@@ -1,0 +1,77 @@
+(** The causal graph behind a run: who caused what, in virtual time.
+
+    Every schedulable occurrence the engine considers interesting — a
+    fault firing, a channel send (and its impaired duplicate or drop),
+    a protocol message being handled, a routing decision, a FIB write
+    — registers a {e node}: (virtual time, kind, detail) plus one
+    parent edge pointing at the occurrence that caused it. The result
+    is a forest rooted at spontaneous activity (timers armed at setup,
+    poller-driven sends) whose paths are provenance chains: walking a
+    FIB entry's node back to its root yields the exact
+    fault → session event → UPDATE → decision → write sequence with
+    per-hop virtual latencies.
+
+    Nodes are identified by dense integer ids in creation order.
+    Creation order is execution order, and every recorded field is a
+    pure function of virtual time, so two same-seed runs produce
+    byte-identical graphs — {!hash} is the determinism check, the
+    causal analogue of [Routed_fabric.fib_fingerprint].
+
+    The graph is append-only and capped: past [max_nodes] new nodes
+    are counted in {!dropped} and {!none} is returned, so children of
+    dropped occurrences simply root there. *)
+
+type t
+
+type id = int
+(** Dense node id; {!none} marks "no cause". *)
+
+val none : id
+val is_none : id -> bool
+
+type info = {
+  at : Time.t;  (** virtual time of the occurrence *)
+  kind : string;
+      (** ["subsystem:event"], e.g. ["chan:send"], ["bgp:update"],
+          ["fault:link_down"], ["fib:write"] — the prefix before [':']
+          buckets per-protocol latency in the explainer *)
+  detail : string;
+  parent : id;
+}
+
+val create : ?max_nodes:int -> unit -> t
+(** Default cap: 4_000_000 nodes.
+    @raise Invalid_argument if [max_nodes <= 0]. *)
+
+val node :
+  t -> at:Time.t -> kind:string -> detail:(unit -> string) -> parent:id -> id
+(** Appends a node; returns {!none} (and counts a drop) once full.
+
+    [detail] is {e not} called here: it is stored and forced on first
+    read ({!info}, {!chain}, {!iter}, {!hash}), keeping string
+    formatting off the scheduler's hot path. It must be pure — capture
+    only immutable data frozen at the call site (ints, names, prefix
+    values), never state that later mutates — or same-seed {!hash}
+    determinism breaks. *)
+
+val length : t -> int
+val dropped : t -> int
+
+val info : t -> id -> info option
+(** [None] for {!none} or an out-of-range id. *)
+
+val chain : t -> id -> info list
+(** Provenance chain of a node, root first, ending with the node
+    itself; [[]] for {!none}. *)
+
+val iter : t -> (id -> info -> unit) -> unit
+(** All nodes in id (= creation) order. *)
+
+val hash : t -> string
+(** Hex digest over every node's (at, kind, detail, parent) in id
+    order — identical across runs iff the causal graphs are
+    identical. Wall time never enters. *)
+
+val pp_chain : Format.formatter -> info list -> unit
+(** One hop per line with the virtual latency from the previous hop:
+    ["  [5.000000s] fault:link_down e1<->a1 (+0us)"]. *)

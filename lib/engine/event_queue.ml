@@ -38,6 +38,7 @@ type entry = {
   us : int;  (* Time.to_us time, cached for slot arithmetic *)
   seq : int;
   action : unit -> unit;
+  cause : int;  (* opaque causal id carried to the pop site; -1 = none *)
   mutable cancelled : bool;
   mutable loc : loc;
 }
@@ -73,6 +74,7 @@ let dummy =
     us = 0;
     seq = -1;
     action = (fun () -> ());
+    cause = -1;
     cancelled = true;
     loc = Nowhere;
   }
@@ -210,13 +212,14 @@ let insert t e =
   end
   else insert_wheel t e
 
-let make_entry t time action =
+let make_entry t time action cause =
   let e =
     {
       time;
       us = Time.to_us time;
       seq = t.next_seq;
       action;
+      cause;
       cancelled = false;
       loc = Nowhere;
     }
@@ -226,7 +229,8 @@ let make_entry t time action =
   insert t e;
   e
 
-let schedule t time action = { q = t; cur = make_entry t time action }
+let schedule t ?(cause = -1) time action =
+  { q = t; cur = make_entry t time action cause }
 
 (* Release the live-count share of a cancelled entry from whichever
    structure holds it; the entry itself is garbage-collected lazily. *)
@@ -253,7 +257,7 @@ let is_cancelled (h : handle) = h.cur.cancelled
 
 let reschedule (h : handle) at =
   retire h.q h.cur;
-  h.cur <- make_entry h.q at h.cur.action
+  h.cur <- make_entry h.q at h.cur.action h.cur.cause
 
 (* --- advancing the wheel ---------------------------------------------- *)
 
@@ -368,7 +372,7 @@ let take_due t e =
   ignore (heap_pop t.due);
   e.loc <- Nowhere;
   t.live <- t.live - 1;
-  Some (e.time, e.action)
+  Some (e.time, e.action, e.cause)
 
 let pop t =
   refill t;
@@ -398,3 +402,12 @@ let clear t =
   done;
   Array.fill t.level_live 0 levels 0;
   t.live <- 0
+
+type occupancy = { occ_due : int; occ_levels : int array; occ_overflow : int }
+
+let occupancy t =
+  {
+    occ_due = t.due.hlive;
+    occ_levels = Array.copy t.level_live;
+    occ_overflow = t.overflow.hlive;
+  }

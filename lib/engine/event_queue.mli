@@ -25,7 +25,7 @@ type handle
 
 val create : unit -> t
 
-val schedule : t -> Time.t -> (unit -> unit) -> handle
+val schedule : t -> ?cause:int -> Time.t -> (unit -> unit) -> handle
 (** [schedule q at action] enqueues [action] to run at virtual time
     [at]. *)
 
@@ -49,11 +49,22 @@ val is_empty : t -> bool
 val next_time : t -> Time.t option
 (** Timestamp of the earliest live event, without removing it. *)
 
-val pop : t -> (Time.t * (unit -> unit)) option
+val pop : t -> (Time.t * (unit -> unit) * int) option
 (** Removes and returns the earliest live event. *)
 
-val pop_until : t -> Time.t -> (Time.t * (unit -> unit)) option
+val pop_until : t -> Time.t -> (Time.t * (unit -> unit) * int) option
 (** Like {!pop} but only if the earliest live event is at or before
     the given time. *)
 
 val clear : t -> unit
+
+type occupancy = {
+  occ_due : int;  (** live events in the due heap (before [base]) *)
+  occ_levels : int array;  (** live timers per wheel level, finest first *)
+  occ_overflow : int;  (** live timers beyond the wheel horizon *)
+}
+
+val occupancy : t -> occupancy
+(** A point-in-time census of where live events sit — the source for
+    the [horse_sched_wheel_occupancy{level}] and
+    [horse_sched_overflow_heap_size] gauges. O(levels). *)

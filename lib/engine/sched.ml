@@ -14,6 +14,8 @@ type config = {
   fti_pacing : float;
   max_wall_s : float;
   fast_path : bool;
+  causal : bool;
+  profile : bool;
 }
 
 let default_config =
@@ -24,6 +26,8 @@ let default_config =
     fti_pacing = 0.0;
     max_wall_s = 0.0;
     fast_path = true;
+    causal = true;
+    profile = false;
   }
 
 type transition = {
@@ -72,6 +76,7 @@ type metrics = {
   g_end_time_s : Gauge.t;
   m_watchdog_aborts : Counter.t;
   h_fti_wall : Horse_telemetry.Histogram.t;
+  m_ff_us : Counter.t;
 }
 
 let make_metrics reg =
@@ -125,6 +130,11 @@ let make_metrics reg =
       Registry.histogram reg ~subsystem:"sched"
         ~help:"Wall-clock cost of one FTI increment, seconds" ~lo:1e-7 ~hi:1.0
         "fti_increment_wall_seconds";
+    m_ff_us =
+      counter
+        ~help:"Virtual microseconds covered by FTI fast-forward (wall saved \
+               in proportion)"
+        "fast_forwarded_us_total";
   }
 
 type wake_hint = Wake_at of Time.t | Wake_on_input | Always
@@ -146,11 +156,15 @@ type t = {
   mutable abort_flag : bool;
   mutable rev_abort_hooks : (unit -> unit) list;
   deferred : (unit -> unit) Queue.t;
+  causal_g : Causal.t option;
+  mutable cur_cause : Causal.id;
 }
 
 and poller = {
   pfn : unit -> wake_hint;
   owner : t;
+  pname : string;
+  phist : Horse_telemetry.Histogram.t option;
   mutable runnable : bool;
   mutable wake_ev : Event_queue.handle option;
 }
@@ -181,12 +195,76 @@ let create ?(config = default_config) ?registry () =
     abort_flag = false;
     rev_abort_hooks = [];
     deferred = Queue.create ();
+    causal_g = (if config.causal then Some (Causal.create ()) else None);
+    cur_cause = Causal.none;
   }
 
 let config t = t.cfg
 let now t = t.clock
 let mode t = t.cur_mode
 let registry t = t.reg
+
+(* --- causal tracing ---------------------------------------------------- *)
+
+let causal t = t.causal_g
+let current_cause t = t.cur_cause
+
+(* The ambient cause travels with scheduled work: an action wrapped at
+   schedule time re-establishes the cause that was ambient when it was
+   scheduled, so timers, deferred recomputes and delayed deliveries
+   inherit their trigger's provenance with no per-callsite wiring.
+   With tracing off the action is returned untouched — zero cost. *)
+let wrap_cause t action =
+  match t.causal_g with
+  | None -> action
+  | Some _ ->
+      let cause = t.cur_cause in
+      fun () ->
+        let saved = t.cur_cause in
+        t.cur_cause <- cause;
+        action ();
+        t.cur_cause <- saved
+
+let cause_point t ~kind detail =
+  match t.causal_g with
+  | None -> Causal.none
+  | Some g ->
+      let id =
+        Causal.node g ~at:t.clock ~kind ~detail
+          ~parent:t.cur_cause
+      in
+      t.cur_cause <- id;
+      id
+
+(* Hand-rolled save/restore rather than [Fun.protect]: these brackets
+   wrap every channel send and routing decision, and Fun.protect's
+   finally-closure allocation is measurable there. *)
+let with_cause t id f =
+  match t.causal_g with
+  | None -> f ()
+  | Some _ -> (
+      let saved = t.cur_cause in
+      t.cur_cause <- id;
+      match f () with
+      | x ->
+          t.cur_cause <- saved;
+          x
+      | exception e ->
+          t.cur_cause <- saved;
+          raise e)
+
+let protect_cause t f =
+  match t.causal_g with
+  | None -> f ()
+  | Some _ -> (
+      let saved = t.cur_cause in
+      match f () with
+      | x ->
+          t.cur_cause <- saved;
+          x
+      | exception e ->
+          t.cur_cause <- saved;
+          raise e)
 
 let with_span t ~name f =
   Horse_telemetry.Span.with_span
@@ -201,7 +279,7 @@ let with_span t ~name f =
    inside one event batch — e.g. the fluid data plane folds a burst of
    k flow starts into one fair-share solve. Callbacks may defer again;
    everything drains before time moves. *)
-let defer t f = Queue.add f t.deferred
+let defer t f = Queue.add (wrap_cause t f) t.deferred
 
 let has_deferred t = not (Queue.is_empty t.deferred)
 
@@ -210,8 +288,13 @@ let flush_deferred t =
     (Queue.pop t.deferred) ()
   done
 
+(* The ambient cause rides in the entry itself rather than in a
+   wrapping closure: closures stored in the timing wheel survive until
+   fire time, so they get promoted out of the minor heap — measurably
+   the dominant cost of tracing on storm runs. The pop sites restore
+   the cause before running the action. *)
 let schedule_at t at action =
-  Event_queue.schedule t.queue (Time.max at t.clock) action
+  Event_queue.schedule t.queue ~cause:t.cur_cause (Time.max at t.clock) action
 
 let schedule_after t delay action =
   schedule_at t (Time.add t.clock delay) action
@@ -254,8 +337,22 @@ let cancel_recurring r =
 
 (* --- demand-driven pollers -------------------------------------------- *)
 
-let add_poller t f =
-  let p = { pfn = f; owner = t; runnable = true; wake_ev = None } in
+let add_poller ?name t f =
+  let pname =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "poller-%d" (Hooks.length t.pollers)
+  in
+  let phist =
+    if t.cfg.profile then
+      Some
+        (Registry.histogram t.reg ~subsystem:"sched"
+           ~help:"Wall-clock cost of one poller tick, seconds"
+           ~labels:[ ("poller", pname) ] ~lo:1e-8 ~hi:1.0
+           "poller_tick_seconds")
+    else None
+  in
+  let p = { pfn = f; owner = t; pname; phist; runnable = true; wake_ev = None } in
   Hooks.add t.pollers p;
   t.runnable_pollers <- t.runnable_pollers + 1;
   p
@@ -295,6 +392,18 @@ let apply_hint t p hint =
    increment and wake hints are ignored. The fast path ticks only
    runnable pollers — in registration order, so waking a subset never
    reorders work — and skips the whole walk when none are runnable. *)
+let tick_one t p =
+  (* A poller tick is spontaneous activity: whatever it causes roots a
+     fresh chain, never the previous event's. *)
+  if t.causal_g <> None then t.cur_cause <- Causal.none;
+  match p.phist with
+  | None -> p.pfn ()
+  | Some h ->
+      let w0 = Wall.now () in
+      let hint = p.pfn () in
+      Horse_telemetry.Histogram.add h (Wall.now () -. w0);
+      hint
+
 let tick_pollers t =
   let n = Hooks.length t.pollers in
   if n > 0 then begin
@@ -302,7 +411,7 @@ let tick_pollers t =
       Hooks.iter
         (fun p ->
           Counter.incr t.m.m_poller_ticks;
-          ignore (p.pfn ()))
+          ignore (tick_one t p))
         t.pollers
     else if t.runnable_pollers = 0 then Counter.add t.m.m_poller_saved n
     else begin
@@ -312,7 +421,7 @@ let tick_pollers t =
           if p.runnable then begin
             incr ticked;
             Counter.incr t.m.m_poller_ticks;
-            apply_hint t p (p.pfn ())
+            apply_hint t p (tick_one t p)
           end)
         t.pollers;
       Counter.add t.m.m_poller_saved (n - !ticked)
@@ -340,6 +449,25 @@ let aborted t = t.abort_flag
 
 let snapshot t =
   Gauge.set t.m.g_end_time_s (Time.to_sec t.clock);
+  (* Timing-wheel internals, exported for the Prometheus scrape. *)
+  let occ = Event_queue.occupancy t.queue in
+  Array.iteri
+    (fun i n ->
+      Gauge.set
+        (Registry.gauge t.reg ~subsystem:"sched"
+           ~help:"Live timers per timing-wheel level"
+           ~labels:[ ("level", string_of_int i) ]
+           "wheel_occupancy")
+        (float_of_int n))
+    occ.Event_queue.occ_levels;
+  Gauge.set
+    (Registry.gauge t.reg ~subsystem:"sched"
+       ~help:"Live timers in the wheel overflow heap" "overflow_heap_size")
+    (float_of_int occ.Event_queue.occ_overflow);
+  Gauge.set
+    (Registry.gauge t.reg ~subsystem:"sched"
+       ~help:"Live events in the due heap" "wheel_due_size")
+    (float_of_int occ.Event_queue.occ_due);
   {
     events_executed = Counter.value t.m.m_events;
     fti_increments = Counter.value t.m.m_fti_increments;
@@ -403,10 +531,12 @@ let des_step t until =
       else
         match Event_queue.pop t.queue with
         | None -> false
-        | Some (time, action) ->
+        | Some (time, action, cause) ->
             t.clock <- Time.max t.clock time;
+            t.cur_cause <- cause;
             Counter.incr t.m.m_events;
             action ();
+            t.cur_cause <- Causal.none;
             true
   in
   let continue = exec () in
@@ -447,6 +577,7 @@ let fast_forward t until =
       t.clock <- Time.of_us (clock + (k * inc));
       Counter.add t.m.m_fti_increments k;
       Counter.add t.m.m_fti_skipped k;
+      Counter.add t.m.m_ff_us (k * inc);
       Counter.add t.m.m_poller_saved (k * Hooks.length t.pollers)
     end
   end
@@ -472,10 +603,12 @@ let fti_step t until =
     end
     else
       match Event_queue.pop_until t.queue target with
-      | Some (time, action) ->
+      | Some (time, action, cause) ->
           t.clock <- Time.max t.clock time;
+          t.cur_cause <- cause;
           Counter.incr t.m.m_events;
           action ();
+          t.cur_cause <- Causal.none;
           drain ()
       | None -> ()
   in

@@ -59,6 +59,20 @@ type config = {
           for A/B comparisons; results (event order, FIBs, the mode
           timeline, [fti_increments]) are identical either way, only
           wall cost differs. *)
+  causal : bool;
+      (** default [true]: record the causal graph — every interesting
+          occurrence ({!cause_point}) becomes a node whose parent is
+          the occurrence that caused it, with the edge carried
+          automatically through {!schedule_at}, {!defer} and {!every}.
+          [false] makes every causal primitive a no-op (no nodes, no
+          detail strings formatted, behaviour byte-identical — only
+          wall cost differs, A/B'd by [bench trace-overhead]). *)
+  profile : bool;
+      (** default [false]: record a per-poller wall-cost histogram
+          ([horse_sched_poller_tick_seconds{poller=...}]) on every
+          tick — the scheduler self-profiler. Off by default because
+          two [Wall.now] calls per tick are measurable on storm
+          workloads. *)
 }
 
 val default_config : config
@@ -119,6 +133,44 @@ val registry : t -> Horse_telemetry.Registry.t
     this scheduler (Connection Manager, speakers, the fluid data
     plane) register their own metrics here. *)
 
+(** {2 Causal tracing}
+
+    When [config.causal] is set the scheduler owns a {!Causal.t} and
+    an {e ambient cause} — the id of the occurrence responsible for
+    whatever code is currently running. {!cause_point} records a new
+    occurrence under the ambient cause and makes it ambient;
+    {!schedule_at}, {!schedule_after}, {!every} and {!defer} capture
+    the ambient cause at registration and restore it when the action
+    fires, so provenance follows timers, delayed deliveries and
+    coalesced recomputes for free. Poller ticks reset the ambient
+    cause — poller-driven activity roots fresh chains. With tracing
+    off, every primitive here is a no-op returning {!Causal.none}. *)
+
+val causal : t -> Causal.t option
+(** The causal graph, when tracing is enabled. *)
+
+val current_cause : t -> Causal.id
+(** The ambient cause ({!Causal.none} when tracing is off or nothing
+    interesting is on the stack). *)
+
+val cause_point : t -> kind:string -> (unit -> string) -> Causal.id
+(** [cause_point t ~kind detail] records an occurrence at the current
+    virtual time under the ambient cause and makes it the new ambient
+    cause. [detail] is a thunk so the string is never built with
+    tracing off. Callers creating {e sibling} points in a loop must
+    wrap each iteration in {!protect_cause}, or the siblings chain
+    under one another. *)
+
+val with_cause : t -> Causal.id -> (unit -> 'a) -> 'a
+(** Runs [f] with the given ambient cause, restoring the previous one
+    after (exception-safe). Used to re-attach work to a cause captured
+    earlier — e.g. a message sitting in a mailbox. *)
+
+val protect_cause : t -> (unit -> 'a) -> 'a
+(** Runs [f] and restores the ambient cause afterwards
+    (exception-safe), without changing it first — the save/restore
+    bracket for loops that create sibling {!cause_point}s. *)
+
 val snapshot : t -> stats
 (** The current statistics view over the registry, readable at any
     point (including mid-run, from an event). *)
@@ -176,8 +228,10 @@ type wake_hint =
 type poller
 (** A registered poller: runnable or dozing. *)
 
-val add_poller : t -> (unit -> wake_hint) -> poller
-(** Registers a per-FTI-increment tick callback. Pollers model the
+val add_poller : ?name:string -> t -> (unit -> wake_hint) -> poller
+(** Registers a per-FTI-increment tick callback. [?name] labels the
+    poller in the self-profiler's histograms (default
+    ["poller-<index>"]). Pollers model the
     scheduling quantum an emulated process receives; they run only in
     FTI mode, once per increment, in registration order. Each tick
     returns a wake hint; with [fast_path] the scheduler skips dozing

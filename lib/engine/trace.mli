@@ -25,6 +25,13 @@ val create : ?capacity:int -> unit -> t
     entries otherwise.
     @raise Invalid_argument if [capacity <= 0]. *)
 
+val bind_registry : t -> Horse_telemetry.Registry.t -> unit
+(** Mirrors this trace's totals as [horse_trace_entries_total] and
+    [horse_trace_dropped_total] counters in [reg] (past activity is
+    credited immediately), so ring-buffer evictions — previously
+    visible only via {!dropped} — surface in every metrics export and
+    trip the [Report] warning. *)
+
 val add : t -> at:Time.t -> label:string -> string -> unit
 
 val addf :

@@ -20,7 +20,12 @@ type target = {
   converged : unit -> bool;
 }
 
-type record = { at : Time.t; label : string; applied : bool }
+type record = {
+  at : Time.t;
+  label : string;
+  applied : bool;
+  cause : Causal.id;
+}
 
 type t = {
   sched : Sched.t;
@@ -101,10 +106,19 @@ let fire t (action : Plan.action) =
   let kind = Plan.action_kind action in
   let label = Plan.action_label action in
   let at = Sched.now t.sched in
+  (* The fault node roots the provenance chain of everything its
+     application triggers — session teardowns, withdrawals, FIB
+     churn. Protected: consecutive faults are siblings. *)
+  let cause = ref Causal.none in
   let applied =
-    Sched.with_span t.sched ~name:("fault:" ^ kind) (fun () -> apply t action)
+    Sched.protect_cause t.sched (fun () ->
+        cause :=
+          Sched.cause_point t.sched ~kind:("fault:" ^ kind) (fun () -> label);
+        Sched.with_span t.sched
+          ~name:("fault:" ^ kind)
+          (fun () -> apply t action))
   in
-  t.rev_trace <- { at; label; applied } :: t.rev_trace;
+  t.rev_trace <- { at; label; applied; cause = !cause } :: t.rev_trace;
   if applied then begin
     t.n_injected <- t.n_injected + 1;
     t.last_at <- Some at;

@@ -41,7 +41,14 @@ type target = {
 (** Callbacks return whether the fault applied ([false] = unknown
     name or inapplicable state; recorded as skipped, not an error). *)
 
-type record = { at : Time.t; label : string; applied : bool }
+type record = {
+  at : Time.t;
+  label : string;
+  applied : bool;
+  cause : Causal.id;
+      (** root of the fault's causal subtree; {!Causal.none} when
+          tracing is off or the action did not apply *)
+}
 
 type t
 

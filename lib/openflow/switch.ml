@@ -40,6 +40,7 @@ type t = {
   mutable flow_mods : int;
   mutable started : bool;
   down_ports : (int, unit) Hashtbl.t;
+  mutable rev_flow_prov : (Ofmsg.flow_mod * Causal.id) list;
 }
 
 let now t = Sched.now (Process.scheduler t.proc)
@@ -65,11 +66,18 @@ let handle t msg xid =
   | Ofmsg.Flow_mod fm ->
       t.flow_mods <- t.flow_mods + 1;
       Counter.incr t.m.m_flow_mods;
-      let before = Flow_table.size t.table in
-      Flow_table.apply_flow_mod t.table ~now:(now t) fm;
-      Gauge.add t.m.g_table (float_of_int (Flow_table.size t.table - before));
-      tracef t "flow_mod applied (table size %d)" (Flow_table.size t.table);
-      List.iter (fun f -> f fm) t.flow_mod_hooks
+      Sched.protect_cause (Process.scheduler t.proc) (fun () ->
+          let cause =
+            Sched.cause_point (Process.scheduler t.proc) ~kind:"of:flow_mod"
+              (fun () -> Printf.sprintf "dpid=%d" t.dpid)
+          in
+          t.rev_flow_prov <- (fm, cause) :: t.rev_flow_prov;
+          let before = Flow_table.size t.table in
+          Flow_table.apply_flow_mod t.table ~now:(now t) fm;
+          Gauge.add t.m.g_table
+            (float_of_int (Flow_table.size t.table - before));
+          tracef t "flow_mod applied (table size %d)" (Flow_table.size t.table);
+          List.iter (fun f -> f fm) t.flow_mod_hooks)
   | Ofmsg.Packet_out po -> List.iter (fun f -> f po) t.packet_out_hooks
   | Ofmsg.Stats_request (Ofmsg.Flow_stats_req m) ->
       let entries = Flow_table.matching_entries t.table m in
@@ -149,6 +157,7 @@ let create ?trace proc ~dpid ~ports endpoint =
       flow_mods = 0;
       started = false;
       down_ports = Hashtbl.create 4;
+      rev_flow_prov = [];
     }
   in
   Channel.set_receiver endpoint (fun bytes -> receive t bytes);
@@ -202,15 +211,19 @@ let lookup t fields = Flow_table.lookup t.table fields
 let packet_in t ~in_port ?(reason = 0) data =
   t.packet_ins <- t.packet_ins + 1;
   Counter.incr t.m.m_packet_ins;
-  send t
-    (Ofmsg.Packet_in
-       {
-         buffer_id = 0xFFFFFFFF;
-         total_len = Bytes.length data;
-         in_port;
-         reason;
-         data;
-       })
+  Sched.protect_cause (Process.scheduler t.proc) (fun () ->
+      ignore
+        (Sched.cause_point (Process.scheduler t.proc) ~kind:"of:packet_in"
+           (fun () -> Printf.sprintf "dpid=%d port=%d" t.dpid in_port));
+      send t
+        (Ofmsg.Packet_in
+           {
+             buffer_id = 0xFFFFFFFF;
+             total_len = Bytes.length data;
+             in_port;
+             reason;
+             data;
+           }))
 
 let on_flow_mod t f = t.flow_mod_hooks <- t.flow_mod_hooks @ [ f ]
 let on_packet_out t f = t.packet_out_hooks <- t.packet_out_hooks @ [ f ]
@@ -219,3 +232,4 @@ let set_flow_stats_provider t f = t.flow_stats_provider <- Some f
 let set_port_stats_provider t f = t.port_stats_provider <- Some f
 let packet_ins_sent t = t.packet_ins
 let flow_mods_received t = t.flow_mods
+let flow_provenance t = List.rev t.rev_flow_prov

@@ -69,3 +69,8 @@ val set_port_stats_provider : t -> (int -> Ofmsg.port_stats) -> unit
 
 val packet_ins_sent : t -> int
 val flow_mods_received : t -> int
+
+val flow_provenance : t -> (Ofmsg.flow_mod * Causal.id) list
+(** Every FLOW_MOD applied, oldest first, paired with its causal node
+    — walk the chain to recover the PACKET_IN (or fault) that produced
+    it. Ids are {!Causal.none} when tracing is off. *)

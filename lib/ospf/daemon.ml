@@ -205,7 +205,11 @@ let run_spf t =
   if not (routes_equal fresh t.route_cache) then begin
     t.route_cache <- fresh;
     tracef t "routing table changed: %d routes" (List.length fresh);
-    List.iter (fun f -> f fresh) t.route_hooks
+    Sched.protect_cause (Process.scheduler t.proc) (fun () ->
+        ignore
+          (Sched.cause_point (Process.scheduler t.proc) ~kind:"ospf:spf"
+             (fun () -> Printf.sprintf "%d routes" (List.length fresh)));
+        List.iter (fun f -> f fresh) t.route_hooks)
   end
 
 let schedule_spf t =
@@ -245,6 +249,11 @@ let originate t =
 
 let set_neighbor_state t iface state =
   if iface.nbr_state <> state then begin
+    ignore
+      (Sched.cause_point (Process.scheduler t.proc) ~kind:"ospf:adj"
+         (fun () ->
+           Format.asprintf "iface %d -> %a" iface.iface_id pp_neighbor_state
+             state));
     tracef t "interface %d neighbor %s -> %a" iface.iface_id
       (match iface.nbr_id with Some r -> Ipv4.to_string r | None -> "?")
       pp_neighbor_state state;
@@ -300,6 +309,10 @@ let handle_hello t iface sender (h : Ospf_msg.hello) =
 let handle_update t iface lsas =
   t.updates_received <- t.updates_received + 1;
   Counter.incr t.m.rx_update;
+  ignore
+    (Sched.cause_point (Process.scheduler t.proc) ~kind:"ospf:lsa" (fun () ->
+         Printf.sprintf "%d LSAs via iface %d" (List.length lsas)
+           iface.iface_id));
   let to_ack = ref [] in
   List.iter
     (fun (lsa : Ospf_msg.lsa) ->

@@ -85,7 +85,7 @@ let prop_rng_float_bounds =
 let drain_all q =
   let rec go () =
     match Event_queue.pop q with
-    | Some (_, action) ->
+    | Some (_, action, _) ->
         action ();
         go ()
     | None -> ()
@@ -144,7 +144,7 @@ let prop_queue_sorted =
       let rec drain last =
         match Event_queue.pop q with
         | None -> true
-        | Some (at, _) -> Time.(at >= last) && drain at
+        | Some (at, _, _) -> Time.(at >= last) && drain at
       in
       drain Time.zero)
 
@@ -165,7 +165,8 @@ let test_queue_size_after_cancel () =
      completion timers that may have fired). *)
   let h_popped = List.nth handles 1 in
   (match Event_queue.pop q with
-  | Some (at, _) -> check Alcotest.int "popped earliest live" 1 (Time.to_us at / 1000)
+  | Some (at, _, _) ->
+      check Alcotest.int "popped earliest live" 1 (Time.to_us at / 1000)
   | None -> Alcotest.fail "expected a live event");
   check Alcotest.int "pop decrements" 4 (Event_queue.size q);
   Event_queue.cancel h_popped;
@@ -195,7 +196,7 @@ let test_queue_compaction_preserves_order () =
   let rec drain last n =
     match Event_queue.pop q with
     | None -> n
-    | Some (at, action) ->
+    | Some (at, action, _) ->
         check Alcotest.bool "non-decreasing after compaction" true
           Time.(at >= last);
         action ();
@@ -217,7 +218,7 @@ let test_queue_reschedule () =
   Event_queue.reschedule c (Time.of_ms 5);
   check Alcotest.int "reschedule keeps size" 3 (Event_queue.size q);
   (match Event_queue.pop q with
-  | Some (at, action) ->
+  | Some (at, action, _) ->
       check Alcotest.int "earliest is re-aimed c" 5 (Time.to_us at / 1000);
       action ()
   | None -> Alcotest.fail "expected an event");
@@ -278,7 +279,7 @@ let prop_wheel_matches_heap =
           | Some u -> Heap_queue.pop_until heap u
         in
         match (w, h) with
-        | Some (tw, aw), Some (th, ah) ->
+        | Some (tw, aw, _), Some (th, ah) ->
             if not (Time.equal tw th) then ok := false;
             aw ();
             ah ();
