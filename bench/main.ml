@@ -18,15 +18,30 @@ let fmt = Format.std_formatter
 
 let section title = Format.fprintf fmt "@.== %s ==@.@." title
 
+(* Every artefact records its execution environment — how many domains
+   the run used and how many cores the host offers — because wall
+   times and speedups are meaningless without them. *)
+let env_fields ?(domains = 1) () =
+  let module Json = Horse_telemetry.Json in
+  [
+    ("domains", Json.Int domains);
+    ("cores", Json.Int (Domain.recommended_domain_count ()));
+  ]
+
 (* Machine-readable telemetry snapshot for one benchmark run: the full
    registry (metrics + spans) as one JSON object in results/. *)
-let write_snapshot name reg =
+let write_snapshot ?domains name reg =
   (try Unix.mkdir "results" 0o755
    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let path = Printf.sprintf "results/BENCH_%s.json" name in
   let oc = open_out path in
-  output_string oc
-    (Horse_telemetry.Json.to_string (Horse_telemetry.Export.json reg));
+  let j =
+    match Horse_telemetry.Export.json reg with
+    | Horse_telemetry.Json.Obj fields ->
+        Horse_telemetry.Json.Obj (env_fields ?domains () @ fields)
+    | other -> other
+  in
+  output_string oc (Horse_telemetry.Json.to_string j);
   output_char oc '\n';
   close_out oc;
   Format.fprintf fmt "telemetry snapshot written to %s@." path
@@ -364,6 +379,98 @@ let ablation_placer () =
 (* SCALING: Horse-only wall time vs topology size                      *)
 (* ------------------------------------------------------------------ *)
 
+(* The multicore A/B: the same 12-pod sharded BGP experiment executed
+   by 1, 2 and 4 domains. Whatever the hardware, the determinism
+   oracle must hold (byte-identical fingerprint, causal hash, mode
+   timelines, fault traces across domain counts); the wall speedup is
+   reported against the recorded core count — on a single-core host
+   the pool can only add overhead, and the artefact says so. *)
+let multicore_scaling () =
+  section "MULTICORE — sharded BGP fat-tree across domains (lockstep barriers)";
+  let pods = 12 in
+  let duration = Time.of_sec 20.0 in
+  let cores = Domain.recommended_domain_count () in
+  let runs =
+    List.map
+      (fun domains ->
+        (domains, Multicore.run_fat_tree ~pods ~domains ~duration ()))
+      [ 1; 2; 4 ]
+  in
+  let base = List.assoc 1 runs in
+  Format.fprintf fmt "%d cores available; pods=%d shards=%d sessions=%d@.@."
+    cores pods base.Multicore.shards base.Multicore.sessions_total;
+  Format.fprintf fmt "%-8s %10s %10s %8s %8s %12s %8s@." "domains" "wall(s)"
+    "speedup" "epochs" "jumps" "cross-msgs" "match";
+  let deterministic = ref true in
+  List.iter
+    (fun (domains, (r : Multicore.result)) ->
+      let same =
+        r.Multicore.fib_fingerprint = base.Multicore.fib_fingerprint
+        && r.Multicore.causal_hash = base.Multicore.causal_hash
+        && r.Multicore.timelines = base.Multicore.timelines
+        && r.Multicore.fault_trace = base.Multicore.fault_trace
+      in
+      if not same then deterministic := false;
+      Format.fprintf fmt "%-8d %10.3f %10.2f %8d %8d %12d %8s@." domains
+        r.Multicore.run_wall_s
+        (base.Multicore.run_wall_s /. Float.max 1e-9 r.Multicore.run_wall_s)
+        r.Multicore.epochs r.Multicore.jumps r.Multicore.cross_messages
+        (if same then "OK" else "DIVERGED"))
+    runs;
+  let module Json = Horse_telemetry.Json in
+  let run_json (domains, (r : Multicore.result)) =
+    Json.Obj
+      [
+        ("domains", Json.Int domains);
+        ("run_wall_s", Json.Float r.Multicore.run_wall_s);
+        ("setup_wall_s", Json.Float r.Multicore.setup_wall_s);
+        ( "speedup_vs_domains1",
+          Json.Float
+            (base.Multicore.run_wall_s /. Float.max 1e-9 r.Multicore.run_wall_s)
+        );
+        ("epochs", Json.Int r.Multicore.epochs);
+        ("jumps", Json.Int r.Multicore.jumps);
+        ("cross_messages", Json.Int r.Multicore.cross_messages);
+        ( "converged_s",
+          match r.Multicore.converged_at with
+          | Some t -> Json.Float (Time.to_sec t)
+          | None -> Json.Null );
+        ("fib_fingerprint", Json.String r.Multicore.fib_fingerprint);
+        ("causal_hash", Json.String r.Multicore.causal_hash);
+      ]
+  in
+  let j =
+    Json.Obj
+      [
+        ("bench", Json.String "multicore");
+        ("cores", Json.Int cores);
+        ("pods", Json.Int pods);
+        ("shards", Json.Int base.Multicore.shards);
+        ("partition", Json.String base.Multicore.partition_name);
+        ("duration_s", Json.Float (Time.to_sec duration));
+        ("sessions", Json.Int base.Multicore.sessions_total);
+        ("control_messages", Json.Int base.Multicore.control_messages);
+        ("determinism_ok", Json.Bool !deterministic);
+        ("runs", Json.List (List.map run_json runs));
+      ]
+  in
+  (try Unix.mkdir "results" 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = "results/BENCH_multicore.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "artifact written to %s@." path;
+  if not !deterministic then begin
+    Format.fprintf fmt "multicore determinism check FAILED@.";
+    exit 1
+  end;
+  Format.fprintf fmt
+    "@.shape check: every domain count reproduces the domains=1 run \
+     byte-for-byte; wall speedup tracks the recorded core count (%d here)@."
+    cores
+
 let scaling () =
   section "SCALING — Horse wall time vs fat-tree size (no FTI pacing)";
   Format.fprintf fmt "%-6s %8s %10s %12s %14s@." "pods" "hosts" "flows"
@@ -381,7 +488,8 @@ let scaling () =
     [ 4; 6; 8; 10; 12 ];
   Format.fprintf fmt
     "@.shape check: wall time grows polynomially with size but stays seconds \
-     at 432 hosts — the scalability headroom emulators lack@."
+     at 432 hosts — the scalability headroom emulators lack@.";
+  multicore_scaling ()
 
 (* ------------------------------------------------------------------ *)
 (* FAILURE: traffic during a control-plane fault and repair            *)
@@ -939,6 +1047,8 @@ let failure_storm ~full =
     Json.Obj
       [
         ("bench", Json.String "failure_storm");
+        ("domains", Json.Int 1);
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
         ("pods", Json.Int pods);
         ("duration_s", Json.Float (Time.to_sec duration));
         ("plan", Plan.to_json plan);
@@ -1106,6 +1216,8 @@ let sched_storm ~full =
     Json.Obj
       [
         ("bench", Json.String "sched_fastpath");
+        ("domains", Json.Int 1);
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
         ("pods", Json.Int pods);
         ("duration_s", Json.Float (Time.to_sec duration));
         ("eager", run_json eager);
@@ -1248,6 +1360,8 @@ let trace_overhead ~full =
     Json.Obj
       [
         ("bench", Json.String "trace_overhead");
+        ("domains", Json.Int 1);
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
         ("pods", Json.Int pods);
         ("duration_s", Json.Float (Time.to_sec duration));
         ("reps", Json.Int reps);
@@ -1450,7 +1564,8 @@ let () =
   let known =
     [ "fig1"; "fig3"; "te"; "ablation-timeout"; "ablation-increment";
       "protocols"; "ablation-placer"; "scaling"; "fct"; "failure"; "churn";
-      "bgp-scale"; "failure-storm"; "sched-storm"; "trace-overhead"; "micro" ]
+      "bgp-scale"; "failure-storm"; "sched-storm"; "trace-overhead";
+      "multicore"; "micro" ]
   in
   let commands = List.filter (fun a -> List.mem a known) args in
   let commands = if commands = [] then known else commands in
@@ -1472,6 +1587,7 @@ let () =
       | "failure-storm" -> failure_storm ~full
       | "sched-storm" -> sched_storm ~full
       | "trace-overhead" -> trace_overhead ~full
+      | "multicore" -> multicore_scaling ()
       | "micro" -> micro ()
       | _ -> ())
     commands

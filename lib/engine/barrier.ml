@@ -1,0 +1,250 @@
+(* Deterministic lockstep driver for sharded experiments.
+
+   Time is cut into epochs delimited by barrier instants B_0 < B_1 <
+   ... on a fixed grid (multiples of the quantum above the start
+   time). During epoch (B_i, B_i+1] every shard runs its own scheduler
+   independently — on its own domain when [domains > 1] — and buffers
+   any cross-shard work it produces into a per-(src, dst) mailbox. At
+   the barrier, with every shard parked, the coordinator drains the
+   mailboxes in (src, dst) index order and schedules each item into
+   its destination scheduler. Because the items of one mailbox are
+   appended by exactly one domain (the source shard's) in its
+   deterministic execution order, and the drain order over mailboxes
+   is fixed, the destination sees remote work at a virtual time and in
+   a sequence that depend only on the experiment — never on how the
+   domains interleaved in wall time.
+
+   Causal safety is the conservative-lookahead argument: a message
+   posted during epoch (B, B'] carries a delivery time >= send time +
+   link latency, and every cross-shard link must have latency >= the
+   quantum, so the delivery lands strictly after B' — i.e. in an epoch
+   that has not started when the item is drained. Nothing is ever
+   delivered into a shard's past. *)
+
+type mailbox = { mutable rev_items : (Time.t * (unit -> unit)) list }
+
+type t = {
+  shards : Shard.t array;
+  boxes : mailbox array array;  (* [src].(dst) — single writer: src *)
+  quantum : Time.t;
+  mutable clock : Time.t;  (* last barrier instant *)
+  mutable epochs : int;
+  mutable jumps : int;  (* epochs extended past one quantum *)
+  mutable posted : int;
+  mutable delivered : int;
+  mutable stop_requested : bool;
+}
+
+let create ?(quantum = Time.of_ms 1) shards =
+  if Array.length shards = 0 then invalid_arg "Barrier.create: no shards";
+  if Time.(quantum <= Time.zero) then
+    invalid_arg "Barrier.create: quantum must be positive";
+  let n = Array.length shards in
+  Array.iteri
+    (fun i sh ->
+      if Shard.index sh <> i then
+        invalid_arg "Barrier.create: shard indices must match positions")
+    shards;
+  {
+    shards;
+    boxes =
+      Array.init n (fun _ -> Array.init n (fun _ -> { rev_items = [] }));
+    quantum;
+    clock = Time.zero;
+    epochs = 0;
+    jumps = 0;
+    posted = 0;
+    delivered = 0;
+    stop_requested = false;
+  }
+
+let shards t = t.shards
+let n_shards t = Array.length t.shards
+let quantum t = t.quantum
+let epochs t = t.epochs
+let jumps t = t.jumps
+let cross_messages t = t.delivered
+let now t = t.clock
+let stop t = t.stop_requested <- true
+
+(* Called from [src]'s domain while its epoch runs (or from the
+   coordinator during setup). No lock: the mailbox has exactly one
+   writer per epoch, and the barrier handshake publishes the items to
+   the coordinator. *)
+let post t ~src ~dst ~at thunk =
+  let box = t.boxes.(src).(dst) in
+  box.rev_items <- (at, thunk) :: box.rev_items;
+  t.posted <- t.posted + 1
+
+(* Drain in fixed (src, dst) order, per-box in send order. Runs on the
+   coordinator with every shard parked; [Sched.schedule_at] clamps a
+   delivery time the destination already passed (possible only for
+   setup-time posts) to its clock. *)
+let drain t =
+  Array.iteri
+    (fun _src row ->
+      Array.iteri
+        (fun dst box ->
+          match box.rev_items with
+          | [] -> ()
+          | rev ->
+              box.rev_items <- [];
+              let dst_sched = Shard.sched t.shards.(dst) in
+              List.iter
+                (fun (at, thunk) ->
+                  t.delivered <- t.delivered + 1;
+                  ignore (Sched.schedule_at dst_sched at thunk))
+                (List.rev rev))
+        row)
+    t.boxes
+
+(* The next barrier instant: one quantum ahead by default, further —
+   but always on the quantum grid, so FTI increments never get clipped
+   mid-step — when every shard is provably idle until some later time.
+   The grid jump mirrors Sched's own FTI fast-forward one level up. *)
+let next_target t ~until =
+  let base = Time.min (Time.add t.clock t.quantum) until in
+  let t_min =
+    Array.fold_left
+      (fun acc sh ->
+        match Sched.next_activity (Shard.sched sh) with
+        | None -> acc
+        | Some ta -> (
+            match acc with
+            | None -> Some ta
+            | Some b -> Some (Time.min b ta)))
+      None t.shards
+  in
+  match t_min with
+  | None ->
+      if Time.(until > base) then t.jumps <- t.jumps + 1;
+      until
+  | Some ta when Time.(ta <= base) -> base
+  | Some ta ->
+      let q = Time.to_us t.quantum in
+      let k = (Time.to_us ta - Time.to_us t.clock) / q in
+      let target = Time.add t.clock (Time.of_us (k * q)) in
+      t.jumps <- t.jumps + 1;
+      Time.min target until
+
+let any_aborted t =
+  Array.exists (fun sh -> Sched.aborted (Shard.sched sh)) t.shards
+
+(* --- sequential vehicle (domains = 1) -------------------------------- *)
+
+let run_epochs_seq t ~until =
+  while Time.(t.clock < until) && (not t.stop_requested) && not (any_aborted t)
+  do
+    let target = next_target t ~until in
+    Array.iter
+      (fun sh -> ignore (Sched.run ~until:target (Shard.sched sh)))
+      t.shards;
+    t.clock <- target;
+    t.epochs <- t.epochs + 1;
+    drain t
+  done
+
+(* --- parallel vehicle (domains > 1) ----------------------------------- *)
+
+(* A persistent pool: workers park on a condition variable between
+   epochs instead of paying a Domain.spawn per epoch. Worker [w] owns
+   shards {s | s mod workers = w}; the coordinator doubles as worker
+   0. The mutex handshake is also the memory-model publication point
+   for everything a worker wrote during its epoch (shard state and
+   mailbox items): the coordinator only reads after the worker's
+   finish increment, and workers only resume after the coordinator's
+   next broadcast, which happens after the drain. *)
+let run_epochs_par t ~until ~workers =
+  let n = Array.length t.shards in
+  let m = Mutex.create () in
+  let cv_start = Condition.create () in
+  let cv_done = Condition.create () in
+  let generation = ref 0 in
+  let target = ref t.clock in
+  let finished = ref 0 in
+  let quit = ref false in
+  let failure : exn option ref = ref None in
+  let record_failure e =
+    Mutex.lock m;
+    if !failure = None then failure := Some e;
+    Mutex.unlock m
+  in
+  let run_share w tgt =
+    let i = ref w in
+    while !i < n do
+      (try ignore (Sched.run ~until:tgt (Shard.sched t.shards.(!i)))
+       with e -> record_failure e);
+      i := !i + workers
+    done
+  in
+  let worker w () =
+    let seen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock m;
+      while !generation = !seen && not !quit do
+        Condition.wait cv_start m
+      done;
+      if !quit then begin
+        Mutex.unlock m;
+        running := false
+      end
+      else begin
+        seen := !generation;
+        let tgt = !target in
+        Mutex.unlock m;
+        run_share w tgt;
+        Mutex.lock m;
+        incr finished;
+        if !finished = workers - 1 then Condition.signal cv_done;
+        Mutex.unlock m
+      end
+    done
+  in
+  let domains =
+    Array.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  in
+  let release () =
+    Mutex.lock m;
+    quit := true;
+    Condition.broadcast cv_start;
+    Mutex.unlock m;
+    Array.iter Domain.join domains
+  in
+  Fun.protect ~finally:release (fun () ->
+      while
+        Time.(t.clock < until)
+        && (not t.stop_requested)
+        && (not (any_aborted t))
+        && !failure = None
+      do
+        let tgt = next_target t ~until in
+        Mutex.lock m;
+        target := tgt;
+        incr generation;
+        finished := 0;
+        Condition.broadcast cv_start;
+        Mutex.unlock m;
+        run_share 0 tgt;
+        Mutex.lock m;
+        while !finished < workers - 1 do
+          Condition.wait cv_done m
+        done;
+        Mutex.unlock m;
+        t.clock <- tgt;
+        t.epochs <- t.epochs + 1;
+        drain t
+      done;
+      match !failure with Some e -> raise e | None -> ())
+
+let run ?(domains = 1) ~until t =
+  if domains < 1 then invalid_arg "Barrier.run: domains must be >= 1";
+  (* Setup-time posts (cross-shard wiring done before the run) land
+     before the first epoch. *)
+  drain t;
+  let workers = min domains (Array.length t.shards) in
+  if workers <= 1 then run_epochs_seq t ~until
+  else run_epochs_par t ~until ~workers;
+  (* Items destined past the horizon: park them in the destination
+     queues like any other future event. *)
+  drain t

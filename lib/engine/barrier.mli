@@ -1,0 +1,68 @@
+(** Deterministic lockstep execution of shards over OCaml domains.
+
+    The barrier cuts virtual time into epochs on a fixed quantum grid.
+    Within an epoch every {!Shard} runs its own scheduler
+    independently (in parallel when [domains > 1]); cross-shard work
+    is {!post}ed into per-(src, dst) mailboxes and delivered — in
+    fixed (src, dst) order, per-mailbox in send order — only at the
+    barrier, while every shard is parked. Delivery order and timing
+    are therefore a pure function of the experiment (seed, plan,
+    partition), never of domain interleaving: running with [domains =
+    1] and [domains = N] produces byte-identical results, which is the
+    determinism oracle the differential tests assert.
+
+    Causal safety requires every cross-shard link latency to be at
+    least the quantum (conservative lookahead): a message posted
+    during an epoch is then always delivered in an epoch that has not
+    started yet. The {!Horse_emulation.Channel} split constructor
+    enforces this.
+
+    When every shard is provably idle ({!Sched.next_activity}) the
+    next barrier jumps forward on the quantum grid instead of stepping
+    — the epoch-level analogue of the scheduler's FTI fast-forward. *)
+
+type t
+
+val create : ?quantum:Time.t -> Shard.t array -> t
+(** [create shards] builds a barrier over the shards (default quantum
+    1 ms, matching the default FTI increment). Shard [i] must sit at
+    position [i].
+    @raise Invalid_argument on an empty array, a non-positive quantum,
+    or misnumbered shards. *)
+
+val post : t -> src:int -> dst:int -> at:Time.t -> (unit -> unit) -> unit
+(** Buffer [thunk] for execution on shard [dst]'s scheduler at virtual
+    time [at] (clamped forward if [dst] has passed it by delivery
+    time). Must be called from [src]'s domain during its epoch, or
+    from the coordinator outside {!run} — the mailbox is unlocked and
+    relies on that single-writer discipline. *)
+
+val run : ?domains:int -> until:Time.t -> t -> unit
+(** Drive every shard to exactly [until]. [domains = 1] (default)
+    executes shards round-robin on the calling domain — the sequential
+    reference vehicle; [domains = N] distributes shards over [N]
+    domains ([N] is capped at the shard count). The epoch structure is
+    identical either way. Returns early if {!stop} was called or any
+    shard's wall-clock watchdog aborted; re-raises the first exception
+    a shard's event handler threw.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val stop : t -> unit
+(** Makes {!run} return at the next epoch boundary. *)
+
+val shards : t -> Shard.t array
+val n_shards : t -> int
+val quantum : t -> Time.t
+
+val now : t -> Time.t
+(** The last barrier instant reached. *)
+
+val epochs : t -> int
+(** Epochs executed so far. *)
+
+val jumps : t -> int
+(** Epochs that covered more than one quantum because every shard was
+    provably idle. *)
+
+val cross_messages : t -> int
+(** Mailbox items delivered across shards so far. *)

@@ -443,6 +443,27 @@ let control_activity ?(reason = "control-plane activity") t =
   | Fti -> ()
   | Des -> record_transition t Fti reason
 
+(* The barrier driver's lookahead probe: the earliest virtual time at
+   which this scheduler could possibly do anything (and therefore emit
+   a cross-shard message). Conservative by construction — deferred
+   work and runnable pollers mean "now"; an idle FTI scheduler is
+   still bounded by its quiet-timeout transition, which the epoch loop
+   must not jump over. [None] means fully idle: no event will ever
+   fire without outside input. *)
+let next_activity t =
+  if has_deferred t then Some t.clock
+  else
+    match t.cur_mode with
+    | Des -> Event_queue.next_time t.queue
+    | Fti ->
+        if t.runnable_pollers > 0 then Some t.clock
+        else
+          let quiet = Time.add t.last_activity t.cfg.quiet_timeout in
+          Some
+            (match Event_queue.next_time t.queue with
+            | Some te -> Time.min te quiet
+            | None -> quiet)
+
 let stop t = t.stop_requested <- true
 let on_abort t f = t.rev_abort_hooks <- f :: t.rev_abort_hooks
 let aborted t = t.abort_flag

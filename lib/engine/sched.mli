@@ -245,6 +245,16 @@ val wake_poller : poller -> unit
     poller reacts on the increment after its message arrives — the
     same latency it had when it polled eagerly. *)
 
+val next_activity : t -> Time.t option
+(** The earliest virtual time at which this scheduler could do
+    anything on its own: pending deferred work or a runnable poller in
+    FTI mode means "now"; otherwise the earlier of the next queued
+    event and (in FTI mode) the quiet-timeout boundary. [None] means
+    fully idle — nothing will ever fire without outside input. The
+    multicore barrier driver uses this as its lookahead probe to jump
+    globally idle epochs, mirroring what {!run}'s internal
+    fast-forward does within one scheduler. *)
+
 val control_activity : ?reason:string -> t -> unit
 (** Report control-plane activity at the current instant: switches to
     FTI if in DES (recording a transition) and refreshes the quiet

@@ -1,0 +1,21 @@
+type t = {
+  index : int;
+  name : string;
+  sched : Sched.t;
+  rng : Rng.t;
+}
+
+let create ?config ?registry ~index ~name ~seed () =
+  if index < 0 then invalid_arg "Shard.create: negative index";
+  {
+    index;
+    name;
+    sched = Sched.create ?config ?registry ();
+    rng = Rng.split_key (Rng.create seed) ("shard:" ^ name);
+  }
+
+let index t = t.index
+let name t = t.name
+let sched t = t.sched
+let rng t = t.rng
+let registry t = Sched.registry t.sched

@@ -30,43 +30,63 @@ let prom_labels = function
              labels)
       ^ "}"
 
-let prometheus fmt registry =
-  let seen_header = Hashtbl.create 16 in
+let render_entry fmt (e : Registry.entry) =
+  let labels = e.Registry.labels in
+  match e.Registry.metric with
+  | Registry.M_counter c ->
+      Format.fprintf fmt "%s%s %d@." e.Registry.name (prom_labels labels)
+        (Registry.Counter.value c)
+  | Registry.M_gauge g ->
+      Format.fprintf fmt "%s%s %s@." e.Registry.name (prom_labels labels)
+        (prom_float (Registry.Gauge.value g))
+  | Registry.M_histogram h ->
+      List.iter
+        (fun (le, count) ->
+          Format.fprintf fmt "%s_bucket%s %d@." e.Registry.name
+            (prom_labels (labels @ [ ("le", prom_float le) ]))
+            count)
+        (Histogram.cumulative h);
+      Format.fprintf fmt "%s_sum%s %s@." e.Registry.name (prom_labels labels)
+        (prom_float (Histogram.sum h));
+      Format.fprintf fmt "%s_count%s %d@." e.Registry.name (prom_labels labels)
+        (Histogram.count h)
+
+(* Entries grouped by metric name, first-seen order preserved — all
+   label sets of a name render under one HELP/TYPE header. This
+   replaces the per-callsite seen-header hashtable and is what
+   guarantees a merged multi-shard registry (where one name's label
+   sets arrive interleaved across shards) still renders each header
+   exactly once. *)
+let group_by_name entries =
+  let tbl = Hashtbl.create 16 in
+  let rev_names = ref [] in
   List.iter
     (fun (e : Registry.entry) ->
-      (* One HELP/TYPE header per metric name, shared by all label
-         sets. *)
-      if not (Hashtbl.mem seen_header e.Registry.name) then begin
-        Hashtbl.replace seen_header e.Registry.name ();
-        if e.Registry.help <> "" then
-          Format.fprintf fmt "# HELP %s %s@." e.Registry.name e.Registry.help;
-        Format.fprintf fmt "# TYPE %s %s@." e.Registry.name
-          (match e.Registry.metric with
-          | Registry.M_counter _ -> "counter"
-          | Registry.M_gauge _ -> "gauge"
-          | Registry.M_histogram _ -> "histogram")
-      end;
-      let labels = e.Registry.labels in
-      match e.Registry.metric with
-      | Registry.M_counter c ->
-          Format.fprintf fmt "%s%s %d@." e.Registry.name (prom_labels labels)
-            (Registry.Counter.value c)
-      | Registry.M_gauge g ->
-          Format.fprintf fmt "%s%s %s@." e.Registry.name (prom_labels labels)
-            (prom_float (Registry.Gauge.value g))
-      | Registry.M_histogram h ->
-          List.iter
-            (fun (le, count) ->
-              Format.fprintf fmt "%s_bucket%s %d@." e.Registry.name
-                (prom_labels (labels @ [ ("le", prom_float le) ]))
-                count)
-            (Histogram.cumulative h);
-          Format.fprintf fmt "%s_sum%s %s@." e.Registry.name
-            (prom_labels labels)
-            (prom_float (Histogram.sum h));
-          Format.fprintf fmt "%s_count%s %d@." e.Registry.name
-            (prom_labels labels) (Histogram.count h))
-    (Registry.to_list registry)
+      match Hashtbl.find_opt tbl e.Registry.name with
+      | Some rev -> rev := e :: !rev
+      | None ->
+          Hashtbl.replace tbl e.Registry.name (ref [ e ]);
+          rev_names := e.Registry.name :: !rev_names)
+    entries;
+  List.rev_map
+    (fun name -> (name, List.rev !(Hashtbl.find tbl name)))
+    !rev_names
+
+let prometheus fmt registry =
+  List.iter
+    (fun (name, entries) ->
+      (match entries with
+      | [] -> ()
+      | (e : Registry.entry) :: _ ->
+          if e.Registry.help <> "" then
+            Format.fprintf fmt "# HELP %s %s@." name e.Registry.help;
+          Format.fprintf fmt "# TYPE %s %s@." name
+            (match e.Registry.metric with
+            | Registry.M_counter _ -> "counter"
+            | Registry.M_gauge _ -> "gauge"
+            | Registry.M_histogram _ -> "histogram"));
+      List.iter (fun e -> render_entry fmt e) entries)
+    (group_by_name (Registry.to_list registry))
 
 (* --- JSON views ------------------------------------------------------ *)
 

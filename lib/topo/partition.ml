@@ -1,0 +1,93 @@
+type t = { name : string; shards : string array; owner : int -> int }
+
+let n_shards t = Array.length t.shards
+let shard_name t i = t.shards.(i)
+
+let of_fun ~name ~shards owner =
+  if Array.length shards = 0 then invalid_arg "Partition.of_fun: no shards";
+  let n = Array.length shards in
+  let checked node =
+    let s = owner node in
+    if s < 0 || s >= n then
+      invalid_arg
+        (Printf.sprintf "Partition: owner of node %d is %d, not in [0, %d)"
+           node s n);
+    s
+  in
+  { name; shards; owner = checked }
+
+let single = of_fun ~name:"single" ~shards:[| "all" |] (fun _ -> 0)
+
+let validate t topo =
+  List.iter (fun n -> ignore (t.owner n.Topology.id)) (Topology.nodes topo)
+
+(* Pods are the natural cut of a Fat-Tree: intra-pod links vastly
+   outnumber pod-to-core links, so contiguous pod groups minimise
+   cross-shard channels. Core switches have no pod; spreading them
+   round-robin balances the core rows across shards. Hosts follow
+   their edge switch's pod, so a host's whole control path up to the
+   aggregation layer stays shard-local. *)
+let fat_tree_pods ?shards (ft : Fat_tree.t) =
+  let k = ft.k in
+  let n = match shards with Some n -> n | None -> k in
+  if n < 1 then invalid_arg "Partition.fat_tree_pods: shards must be >= 1";
+  if n > k then
+    invalid_arg "Partition.fat_tree_pods: more shards than pods";
+  (* Pod p -> shard p * n / k: contiguous groups, sizes differing by
+     at most one. *)
+  let shard_of_pod p = p * n / k in
+  let owner = Array.make (Topology.n_nodes ft.topo) 0 in
+  Array.iteri
+    (fun p row ->
+      Array.iter (fun s -> owner.(s.Topology.id) <- shard_of_pod p) row)
+    ft.edges;
+  Array.iteri
+    (fun p row ->
+      Array.iter (fun s -> owner.(s.Topology.id) <- shard_of_pod p) row)
+    ft.aggs;
+  Array.iteri
+    (fun i h ->
+      owner.(h.Topology.id) <- shard_of_pod (Fat_tree.pod_of_host ft i))
+    ft.hosts;
+  Array.iteri
+    (fun i c -> owner.(c.Topology.id) <- i mod n)
+    ft.cores;
+  of_fun
+    ~name:(Printf.sprintf "fat-tree-pods/%d" n)
+    ~shards:(Array.init n (Printf.sprintf "pods-%d"))
+    (fun node -> owner.(node))
+
+(* Generic fallback for arbitrary topologies: switches and routers
+   round-robin by id; hosts follow the first switch/router they attach
+   to, so host-to-gateway channels stay shard-local. *)
+let round_robin topo ~shards =
+  if shards < 1 then invalid_arg "Partition.round_robin: shards must be >= 1";
+  let owner = Array.make (Topology.n_nodes topo) (-1) in
+  let next = ref 0 in
+  List.iter
+    (fun n ->
+      match n.Topology.kind with
+      | Topology.Switch | Topology.Router ->
+          owner.(n.Topology.id) <- !next mod shards;
+          incr next
+      | Topology.Host -> ())
+    (Topology.nodes topo);
+  List.iter
+    (fun n ->
+      match n.Topology.kind with
+      | Topology.Host ->
+          let attached =
+            List.find_map
+              (fun l ->
+                let o = owner.(l.Topology.dst) in
+                if o >= 0 then Some o else None)
+              (Topology.out_links topo n.Topology.id)
+          in
+          owner.(n.Topology.id) <-
+            (match attached with Some s -> s | None -> n.Topology.id mod shards)
+      | _ -> ())
+    (Topology.nodes topo);
+  of_fun
+    ~name:(Printf.sprintf "round-robin/%d" shards)
+    ~shards:(Array.init shards (Printf.sprintf "rr-%d"))
+    (fun node -> owner.(node))

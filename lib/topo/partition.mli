@@ -1,0 +1,41 @@
+(** Partitioning a topology into shards for the multicore engine.
+
+    A partition assigns every node to exactly one shard by id. The
+    shard structure — names and the owner function — fully determines
+    the sharded experiment: per-shard RNG streams are keyed by shard
+    name, cross-shard channels are fixed by which links straddle the
+    cut, and the barrier delivers cross-shard traffic in shard-index
+    order. How many domains later {e execute} those shards changes
+    nothing observable. *)
+
+type t = {
+  name : string;  (** appears in traces and snapshots *)
+  shards : string array;  (** shard [i]'s name — keys its RNG stream *)
+  owner : int -> int;  (** node id -> shard index *)
+}
+
+val n_shards : t -> int
+val shard_name : t -> int -> string
+
+val of_fun : name:string -> shards:string array -> (int -> int) -> t
+(** Wraps [owner] with a range check on its results.
+    @raise Invalid_argument on an empty shard array. *)
+
+val single : t
+(** Everything on one shard — the degenerate partition whose sharded
+    run coincides with the classic single-scheduler path. *)
+
+val validate : t -> Topology.t -> unit
+(** Applies [owner] to every node, forcing the range check.
+    @raise Invalid_argument if any node maps outside [0, n_shards). *)
+
+val fat_tree_pods : ?shards:int -> Fat_tree.t -> t
+(** Contiguous pod groups (default one shard per pod): pod switches
+    and their hosts stay together, core switches spread round-robin.
+    Only pod-to-core links cross shards.
+    @raise Invalid_argument if [shards] exceeds the pod count or is
+    non-positive. *)
+
+val round_robin : Topology.t -> shards:int -> t
+(** Generic fallback: switches/routers round-robin in id order, hosts
+    follow the first switch or router they attach to. *)

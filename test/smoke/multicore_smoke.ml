@@ -1,0 +1,101 @@
+(* Multicore engine smoke: the sharded fat-tree convergence scenario
+   run with domains = 1 and domains = 4.
+
+   Gates, failing @multicore-smoke (and @runtest with it):
+   - determinism, always: both runs must produce byte-identical FIB
+     fingerprints, causal hashes and mode timelines — the barrier
+     protocol makes domain interleaving unobservable, and this is the
+     cheap canary for that invariant;
+   - scaling, only where it can physically exist: when the machine
+     advertises >= 4 cores (Domain.recommended_domain_count), the
+     4-domain run must be >= 1.5x faster than the sequential one.
+     On smaller machines the speedup gate is skipped with a notice —
+     parallelism cannot be demonstrated on hardware that lacks it.
+
+   Writes both runs (domains and core count stamped) to argv(1). *)
+
+module Time = Horse_engine.Time
+module Multicore = Horse_core.Multicore
+module Json = Horse_telemetry.Json
+
+let pods = 6
+let duration = Time.of_sec 10.0
+let speedup_budget = 1.5
+
+let run domains = Multicore.run_fat_tree ~pods ~domains ~duration ()
+
+let run_json (r : Multicore.result) =
+  Json.Obj
+    [
+      ("domains", Json.Int r.Multicore.domains);
+      ("run_wall_s", Json.Float r.Multicore.run_wall_s);
+      ("setup_wall_s", Json.Float r.Multicore.setup_wall_s);
+      ("epochs", Json.Int r.Multicore.epochs);
+      ("jumps", Json.Int r.Multicore.jumps);
+      ("cross_messages", Json.Int r.Multicore.cross_messages);
+      ( "converged_s",
+        match r.Multicore.converged_at with
+        | Some t -> Json.Float (Time.to_sec t)
+        | None -> Json.Null );
+      ("fib_fingerprint", Json.String r.Multicore.fib_fingerprint);
+      ("causal_hash", Json.String r.Multicore.causal_hash);
+    ]
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "/dev/null" in
+  let cores = Domain.recommended_domain_count () in
+  let r1 = run 1 in
+  let r4 = run 4 in
+  let deterministic =
+    r1.Multicore.fib_fingerprint = r4.Multicore.fib_fingerprint
+    && r1.Multicore.causal_hash = r4.Multicore.causal_hash
+    && r1.Multicore.timelines = r4.Multicore.timelines
+  in
+  let speedup = r1.Multicore.run_wall_s /. r4.Multicore.run_wall_s in
+  let oc = open_out out in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+       [
+         ("bench", Json.String "multicore_smoke");
+         ("cores", Json.Int cores);
+         ("pods", Json.Int pods);
+         ("shards", Json.Int r1.Multicore.shards);
+         ("duration_s", Json.Float (Time.to_sec duration));
+         ("determinism_ok", Json.Bool deterministic);
+         ("speedup_4_domains", Json.Float speedup);
+         ("speedup_gated", Json.Bool (cores >= 4));
+         ("runs", Json.List [ run_json r1; run_json r4 ]);
+       ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "multicore-smoke: %d shards on %d cores, wall %.3fs -> %.3fs (%.2fx), \
+     %d epochs (%d jumped), %d cross-shard deliveries\n"
+    r1.Multicore.shards cores r1.Multicore.run_wall_s r4.Multicore.run_wall_s
+    speedup r1.Multicore.epochs r1.Multicore.jumps r1.Multicore.cross_messages;
+  if not deterministic then begin
+    Printf.eprintf
+      "multicore-smoke: domains=1 vs domains=4 diverged (fingerprint %s vs \
+       %s, causal %s vs %s) — the barrier protocol leaked interleaving\n"
+      r1.Multicore.fib_fingerprint r4.Multicore.fib_fingerprint
+      r1.Multicore.causal_hash r4.Multicore.causal_hash;
+    exit 1
+  end;
+  if r1.Multicore.converged_at = None then begin
+    Printf.eprintf "multicore-smoke: fabric never converged\n";
+    exit 1
+  end;
+  if cores >= 4 then begin
+    if speedup < speedup_budget then begin
+      Printf.eprintf
+        "multicore-smoke: speedup budget missed on a %d-core machine: \
+         %.2fx < %.1fx\n"
+        cores speedup speedup_budget;
+      exit 1
+    end
+  end
+  else
+    Printf.printf
+      "multicore-smoke: %d core(s) — speedup gate skipped (needs >= 4)\n"
+      cores
