@@ -1392,6 +1392,235 @@ let trace_overhead ~full =
 (* Microbenchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* CLASSIFIER-STORM: the OpenFlow lookup hierarchy (microflow /       *)
+(* megaflow / classifier) against the preserved linear reference      *)
+(* scan, at 100k+ rules, for both slow-path backends — with a         *)
+(* flow_mod churn phase driving cache invalidation.                   *)
+(* ------------------------------------------------------------------ *)
+
+let classifier_storm ~full =
+  section
+    "CLASSIFIER-STORM — lookup hierarchy vs linear scan, 100k+ rules, \
+     TSS and interval backends";
+  let module OF = Horse_openflow in
+  let module VTime = Horse_engine.Time in
+  let module Reg = Horse_telemetry.Registry in
+  let n_rules = if full then 250_000 else 100_000 in
+  let n_probes = if full then 400_000 else 200_000 in
+  let n_verify = 400 in
+  let n_ref_probes = 150 in
+  let n_churn = 2_000 in
+  (* Rule universe in disjoint address spaces so churn deletes are
+     surgical under loose-overlap semantics: exact 5-tuple rules move
+     traffic to 11.0.0.0/8, dst-prefix rules own 20.0.0.0/8, and
+     port/proto rules use ports >= 60000 (exact rules stay below). *)
+  let exact_key i =
+    Flow_key.make
+      ~src:(Ipv4.of_octets 10 ((i lsr 16) land 0xFF) ((i lsr 8) land 0xFF) (i land 0xFF))
+      ~dst:(Ipv4.of_octets 11 ((i lsr 16) land 0xFF) ((i lsr 8) land 0xFF) (i land 0xFF))
+      ~src_port:(1000 + (i mod 40000))
+      ~dst_port:(1000 + ((i * 7) mod 40000))
+      ()
+  in
+  let mk_fm ?(command = OF.Ofmsg.Add) ~cookie ~priority match_ =
+    {
+      OF.Ofmsg.match_;
+      cookie;
+      command;
+      idle_timeout_s = 0;
+      hard_timeout_s = 0;
+      priority;
+      actions = [ OF.Action.Output ((cookie mod 16) + 1) ];
+    }
+  in
+  let rule_fm i =
+    match i mod 10 with
+    | 8 ->
+        let j = i / 10 in
+        let len = if j mod 10 = 0 then 16 else 24 in
+        let dst =
+          Prefix.make
+            (Ipv4.of_octets 20 ((j lsr 8) land 0xFF) (j land 0xFF) 0)
+            len
+        in
+        mk_fm ~cookie:i ~priority:(40 + (j mod 20)) (OF.Ofmatch.to_dst dst)
+    | 9 ->
+        mk_fm ~cookie:i ~priority:30
+          {
+            OF.Ofmatch.any with
+            OF.Ofmatch.m_ip_proto = Some 17;
+            m_tp_dst = Some (60000 + (i / 10 mod 5000));
+          }
+    | _ -> mk_fm ~cookie:i ~priority:100 (OF.Ofmatch.exact_5tuple (exact_key i))
+  in
+  (* Deterministic probe streams: 85% a 256-flow hot set (microflow
+     territory), 10% the 20/8 prefix space (megaflow classes), 5%
+     guaranteed misses in 30/8. *)
+  let prng = Rng.create 1337 in
+  let fields_of key = OF.Ofmatch.fields_of_key ~in_port:1 key in
+  let hot =
+    Array.init 256 (fun j -> fields_of (exact_key ((j * 37 mod (n_rules / 10)) * 10)))
+  in
+  let warm =
+    Array.init 64 (fun j ->
+        fields_of
+          (Flow_key.make
+             ~src:(Ipv4.of_octets 10 9 9 (j land 0xFF))
+             ~dst:(Ipv4.of_octets 20 ((j * 13 mod 40) lsr 8 land 0xFF) (j * 13 mod 40 land 0xFF) 9)
+             ~src_port:5 ~dst_port:6 ()))
+  in
+  let cold =
+    Array.init 64 (fun j ->
+        fields_of
+          (Flow_key.make
+             ~src:(Ipv4.of_octets 30 0 0 1)
+             ~dst:(Ipv4.of_octets 30 1 (j land 0xFF) 2)
+             ~src_port:7 ~dst_port:8 ()))
+  in
+  let probes =
+    Array.init n_probes (fun _ ->
+        let r = Rng.int prng 100 in
+        if r < 85 then hot.(Rng.int prng 256)
+        else if r < 95 then
+          (* Same traffic class through a different ingress port: no
+             rule masks in_port, so these land in one megaflow region
+             but are distinct microflows. *)
+          let f = warm.(Rng.int prng 64) in
+          { f with OF.Ofmatch.in_port = 1 + Rng.int prng 16 }
+        else cold.(Rng.int prng 64))
+  in
+  let verify =
+    Array.init n_verify (fun _ ->
+        match Rng.int prng 4 with
+        | 0 -> hot.(Rng.int prng 256)
+        | 1 -> warm.(Rng.int prng 64)
+        | 2 -> cold.(Rng.int prng 64)
+        | _ -> fields_of (exact_key (Rng.int prng (2 * n_rules))))
+  in
+  let fingerprint lookup t =
+    let buf = Buffer.create (n_verify * 8) in
+    Array.iter
+      (fun flds ->
+        (match lookup t flds with
+        | Some (e : OF.Flow_table.entry) ->
+            Buffer.add_string buf (string_of_int e.OF.Flow_table.cookie)
+        | None -> Buffer.add_char buf '-');
+        Buffer.add_char buf ';')
+      verify;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  let median l = Summary.percentile l 0.5 in
+  let reg = Reg.create () in
+  let run_backend backend =
+    let bname = OF.Classifier.backend_to_string backend in
+    let t = OF.Flow_table.create ~backend () in
+    let (), build_wall =
+      Wall.time (fun () ->
+          for i = 0 to n_rules - 1 do
+            OF.Flow_table.apply_flow_mod t ~now:VTime.zero (rule_fm i)
+          done)
+    in
+    (* Byte-identical forwarding decisions, hierarchy vs reference. *)
+    let fp_fast = fingerprint OF.Flow_table.lookup t in
+    let fp_ref = fingerprint OF.Flow_table.lookup_reference t in
+    if fp_fast <> fp_ref then
+      failwith
+        (Printf.sprintf "classifier-storm(%s): decision fingerprints diverge"
+           bname);
+    (* Reference: per-probe wall medians (each probe is a full linear
+       scan, so individual timing is well above clock resolution). *)
+    let ref_times =
+      List.init n_ref_probes (fun k ->
+          let f = probes.(k * (n_probes / n_ref_probes)) in
+          let (), dt = Wall.time (fun () -> ignore (OF.Flow_table.lookup_reference t f)) in
+          dt)
+    in
+    let ref_median = median ref_times in
+    (* Hierarchy: batched medians over 1000-lookup chunks. *)
+    let chunk = 1000 in
+    let fast_times = ref [] in
+    let i = ref 0 in
+    while !i + chunk <= n_probes do
+      let lo = !i in
+      let (), dt =
+        Wall.time (fun () ->
+            for j = lo to lo + chunk - 1 do
+              ignore (OF.Flow_table.lookup t probes.(j))
+            done)
+      in
+      fast_times := (dt /. float_of_int chunk) :: !fast_times;
+      i := !i + chunk
+    done;
+    let fast_median = median !fast_times in
+    let st = OF.Flow_table.stats t in
+    let hit_ratio =
+      float_of_int (st.OF.Flow_table.micro_hits + st.OF.Flow_table.mega_hits)
+      /. float_of_int (max 1 st.OF.Flow_table.lookups)
+    in
+    (* Churn: interleaved precise deletes and fresh adds with traffic,
+       driving seq-tagged and overlap-driven cache invalidation; the
+       differential must still hold on the churned table. *)
+    let crng = Rng.create 4242 in
+    let inv0 = st.OF.Flow_table.invalidations in
+    for k = 0 to n_churn - 1 do
+      (if k mod 3 = 0 then
+         let i = Rng.int crng (n_rules / 10) * 10 in
+         OF.Flow_table.apply_flow_mod t ~now:VTime.zero
+           (mk_fm ~command:OF.Ofmsg.Delete ~cookie:0 ~priority:0
+              (OF.Ofmatch.exact_5tuple (exact_key i)))
+       else
+         OF.Flow_table.apply_flow_mod t ~now:VTime.zero
+           (mk_fm ~cookie:(n_rules + k) ~priority:100
+              (OF.Ofmatch.exact_5tuple (exact_key (n_rules + k)))));
+      if k mod 7 = 0 then
+        for _ = 1 to 10 do
+          ignore (OF.Flow_table.lookup t hot.(Rng.int crng 256))
+        done
+    done;
+    let churn_inv = st.OF.Flow_table.invalidations - inv0 in
+    let fp_fast' = fingerprint OF.Flow_table.lookup t in
+    let fp_ref' = fingerprint OF.Flow_table.lookup_reference t in
+    if fp_fast' <> fp_ref' then
+      failwith
+        (Printf.sprintf
+           "classifier-storm(%s): post-churn decision fingerprints diverge"
+           bname);
+    let speedup = ref_median /. fast_median in
+    Format.fprintf fmt
+      "%-9s build %.2fs | ref median %8.1f us | hierarchy median %7.1f ns | \
+       speedup %8.1fx@."
+      bname build_wall (ref_median *. 1e6) (fast_median *. 1e9) speedup;
+    Format.fprintf fmt
+      "          hits micro/mega/slow %d/%d/%d  misses %d  hit-ratio %.3f  \
+       churn invalidations %d  fingerprints ok@."
+      st.OF.Flow_table.micro_hits st.OF.Flow_table.mega_hits
+      st.OF.Flow_table.slow_hits st.OF.Flow_table.misses hit_ratio churn_inv;
+    let labels = [ ("backend", bname) ] in
+    let g name v = Reg.Gauge.set (Reg.gauge reg ~subsystem:"classifier" ~labels name) v in
+    let c name v = Reg.Counter.add (Reg.counter reg ~subsystem:"classifier" ~labels name) v in
+    g "ref_median_seconds" ref_median;
+    g "hierarchy_median_seconds" fast_median;
+    g "speedup" speedup;
+    g "hit_ratio" hit_ratio;
+    g "build_seconds" build_wall;
+    c "rules_total" n_rules;
+    c "lookups_total" st.OF.Flow_table.lookups;
+    c "microflow_hits_total" st.OF.Flow_table.micro_hits;
+    c "megaflow_hits_total" st.OF.Flow_table.mega_hits;
+    c "slow_path_hits_total" st.OF.Flow_table.slow_hits;
+    c "misses_total" st.OF.Flow_table.misses;
+    c "churn_invalidations_total" churn_inv;
+    c "fingerprint_equal" 1;
+    speedup
+  in
+  let s_tss = run_backend OF.Classifier.Tss in
+  let s_itv = run_backend OF.Classifier.Interval in
+  if s_tss < 10.0 || s_itv < 10.0 then
+    Format.fprintf fmt
+      "WARNING: median speedup below the 10x acceptance budget@.";
+  write_snapshot "classifier_storm" reg
+
 let micro () =
   section "MICRO — component microbenchmarks (Bechamel)";
   let open Bechamel in
@@ -1508,6 +1737,39 @@ let micro () =
       (Staged.stage (fun () ->
            ignore (Horse_openflow.Flow_table.lookup table lookup_fields)))
   in
+  let big_table =
+    let t = Horse_openflow.Flow_table.create () in
+    for i = 0 to 99_999 do
+      Horse_openflow.Flow_table.apply_flow_mod t ~now:VTime.zero
+        {
+          Horse_openflow.Ofmsg.match_ =
+            Horse_openflow.Ofmatch.exact_5tuple
+              (Flow_key.make
+                 ~src:(Ipv4.of_octets 10 ((i lsr 16) land 0xFF) ((i lsr 8) land 0xFF) (i land 0xFF))
+                 ~dst:(Ipv4.of_octets 11 ((i lsr 16) land 0xFF) ((i lsr 8) land 0xFF) (i land 0xFF))
+                 ~src_port:(i mod 40000) ~dst_port:(i mod 40000) ());
+          cookie = i;
+          command = Horse_openflow.Ofmsg.Add;
+          idle_timeout_s = 0;
+          hard_timeout_s = 0;
+          priority = 10;
+          actions = [ Horse_openflow.Action.Output 1 ];
+        }
+    done;
+    t
+  in
+  let big_lookup_fields =
+    Horse_openflow.Ofmatch.fields_of_key
+      (Flow_key.make
+         ~src:(Ipv4.of_octets 10 0 0 77)
+         ~dst:(Ipv4.of_octets 11 0 0 77)
+         ~src_port:77 ~dst_port:77 ())
+  in
+  let test_of_lookup_100k =
+    Test.make ~name:"of-table lookup among 100k (hierarchy)"
+      (Staged.stage (fun () ->
+           ignore (Horse_openflow.Flow_table.lookup big_table big_lookup_fields)))
+  in
   let frame =
     Packet.udp ~src_mac:(Mac.of_index 1) ~dst_mac:(Mac.of_index 2)
       ~src:(Ipv4.of_octets 10 0 0 1) ~dst:(Ipv4.of_octets 10 0 0 2)
@@ -1528,6 +1790,7 @@ let micro () =
         test_fat_tree;
         test_bgp_codec;
         test_of_lookup;
+        test_of_lookup_100k;
         test_packet_codec;
       ]
   in
@@ -1565,7 +1828,7 @@ let () =
     [ "fig1"; "fig3"; "te"; "ablation-timeout"; "ablation-increment";
       "protocols"; "ablation-placer"; "scaling"; "fct"; "failure"; "churn";
       "bgp-scale"; "failure-storm"; "sched-storm"; "trace-overhead";
-      "multicore"; "micro" ]
+      "multicore"; "classifier-storm"; "micro" ]
   in
   let commands = List.filter (fun a -> List.mem a known) args in
   let commands = if commands = [] then known else commands in
@@ -1588,6 +1851,7 @@ let () =
       | "sched-storm" -> sched_storm ~full
       | "trace-overhead" -> trace_overhead ~full
       | "multicore" -> multicore_scaling ()
+      | "classifier-storm" -> classifier_storm ~full
       | "micro" -> micro ()
       | _ -> ())
     commands

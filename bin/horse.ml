@@ -175,12 +175,36 @@ let te_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
+  let classifier_arg =
+    let backend_conv =
+      let parse s =
+        match Horse_openflow.Classifier.backend_of_string s with
+        | Some b -> Ok b
+        | None ->
+            Error (`Msg (Printf.sprintf "unknown classifier backend %S" s))
+      in
+      Arg.conv
+        ( parse,
+          fun fmt b ->
+            Format.pp_print_string fmt
+              (Horse_openflow.Classifier.backend_to_string b) )
+    in
+    let doc =
+      "Slow-path lookup backend for the OpenFlow switches: tss (tuple-space \
+       search, default) or interval (interval tree over ip_dst for very \
+       large tables). Ignored by the non-OpenFlow TE approaches."
+    in
+    Arg.(
+      value
+      & opt (some backend_conv) None
+      & info [ "classifier" ] ~docv:"BACKEND" ~doc)
+  in
   let run pods te duration seed quiet_timeout increment max_wall no_causal
-      profile faults csv explain metrics_out trace_out report =
+      profile faults classifier csv explain metrics_out trace_out report =
     let result =
       Scenario.run_fat_tree_te ~seed
         ~config:(sched_config quiet_timeout increment max_wall no_causal profile)
-        ?faults:(load_faults faults) ~pods ~te
+        ?faults:(load_faults faults) ?classifier ~pods ~te
         ~duration:(Time.of_sec duration)
         ()
     in
@@ -225,8 +249,8 @@ let te_cmd =
     Term.(
       const run $ pods_arg $ te_arg $ duration_arg $ seed_arg
       $ quiet_timeout_arg $ increment_arg $ max_wall_arg $ no_causal_arg
-      $ profile_arg $ faults_arg $ csv_arg $ explain_arg $ metrics_out_arg
-      $ trace_out_arg $ report_arg)
+      $ profile_arg $ faults_arg $ classifier_arg $ csv_arg $ explain_arg
+      $ metrics_out_arg $ trace_out_arg $ report_arg)
 
 (* --- multicore ----------------------------------------------------------- *)
 

@@ -150,10 +150,10 @@ let setup_bgp rt (ft : Fat_tree.t) =
 
 (* --- SDN (reactive controller) -------------------------------------- *)
 
-let setup_sdn rt (ft : Fat_tree.t) te =
+let setup_sdn ?classifier rt (ft : Fat_tree.t) te =
   let fabric =
-    Sdn_fabric.build ~cm:(Experiment.cm rt.exp) ~fluid:(Experiment.fluid rt.exp)
-      ft.Fat_tree.topo
+    Sdn_fabric.build ?classifier ~cm:(Experiment.cm rt.exp)
+      ~fluid:(Experiment.fluid rt.exp) ft.Fat_tree.topo
   in
   let ctrl = Sdn_fabric.controller fabric in
   let env = Sdn_fabric.env fabric in
@@ -220,7 +220,7 @@ let setup_p4 rt (ft : Fat_tree.t) =
 (* --- entry point ----------------------------------------------------- *)
 
 let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
-    ?(flow_rate = 1e9) ?faults ~pods ~te ~duration () =
+    ?(flow_rate = 1e9) ?faults ?classifier ~pods ~te ~duration () =
   let (rt, injector, fingerprint, provenance), setup_wall_s =
     Wall.time (fun () ->
         let ft = Fat_tree.build ~k:pods () in
@@ -239,7 +239,8 @@ let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
               match te with
               | Bgp_ecmp -> setup_bgp rt ft
               | P4_ecmp -> setup_p4 rt ft
-              | Sdn_ecmp | Hedera_gff | Hedera_annealing -> setup_sdn rt ft te)
+              | Sdn_ecmp | Hedera_gff | Hedera_annealing ->
+                  setup_sdn ?classifier rt ft te)
         in
         let injector =
           match (faults, target) with

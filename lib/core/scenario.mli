@@ -64,6 +64,7 @@ val run_fat_tree_te :
   ?config:Sched.config ->
   ?flow_rate:float ->
   ?faults:Horse_faults.Plan.t ->
+  ?classifier:Horse_openflow.Classifier.backend ->
   pods:int ->
   te:te ->
   duration:Time.t ->
@@ -74,6 +75,8 @@ val run_fat_tree_te :
     fault-injection plan against the chosen control plane before the
     run ({!Bgp_ecmp}: full target; SDN variants: link faults only;
     raises [Invalid_argument] for {!P4_ecmp}, which has no fault
-    surface yet). *)
+    surface yet). [classifier] selects the OpenFlow switches' slow-path
+    lookup backend (default tuple-space search; ignored by the
+    non-OpenFlow scenarios). *)
 
 val pp_result : Format.formatter -> result -> unit

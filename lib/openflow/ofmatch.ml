@@ -64,6 +64,210 @@ let exact_5tuple (k : Flow_key.t) =
 
 let to_dst prefix = { any with m_eth_type = Some 0x0800; m_ip_dst = Some prefix }
 
+let fields_equal (a : fields) (b : fields) =
+  a.in_port = b.in_port
+  && Mac.equal a.eth_src b.eth_src
+  && Mac.equal a.eth_dst b.eth_dst
+  && a.eth_type = b.eth_type
+  && Ipv4.equal a.ip_src b.ip_src
+  && Ipv4.equal a.ip_dst b.ip_dst
+  && a.ip_proto = b.ip_proto
+  && a.tp_src = b.tp_src
+  && a.tp_dst = b.tp_dst
+
+let mix h k =
+  let h = Int64.logxor h (Int64.mul k 0xff51afd7ed558ccdL) in
+  Int64.mul
+    (Int64.logxor h (Int64.shift_right_logical h 29))
+    0xc4ceb9fe1a85ec53L
+
+let u32 a = Int64.logand (Int64.of_int32 (Ipv4.to_int32 a)) 0xFFFFFFFFL
+
+let hash_fields (f : fields) =
+  let h = 0x9E3779B97F4A7C15L in
+  let h = mix h (Int64.of_int ((f.in_port lsl 20) lor f.eth_type)) in
+  let h = mix h (Mac.to_int64 f.eth_src) in
+  let h = mix h (Mac.to_int64 f.eth_dst) in
+  let h = mix h (u32 f.ip_src) in
+  let h = mix h (u32 f.ip_dst) in
+  let h =
+    mix h (Int64.of_int ((f.ip_proto lsl 32) lor (f.tp_src lsl 16) lor f.tp_dst))
+  in
+  Int64.to_int h land max_int
+
+module Fields_key = struct
+  type t = fields
+
+  let equal = fields_equal
+  let hash = hash_fields
+end
+
+(* Truncate an address to its first [len] bits (a /len network). *)
+let trunc addr len =
+  if len <= 0 then Ipv4.any
+  else if len >= 32 then addr
+  else
+    Ipv4.of_int32
+      (Int32.logand (Ipv4.to_int32 addr) (Int32.shift_left 0xFFFFFFFFl (32 - len)))
+
+module Mask = struct
+  type t = {
+    k_in_port : bool;
+    k_eth_src : bool;
+    k_eth_dst : bool;
+    k_eth_type : bool;
+    k_ip_src : int;
+    k_ip_dst : int;
+    k_ip_proto : bool;
+    k_tp_src : bool;
+    k_tp_dst : bool;
+  }
+
+  let empty =
+    {
+      k_in_port = false;
+      k_eth_src = false;
+      k_eth_dst = false;
+      k_eth_type = false;
+      k_ip_src = 0;
+      k_ip_dst = 0;
+      k_ip_proto = false;
+      k_tp_src = false;
+      k_tp_dst = false;
+    }
+
+  let union a b =
+    {
+      k_in_port = a.k_in_port || b.k_in_port;
+      k_eth_src = a.k_eth_src || b.k_eth_src;
+      k_eth_dst = a.k_eth_dst || b.k_eth_dst;
+      k_eth_type = a.k_eth_type || b.k_eth_type;
+      k_ip_src = Int.max a.k_ip_src b.k_ip_src;
+      k_ip_dst = Int.max a.k_ip_dst b.k_ip_dst;
+      k_ip_proto = a.k_ip_proto || b.k_ip_proto;
+      k_tp_src = a.k_tp_src || b.k_tp_src;
+      k_tp_dst = a.k_tp_dst || b.k_tp_dst;
+    }
+
+  (* The record holds only immediates, so structural equality and the
+     polymorphic hash are exact and allocation-free. *)
+  let equal (a : t) (b : t) = a = b
+  let hash (t : t) = Hashtbl.hash t
+
+  let subsumes a b =
+    (b.k_in_port <= a.k_in_port)
+    && (b.k_eth_src <= a.k_eth_src)
+    && (b.k_eth_dst <= a.k_eth_dst)
+    && (b.k_eth_type <= a.k_eth_type)
+    && b.k_ip_src <= a.k_ip_src
+    && b.k_ip_dst <= a.k_ip_dst
+    && (b.k_ip_proto <= a.k_ip_proto)
+    && (b.k_tp_src <= a.k_tp_src)
+    && (b.k_tp_dst <= a.k_tp_dst)
+
+  let project m (f : fields) =
+    {
+      in_port = (if m.k_in_port then f.in_port else 0);
+      eth_src = (if m.k_eth_src then f.eth_src else Mac.zero);
+      eth_dst = (if m.k_eth_dst then f.eth_dst else Mac.zero);
+      eth_type = (if m.k_eth_type then f.eth_type else 0);
+      ip_src = trunc f.ip_src m.k_ip_src;
+      ip_dst = trunc f.ip_dst m.k_ip_dst;
+      ip_proto = (if m.k_ip_proto then f.ip_proto else 0);
+      tp_src = (if m.k_tp_src then f.tp_src else 0);
+      tp_dst = (if m.k_tp_dst then f.tp_dst else 0);
+    }
+
+  let pp fmt m =
+    let b name v = if v then Format.fprintf fmt " %s" name in
+    Format.pp_print_string fmt "mask{";
+    b "in_port" m.k_in_port;
+    b "eth_src" m.k_eth_src;
+    b "eth_dst" m.k_eth_dst;
+    b "eth_type" m.k_eth_type;
+    if m.k_ip_src > 0 then Format.fprintf fmt " ip_src/%d" m.k_ip_src;
+    if m.k_ip_dst > 0 then Format.fprintf fmt " ip_dst/%d" m.k_ip_dst;
+    b "ip_proto" m.k_ip_proto;
+    b "tp_src" m.k_tp_src;
+    b "tp_dst" m.k_tp_dst;
+    Format.pp_print_string fmt " }"
+end
+
+let mask_of t =
+  {
+    Mask.k_in_port = t.m_in_port <> None;
+    k_eth_src = t.m_eth_src <> None;
+    k_eth_dst = t.m_eth_dst <> None;
+    k_eth_type = t.m_eth_type <> None;
+    k_ip_src = (match t.m_ip_src with None -> 0 | Some p -> Prefix.length p);
+    k_ip_dst = (match t.m_ip_dst with None -> 0 | Some p -> Prefix.length p);
+    k_ip_proto = t.m_ip_proto <> None;
+    k_tp_src = t.m_tp_src <> None;
+    k_tp_dst = t.m_tp_dst <> None;
+  }
+
+let fields_of_match t =
+  {
+    in_port = Option.value t.m_in_port ~default:0;
+    eth_src = Option.value t.m_eth_src ~default:Mac.zero;
+    eth_dst = Option.value t.m_eth_dst ~default:Mac.zero;
+    eth_type = Option.value t.m_eth_type ~default:0;
+    ip_src = (match t.m_ip_src with None -> Ipv4.any | Some p -> Prefix.network p);
+    ip_dst = (match t.m_ip_dst with None -> Ipv4.any | Some p -> Prefix.network p);
+    ip_proto = Option.value t.m_ip_proto ~default:0;
+    tp_src = Option.value t.m_tp_src ~default:0;
+    tp_dst = Option.value t.m_tp_dst ~default:0;
+  }
+
+module Match_key = struct
+  type nonrec t = Mask.t * fields
+
+  let of_match m = (mask_of m, fields_of_match m)
+
+  let equal ((ma, fa) : t) ((mb, fb) : t) =
+    Mask.equal ma mb && fields_equal fa fb
+
+  let hash ((m, f) : t) = Hashtbl.hash (Mask.hash m, hash_fields f)
+end
+
+let match_key = Match_key.of_match
+
+(* Does [t] admit any packet inside the region {P | project mask P =
+   project mask rep}?  Fields outside [mask] are free in the region, so
+   only the masked part of each constraint can exclude it. *)
+let overlaps_region t (mask : Mask.t) (rep : fields) =
+  (match t.m_in_port with
+  | None -> true
+  | Some v -> (not mask.Mask.k_in_port) || v = rep.in_port)
+  && (match t.m_eth_src with
+     | None -> true
+     | Some m -> (not mask.Mask.k_eth_src) || Mac.equal m rep.eth_src)
+  && (match t.m_eth_dst with
+     | None -> true
+     | Some m -> (not mask.Mask.k_eth_dst) || Mac.equal m rep.eth_dst)
+  && (match t.m_eth_type with
+     | None -> true
+     | Some v -> (not mask.Mask.k_eth_type) || v = rep.eth_type)
+  && (match t.m_ip_src with
+     | None -> true
+     | Some p ->
+         let l = Int.min (Prefix.length p) mask.Mask.k_ip_src in
+         Ipv4.equal (trunc (Prefix.network p) l) (trunc rep.ip_src l))
+  && (match t.m_ip_dst with
+     | None -> true
+     | Some p ->
+         let l = Int.min (Prefix.length p) mask.Mask.k_ip_dst in
+         Ipv4.equal (trunc (Prefix.network p) l) (trunc rep.ip_dst l))
+  && (match t.m_ip_proto with
+     | None -> true
+     | Some v -> (not mask.Mask.k_ip_proto) || v = rep.ip_proto)
+  && (match t.m_tp_src with
+     | None -> true
+     | Some v -> (not mask.Mask.k_tp_src) || v = rep.tp_src)
+  && match t.m_tp_dst with
+     | None -> true
+     | Some v -> (not mask.Mask.k_tp_dst) || v = rep.tp_dst
+
 let check_opt v = function None -> true | Some expected -> expected = v
 
 let matches t f =
@@ -77,27 +281,34 @@ let matches t f =
   && check_opt f.tp_src t.m_tp_src
   && check_opt f.tp_dst t.m_tp_dst
 
-let overlap_opt a b =
-  match (a, b) with Some x, Some y -> x = y | None, _ | _, None -> true
+(* Two constraints on one field exclude each other only when both are
+   present and name provably different values. Each helper answers
+   "disjoint on this field?" — [is_exact_overlap] is the conjunction's
+   negation, so a single provably-disjoint field settles the pair. *)
+let disjoint_exact a b =
+  match (a, b) with Some x, Some y -> x <> y | None, _ | _, None -> false
+
+let disjoint_mac a b =
+  match (a, b) with
+  | Some x, Some y -> not (Mac.equal x y)
+  | None, _ | _, None -> false
+
+let disjoint_prefix a b =
+  match (a, b) with
+  | Some p, Some q -> not (Prefix.overlaps p q)
+  | None, _ | _, None -> false
 
 let is_exact_overlap a b =
-  overlap_opt a.m_in_port b.m_in_port
-  && overlap_opt
-       (Option.map Mac.to_int64 a.m_eth_src)
-       (Option.map Mac.to_int64 b.m_eth_src)
-  && overlap_opt
-       (Option.map Mac.to_int64 a.m_eth_dst)
-       (Option.map Mac.to_int64 b.m_eth_dst)
-  && overlap_opt a.m_eth_type b.m_eth_type
-  && (match (a.m_ip_src, b.m_ip_src) with
-     | Some p, Some q -> Prefix.overlaps p q
-     | None, _ | _, None -> true)
-  && (match (a.m_ip_dst, b.m_ip_dst) with
-     | Some p, Some q -> Prefix.overlaps p q
-     | None, _ | _, None -> true)
-  && overlap_opt a.m_ip_proto b.m_ip_proto
-  && overlap_opt a.m_tp_src b.m_tp_src
-  && overlap_opt a.m_tp_dst b.m_tp_dst
+  not
+    (disjoint_exact a.m_in_port b.m_in_port
+    || disjoint_mac a.m_eth_src b.m_eth_src
+    || disjoint_mac a.m_eth_dst b.m_eth_dst
+    || disjoint_exact a.m_eth_type b.m_eth_type
+    || disjoint_prefix a.m_ip_src b.m_ip_src
+    || disjoint_prefix a.m_ip_dst b.m_ip_dst
+    || disjoint_exact a.m_ip_proto b.m_ip_proto
+    || disjoint_exact a.m_tp_src b.m_tp_src
+    || disjoint_exact a.m_tp_dst b.m_tp_dst)
 
 (* --- ofp_match codec ----------------------------------------------- *)
 

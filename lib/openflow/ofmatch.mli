@@ -48,10 +48,87 @@ val to_dst : Prefix.t -> t
 
 val matches : t -> fields -> bool
 
+val fields_equal : fields -> fields -> bool
+
+val hash_fields : fields -> int
+(** Mixes all nine header fields (splitmix64-style), suitable for the
+    exact-match microflow cache. *)
+
+(** Hashtbl key module over concrete header fields. *)
+module Fields_key : sig
+  type t = fields
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+(** A wildcard mask: which of the nine fields a match (or a megaflow
+    cache entry) actually consults. Network addresses carry a prefix
+    length (0 = fully wildcarded) instead of a bit. *)
+module Mask : sig
+  type t = {
+    k_in_port : bool;
+    k_eth_src : bool;
+    k_eth_dst : bool;
+    k_eth_type : bool;
+    k_ip_src : int;  (** consulted prefix bits, 0..32 *)
+    k_ip_dst : int;  (** consulted prefix bits, 0..32 *)
+    k_ip_proto : bool;
+    k_tp_src : bool;
+    k_tp_dst : bool;
+  }
+
+  val empty : t
+  (** Consults nothing (matches everything). *)
+
+  val union : t -> t -> t
+  (** Field-wise or / prefix-length max — how a megaflow mask
+      accumulates over the tables consulted during a lookup. *)
+
+  val subsumes : t -> t -> bool
+  (** [subsumes a b]: [a] consults at least every bit [b] does. *)
+
+  val project : t -> fields -> fields
+  (** Canonicalise fields under the mask: wildcarded fields zeroed,
+      addresses truncated to the consulted prefix. Packets with equal
+      projections are indistinguishable to any match whose mask is
+      subsumed by this one. *)
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+val mask_of : t -> Mask.t
+(** The fields this match constrains. *)
+
+val fields_of_match : t -> fields
+(** The match's constrained values as concrete fields (wildcards
+    zeroed) — canonical under [mask_of], the per-bucket key of the
+    tuple-space search. *)
+
+(** Hashtbl key identifying a match up to semantic equality:
+    (mask, canonical fields). Build one with {!match_key}. *)
+module Match_key : sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+val match_key : t -> Match_key.t
+
+val overlaps_region : t -> Mask.t -> fields -> bool
+(** [overlaps_region m mask rep]: could [m] match some packet of the
+    megaflow region {P | project mask P = project mask rep}? Drives
+    cache invalidation on rule insertion. *)
+
 val is_exact_overlap : t -> t -> bool
 (** True when the two matches could both match some packet — used by
-    flow-mod DELETE with loose matching semantics. Conservative
-    (may return true for disjoint matches with different masks). *)
+    flow-mod DELETE with loose matching semantics. Exact for this
+    independent-field model: returns false whenever any single field
+    carries provably disjoint constraints (different exact values, or
+    non-overlapping prefixes). *)
 
 val size : int
 (** 40 bytes encoded. *)

@@ -8,6 +8,13 @@ type metrics = {
   m_packet_ins : Counter.t;
   m_flow_mods : Counter.t;
   g_table : Gauge.t;
+  m_micro_hits : Counter.t;
+  m_mega_hits : Counter.t;
+  m_tss_hits : Counter.t;
+  m_lookup_misses : Counter.t;
+  m_invalidations : Counter.t;
+  g_micro : Gauge.t;
+  g_mega : Gauge.t;
 }
 
 let make_metrics reg =
@@ -21,7 +28,46 @@ let make_metrics reg =
     g_table =
       Registry.gauge reg ~subsystem:"openflow"
         ~help:"Flow-table entries across all switches" "flow_table_entries";
+    m_micro_hits =
+      Registry.counter reg ~subsystem:"openflow"
+        ~help:"Lookups answered by the exact-match microflow cache"
+        "microflow_hits_total";
+    m_mega_hits =
+      Registry.counter reg ~subsystem:"openflow"
+        ~help:"Lookups answered by the wildcarded megaflow cache"
+        "megaflow_hits_total";
+    m_tss_hits =
+      Registry.counter reg ~subsystem:"openflow"
+        ~help:"Lookups that fell through to the slow-path classifier and hit"
+        "tss_hits_total";
+    m_lookup_misses =
+      Registry.counter reg ~subsystem:"openflow"
+        ~help:"Lookups no flow entry matched (slow path included)"
+        "lookup_misses_total";
+    m_invalidations =
+      Registry.counter reg ~subsystem:"openflow"
+        ~help:"Microflow/megaflow cache cells dropped by flow_mod or expiry"
+        "cache_invalidations_total";
+    g_micro =
+      Registry.gauge reg ~subsystem:"openflow"
+        ~help:"Microflow cache cells across all switches" "microflow_cells";
+    g_mega =
+      Registry.gauge reg ~subsystem:"openflow"
+        ~help:"Megaflow cache cells across all switches" "megaflow_cells";
   }
+
+(* Last published per-switch values: lookup stats are accumulated
+   inside the flow table on the hot path and folded into the shared
+   registry as deltas from the expiry timer and flow_mod handler. *)
+type snap = {
+  mutable p_micro : int;
+  mutable p_mega : int;
+  mutable p_slow : int;
+  mutable p_miss : int;
+  mutable p_inv : int;
+  mutable p_micro_cells : int;
+  mutable p_mega_cells : int;
+}
 
 type t = {
   proc : Process.t;
@@ -41,7 +87,27 @@ type t = {
   mutable started : bool;
   down_ports : (int, unit) Hashtbl.t;
   mutable rev_flow_prov : (Ofmsg.flow_mod * Causal.id) list;
+  snap : snap;
 }
+
+let sync_lookup_metrics t =
+  let st = Flow_table.stats t.table in
+  let micro_cells, mega_cells = Flow_table.cache_sizes t.table in
+  let s = t.snap in
+  Counter.add t.m.m_micro_hits (st.Flow_table.micro_hits - s.p_micro);
+  Counter.add t.m.m_mega_hits (st.Flow_table.mega_hits - s.p_mega);
+  Counter.add t.m.m_tss_hits (st.Flow_table.slow_hits - s.p_slow);
+  Counter.add t.m.m_lookup_misses (st.Flow_table.misses - s.p_miss);
+  Counter.add t.m.m_invalidations (st.Flow_table.invalidations - s.p_inv);
+  Gauge.add t.m.g_micro (float_of_int (micro_cells - s.p_micro_cells));
+  Gauge.add t.m.g_mega (float_of_int (mega_cells - s.p_mega_cells));
+  s.p_micro <- st.Flow_table.micro_hits;
+  s.p_mega <- st.Flow_table.mega_hits;
+  s.p_slow <- st.Flow_table.slow_hits;
+  s.p_miss <- st.Flow_table.misses;
+  s.p_inv <- st.Flow_table.invalidations;
+  s.p_micro_cells <- micro_cells;
+  s.p_mega_cells <- mega_cells
 
 let now t = Sched.now (Process.scheduler t.proc)
 
@@ -76,6 +142,7 @@ let handle t msg xid =
           Flow_table.apply_flow_mod t.table ~now:(now t) fm;
           Gauge.add t.m.g_table
             (float_of_int (Flow_table.size t.table - before));
+          sync_lookup_metrics t;
           tracef t "flow_mod applied (table size %d)" (Flow_table.size t.table);
           List.iter (fun f -> f fm) t.flow_mod_hooks)
   | Ofmsg.Packet_out po -> List.iter (fun f -> f po) t.packet_out_hooks
@@ -135,7 +202,7 @@ let receive t bytes =
     | Ok (msg, xid) -> handle t msg xid
     | Error err -> tracef t "decode error: %s" err
 
-let create ?trace proc ~dpid ~ports endpoint =
+let create ?trace ?classifier proc ~dpid ~ports endpoint =
   let port_numbers = List.map fst ports in
   if List.length (List.sort_uniq Int.compare port_numbers) <> List.length ports
   then invalid_arg "Switch.create: duplicate port numbers";
@@ -143,7 +210,7 @@ let create ?trace proc ~dpid ~ports endpoint =
     {
       proc;
       dpid;
-      table = Flow_table.create ();
+      table = Flow_table.create ?backend:classifier ();
       endpoint;
       port_to_link = ports;
       trace;
@@ -158,6 +225,16 @@ let create ?trace proc ~dpid ~ports endpoint =
       started = false;
       down_ports = Hashtbl.create 4;
       rev_flow_prov = [];
+      snap =
+        {
+          p_micro = 0;
+          p_mega = 0;
+          p_slow = 0;
+          p_miss = 0;
+          p_inv = 0;
+          p_micro_cells = 0;
+          p_mega_cells = 0;
+        };
     }
   in
   Channel.set_receiver endpoint (fun bytes -> receive t bytes);
@@ -172,6 +249,7 @@ let start t =
            let gone = Flow_table.expire t.table ~now:(now t) in
            if gone <> [] then
              Gauge.add t.m.g_table (-.float_of_int (List.length gone));
+           sync_lookup_metrics t;
            List.iter
              (fun e -> List.iter (fun f -> f e) t.expired_hooks)
              gone))

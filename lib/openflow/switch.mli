@@ -15,13 +15,15 @@ type t
 
 val create :
   ?trace:Trace.t ->
+  ?classifier:Classifier.backend ->
   Process.t ->
   dpid:int ->
   ports:(int * int) list ->
   Channel.endpoint ->
   t
 (** [ports] maps OpenFlow port numbers to directed out-link ids of the
-    underlying topology node.
+    underlying topology node.  [classifier] selects the slow-path
+    backend of the flow table (default {!Classifier.Tss}).
     @raise Invalid_argument on duplicate port numbers. *)
 
 val start : t -> unit
@@ -46,7 +48,9 @@ val set_port_up : t -> int -> unit
 val is_port_down : t -> int -> bool
 
 val lookup : t -> Ofmatch.fields -> Flow_table.entry option
-(** Table lookup only; no side effects. *)
+(** Table lookup through the microflow/megaflow/classifier hierarchy;
+    no externally visible side effects (cache fills and hit counters
+    only). *)
 
 val packet_in : t -> in_port:int -> ?reason:int -> Bytes.t -> unit
 (** Reports a table miss (or explicit to-controller action) upstream. *)

@@ -96,6 +96,123 @@ let prop_match_exact_key_matches =
   qtest "ofmatch: exact_5tuple matches exactly its key" gen_key (fun k ->
       Ofmatch.matches (Ofmatch.exact_5tuple k) (Ofmatch.fields_of_key k))
 
+(* --- Mask / overlap semantics ------------------------------------------- *)
+
+(* Concrete fields drawn from a small universe correlated with
+   [gen_pool_match] below, so random probes actually hit rules. *)
+let pool_ip =
+  QCheck2.Gen.(
+    map2
+      (fun a b -> ip (Printf.sprintf "10.%d.%d.1" a b))
+      (int_range 0 3) (int_range 0 3))
+
+let gen_pool_fields =
+  let open QCheck2.Gen in
+  let* in_port = int_range 1 3 in
+  let* ip_src = pool_ip in
+  let* ip_dst = pool_ip in
+  let* ip_proto = oneofl [ 6; 17 ] in
+  let* tp_src = oneofl [ 80; 443; 1000 ] in
+  let* tp_dst = oneofl [ 80; 443; 1000 ] in
+  let* esrc = int_bound 3 in
+  let* edst = int_bound 3 in
+  return
+    {
+      Ofmatch.in_port;
+      eth_src = Mac.of_index esrc;
+      eth_dst = Mac.of_index edst;
+      eth_type = 0x0800;
+      ip_src;
+      ip_dst;
+      ip_proto;
+      tp_src;
+      tp_dst;
+    }
+
+let gen_pool_match =
+  let open QCheck2.Gen in
+  let opt g = option g in
+  let prefix = map2 (fun a l -> Prefix.make a l) pool_ip (oneofl [ 8; 16; 24; 32 ]) in
+  let* m_in_port = opt (int_range 1 3) in
+  let* m_ip_src = opt prefix in
+  let* m_ip_dst = opt prefix in
+  let* m_ip_proto = opt (oneofl [ 6; 17 ]) in
+  let* m_tp_src = opt (oneofl [ 80; 443; 1000 ]) in
+  let* m_tp_dst = opt (oneofl [ 80; 443; 1000 ]) in
+  let* m_eth_src = opt (map Mac.of_index (int_bound 3)) in
+  let* m_eth_dst = opt (map Mac.of_index (int_bound 3)) in
+  return
+    {
+      Ofmatch.m_in_port;
+      m_eth_src;
+      m_eth_dst;
+      m_eth_type = Some 0x0800;
+      m_ip_src;
+      m_ip_dst;
+      m_ip_proto;
+      m_tp_src;
+      m_tp_dst;
+    }
+
+let test_overlap_disjoint () =
+  let m_tp a = { Ofmatch.any with Ofmatch.m_tp_src = Some a } in
+  check Alcotest.bool "same exact value overlaps" true
+    (Ofmatch.is_exact_overlap (m_tp 80) (m_tp 80));
+  check Alcotest.bool "different exact values are disjoint" false
+    (Ofmatch.is_exact_overlap (m_tp 80) (m_tp 81));
+  check Alcotest.bool "wildcard overlaps any value" true
+    (Ofmatch.is_exact_overlap (m_tp 80) Ofmatch.any);
+  let m_dst q = Ofmatch.to_dst q in
+  check Alcotest.bool "disjoint prefixes" false
+    (Ofmatch.is_exact_overlap (m_dst (p "10.1.0.0/16")) (m_dst (p "10.2.0.0/16")));
+  check Alcotest.bool "nested prefixes overlap" true
+    (Ofmatch.is_exact_overlap (m_dst (p "10.1.0.0/16")) (m_dst (p "10.0.0.0/8")));
+  let m_mac i = { Ofmatch.any with Ofmatch.m_eth_src = Some (Mac.of_index i) } in
+  check Alcotest.bool "different macs are disjoint" false
+    (Ofmatch.is_exact_overlap (m_mac 1) (m_mac 2));
+  (* The pre-fix over-approximation: disjoint on one field even though
+     another field agrees exactly. *)
+  let a = { (m_tp 80) with Ofmatch.m_ip_proto = Some 6 } in
+  let b = { (m_tp 81) with Ofmatch.m_ip_proto = Some 6 } in
+  check Alcotest.bool "one disjoint field decides" false
+    (Ofmatch.is_exact_overlap a b)
+
+let prop_overlap_sound =
+  qtest ~count:500 "ofmatch: both match a packet => overlap"
+    QCheck2.Gen.(triple gen_pool_match gen_pool_match gen_pool_fields)
+    (fun (a, b, f) ->
+      (not (Ofmatch.matches a f && Ofmatch.matches b f))
+      || Ofmatch.is_exact_overlap a b)
+
+let prop_overlap_reflexive =
+  qtest "ofmatch: overlap is reflexive" gen_match (fun m ->
+      Ofmatch.is_exact_overlap m m)
+
+let prop_mask_canonical_key =
+  qtest ~count:500
+    "ofmatch: matches m f <=> project (mask_of m) f = fields_of_match m"
+    QCheck2.Gen.(pair gen_pool_match gen_pool_fields)
+    (fun (m, f) ->
+      let mask = Ofmatch.mask_of m in
+      Ofmatch.matches m f
+      = Ofmatch.fields_equal (Ofmatch.Mask.project mask f) (Ofmatch.fields_of_match m))
+
+let prop_mask_projection_stable =
+  qtest ~count:500 "ofmatch: projection under mask_of preserves the decision"
+    QCheck2.Gen.(pair gen_match gen_pool_fields)
+    (fun (m, f) ->
+      let mask = Ofmatch.mask_of m in
+      Ofmatch.matches m f = Ofmatch.matches m (Ofmatch.Mask.project mask f))
+
+let prop_mask_union_subsumes =
+  qtest "ofmatch: union subsumes both operands"
+    QCheck2.Gen.(pair gen_match gen_match)
+    (fun (a, b) ->
+      let ma = Ofmatch.mask_of a and mb = Ofmatch.mask_of b in
+      let u = Ofmatch.Mask.union ma mb in
+      Ofmatch.Mask.subsumes u ma && Ofmatch.Mask.subsumes u mb
+      && Ofmatch.Mask.subsumes ma Ofmatch.Mask.empty)
+
 (* --- Ofmsg codec --------------------------------------------------------- *)
 
 let gen_actions =
@@ -323,6 +440,217 @@ let test_table_equal_priority_fifo () =
   | Some e -> check Alcotest.int "older entry wins ties" 1 e.Flow_table.cookie
   | None -> Alcotest.fail "no match"
 
+(* --- Lookup hierarchy ------------------------------------------------------ *)
+
+let test_hierarchy_counters () =
+  let t = Flow_table.create () in
+  let now = Time.zero in
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~priority:5 (Ofmatch.to_dst (p "10.1.0.0/16")) [ Action.Output 1 ]);
+  let st = Flow_table.stats t in
+  (* First probe goes through the classifier and fills both caches. *)
+  check Alcotest.bool "slow path hit" true
+    (Flow_table.lookup t (fields key_ab) <> None);
+  check Alcotest.int "slow hits" 1 st.Flow_table.slow_hits;
+  (* Same packet again: microflow. *)
+  ignore (Flow_table.lookup t (fields key_ab));
+  check Alcotest.int "micro hits" 1 st.Flow_table.micro_hits;
+  (* Different packet, same /16 megaflow region: megaflow. *)
+  let other =
+    Flow_key.make ~src:(ip "10.3.0.9") ~dst:(ip "10.1.7.7") ~src_port:5
+      ~dst_port:6 ()
+  in
+  check Alcotest.bool "still a hit" true
+    (Flow_table.lookup t (fields ~in_port:2 other) <> None);
+  check Alcotest.int "mega hits" 1 st.Flow_table.mega_hits;
+  check Alcotest.int "one slow-path walk total" 1 st.Flow_table.slow_hits;
+  (* Cached misses count as cache hits on repeat. *)
+  let miss = { key_ab with Flow_key.dst = ip "11.0.0.1" } in
+  check Alcotest.bool "miss" true (Flow_table.lookup t (fields miss) = None);
+  check Alcotest.int "miss recorded" 1 st.Flow_table.misses;
+  check Alcotest.bool "miss cached" true (Flow_table.lookup t (fields miss) = None);
+  check Alcotest.int "cached miss is a micro hit" 2 st.Flow_table.micro_hits
+
+let test_add_invalidates_caches () =
+  let t = Flow_table.create () in
+  let now = Time.zero in
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~priority:1 ~cookie:1 (Ofmatch.to_dst (p "10.0.0.0/8"))
+       [ Action.Output 1 ]);
+  (match Flow_table.lookup t (fields key_ab) with
+  | Some e -> check Alcotest.int "low-priority rule first" 1 e.Flow_table.cookie
+  | None -> Alcotest.fail "expected hit");
+  (* A higher-priority rule covering the cached packet must take over
+     immediately — both the microflow and megaflow cells for it are
+     invalidated by the ADD. *)
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~priority:9 ~cookie:2 (Ofmatch.exact_5tuple key_ab)
+       [ Action.Output 2 ]);
+  (match Flow_table.lookup t (fields key_ab) with
+  | Some e -> check Alcotest.int "new rule wins" 2 e.Flow_table.cookie
+  | None -> Alcotest.fail "expected hit");
+  check Alcotest.bool "invalidations counted" true
+    ((Flow_table.stats t).Flow_table.invalidations > 0);
+  (* A cached miss must be invalidated by an ADD that covers it. *)
+  let missk = { key_ab with Flow_key.dst = ip "11.2.3.4" } in
+  check Alcotest.bool "miss" true (Flow_table.lookup t (fields missk) = None);
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~priority:3 ~cookie:7 (Ofmatch.to_dst (p "11.0.0.0/8"))
+       [ Action.Output 3 ]);
+  match Flow_table.lookup t (fields missk) with
+  | Some e -> check Alcotest.int "former miss now hits" 7 e.Flow_table.cookie
+  | None -> Alcotest.fail "cached miss survived an overlapping ADD"
+
+let test_remove_invalidates_caches () =
+  let t = Flow_table.create () in
+  let now = Time.zero in
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~priority:9 ~cookie:1 (Ofmatch.exact_5tuple key_ab)
+       [ Action.Output 1 ]);
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~priority:1 ~cookie:2
+       { Ofmatch.any with Ofmatch.m_in_port = Some 1 }
+       [ Action.Output 2 ]);
+  (match Flow_table.lookup t (fields key_ab) with
+  | Some e -> check Alcotest.int "exact rule wins" 1 e.Flow_table.cookie
+  | None -> Alcotest.fail "expected hit");
+  (* Loose delete on in_port=2 overlaps the exact rule (which leaves
+     in_port wildcarded) but is provably disjoint from the in_port=1
+     fallback — only the winner goes, and its cache cells with it. *)
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~command:Ofmsg.Delete
+       { Ofmatch.any with Ofmatch.m_in_port = Some 2 }
+       []);
+  (match Flow_table.lookup t (fields key_ab) with
+  | Some e -> check Alcotest.int "fallback after delete" 2 e.Flow_table.cookie
+  | None -> Alcotest.fail "expected fallback hit");
+  (* Expiry-driven invalidation behaves like delete. *)
+  let t2 = Flow_table.create () in
+  Flow_table.apply_flow_mod t2 ~now:Time.zero
+    (flow_mod ~hard:2 (Ofmatch.exact_5tuple key_ab) [ Action.Output 1 ]);
+  check Alcotest.bool "hit before expiry" true
+    (Flow_table.lookup t2 (fields key_ab) <> None);
+  ignore (Flow_table.expire t2 ~now:(Time.of_sec 3.0));
+  check Alcotest.bool "expired entry not served from cache" true
+    (Flow_table.lookup t2 (fields key_ab) = None)
+
+let test_modify_invalidates_caches () =
+  let t = Flow_table.create () in
+  let now = Time.zero in
+  let m = Ofmatch.exact_5tuple key_ab in
+  Flow_table.apply_flow_mod t ~now (flow_mod m [ Action.Output 1 ]);
+  ignore (Flow_table.lookup t (fields key_ab));
+  Flow_table.apply_flow_mod t ~now
+    (flow_mod ~command:Ofmsg.Modify m [ Action.Output 7 ]);
+  match Flow_table.lookup t (fields key_ab) with
+  | Some e ->
+      check Alcotest.bool "cache serves rewritten actions" true
+        (List.equal Action.equal [ Action.Output 7 ] e.Flow_table.actions)
+  | None -> Alcotest.fail "missing"
+
+let test_o1_size_no_resort () =
+  let t = Flow_table.create () in
+  let now = Time.zero in
+  let probe = fields key_ab in
+  for i = 0 to 999 do
+    let dst = Ipv4.of_octets 10 ((i lsr 8) land 0xFF) (i land 0xFF) 0 in
+    Flow_table.apply_flow_mod t ~now
+      (flow_mod ~priority:(i mod 7) (Ofmatch.to_dst (Prefix.make dst 24))
+         [ Action.Output 1 ]);
+    ignore (Flow_table.lookup t probe)
+  done;
+  check Alcotest.int "O(1) live count" 1000 (Flow_table.size t);
+  let st = Flow_table.stats t in
+  check Alcotest.int "hot path never sorts the table" 0 st.Flow_table.view_sorts;
+  (* Only the sorted iteration / reference paths pay for a sort. *)
+  check Alcotest.int "entries sees all rules" 1000 (List.length (Flow_table.entries t));
+  check Alcotest.bool "one lazy sort for the view" true (st.Flow_table.view_sorts >= 1);
+  let sorts_before = st.Flow_table.view_sorts in
+  ignore (Flow_table.lookup_reference t probe);
+  check Alcotest.int "view cached across reads" sorts_before
+    (Flow_table.stats t).Flow_table.view_sorts
+
+(* Differential suite: random flow_mod / traffic / expiry
+   interleavings; on every probe the hierarchy must return the
+   physically-same entry as the preserved linear scan — for both
+   classifier backends. *)
+let gen_op =
+  let open QCheck2.Gen in
+  let gen_fm =
+    let* match_ = gen_pool_match in
+    let* command = frequency [ (6, return Ofmsg.Add); (1, return Ofmsg.Modify); (1, return Ofmsg.Delete) ] in
+    let* priority = int_range 0 9 in
+    let* idle = frequency [ (4, return 0); (1, int_range 1 3) ] in
+    let* hard = frequency [ (4, return 0); (1, int_range 1 3) ] in
+    let* cookie = int_bound 1000 in
+    let* actions = gen_actions in
+    return
+      (`Mod
+        {
+          Ofmsg.match_;
+          cookie;
+          command;
+          idle_timeout_s = idle;
+          hard_timeout_s = hard;
+          priority;
+          actions;
+        })
+  in
+  frequency
+    [
+      (3, gen_fm);
+      (6, map (fun f -> `Probe f) gen_pool_fields);
+      (1, return `Tick);
+    ]
+
+let run_differential backend ops =
+  let t = Flow_table.create ~backend () in
+  let now = ref Time.zero in
+  List.for_all
+    (fun op ->
+      match op with
+      | `Mod fm ->
+          Flow_table.apply_flow_mod t ~now:!now fm;
+          true
+      | `Tick ->
+          now := Time.add !now (Time.of_sec 1.0);
+          ignore (Flow_table.expire t ~now:!now);
+          true
+      | `Probe f -> (
+          match (Flow_table.lookup t f, Flow_table.lookup_reference t f) with
+          | Some a, Some b -> a == b
+          | None, None -> true
+          | _ -> false))
+    ops
+
+let prop_differential =
+  qtest ~count:150 "flow_table: hierarchy == reference (both backends)"
+    QCheck2.Gen.(list_size (int_range 10 80) gen_op)
+    (fun ops ->
+      run_differential Classifier.Tss ops
+      && run_differential Classifier.Interval ops)
+
+let test_interval_rebuild () =
+  let cls = Classifier.create ~backend:Classifier.Interval () in
+  for i = 0 to 199 do
+    let dst = Ipv4.of_octets 10 0 (i land 0xFF) 0 in
+    Classifier.insert cls
+      ~match_:(Ofmatch.to_dst (Prefix.make dst 24))
+      ~priority:(i mod 5) ~seq:i i
+  done;
+  check Alcotest.int "all rules live" 200 (Classifier.length cls);
+  check Alcotest.int "no rebuild before first lookup" 0 (Classifier.rebuilds cls);
+  let probe = fields { key_ab with Flow_key.dst = ip "10.0.7.9" } in
+  (match Classifier.lookup cls probe with
+  | Some r, _ -> check Alcotest.int "right rule" 7 r.Classifier.r_seq
+  | None, _ -> Alcotest.fail "expected hit");
+  check Alcotest.int "lazy rebuild happened" 1 (Classifier.rebuilds cls);
+  Classifier.remove cls ~match_:(Ofmatch.to_dst (p "10.0.7.0/24")) ~seq:7;
+  (match Classifier.lookup cls probe with
+  | Some r, _ -> Alcotest.failf "tombstoned rule served (seq %d)" r.Classifier.r_seq
+  | None, _ -> ());
+  check Alcotest.int "length tracks tombstones" 199 (Classifier.length cls)
+
 (* --- Switch agent ----------------------------------------------------------- *)
 
 (* A switch agent plus a raw test controller endpoint. *)
@@ -487,6 +815,12 @@ let () =
           Alcotest.test_case "in_port" `Quick test_match_in_port;
           prop_match_codec_roundtrip;
           prop_match_exact_key_matches;
+          Alcotest.test_case "overlap disjointness" `Quick test_overlap_disjoint;
+          prop_overlap_sound;
+          prop_overlap_reflexive;
+          prop_mask_canonical_key;
+          prop_mask_projection_stable;
+          prop_mask_union_subsumes;
         ] );
       ( "codec",
         [
@@ -503,6 +837,18 @@ let () =
           Alcotest.test_case "timeouts" `Quick test_table_timeouts;
           Alcotest.test_case "equal priority fifo" `Quick
             test_table_equal_priority_fifo;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "hit counters" `Quick test_hierarchy_counters;
+          Alcotest.test_case "add invalidates" `Quick test_add_invalidates_caches;
+          Alcotest.test_case "remove invalidates" `Quick
+            test_remove_invalidates_caches;
+          Alcotest.test_case "modify invalidates" `Quick
+            test_modify_invalidates_caches;
+          Alcotest.test_case "O(1) size, no resort" `Quick test_o1_size_no_resort;
+          Alcotest.test_case "interval lazy rebuild" `Quick test_interval_rebuild;
+          prop_differential;
         ] );
       ( "switch",
         [
