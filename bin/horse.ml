@@ -598,6 +598,110 @@ let wan_cmd =
       $ increment_arg $ max_wall_arg $ no_causal_arg $ profile_arg $ faults_arg
       $ fail_arg $ metrics_out_arg $ trace_out_arg $ report_arg)
 
+(* --- megauser -------------------------------------------------------------- *)
+
+let megauser_cmd =
+  let classes_arg =
+    let doc = "Peak number of concurrent flow classes." in
+    Arg.(value & opt int 20_000 & info [ "classes" ] ~docv:"N" ~doc)
+  in
+  let users_arg =
+    let doc = "Total users represented at peak." in
+    Arg.(value & opt int 1_000_000 & info [ "users" ] ~docv:"N" ~doc)
+  in
+  let user_demand_arg =
+    let doc = "Per-user demand, bits per second." in
+    Arg.(value & opt float 150e3 & info [ "user-demand" ] ~docv:"BPS" ~doc)
+  in
+  let cities_arg =
+    let doc =
+      "Build a random connected WAN with $(docv) cities instead of Abilene \
+       (average degree 4)."
+    in
+    Arg.(value & opt (some int) None & info [ "cities" ] ~docv:"N" ~doc)
+  in
+  let sites_arg =
+    let doc = "Anycast CDN replica sites." in
+    Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N" ~doc)
+  in
+  let ticks_arg =
+    let doc = "Diurnal schedule granularity (ticks per day)." in
+    Arg.(value & opt int 48 & info [ "ticks" ] ~docv:"N" ~doc)
+  in
+  let headroom_arg =
+    let doc = "Capacity-planning headroom over expected peak link load." in
+    Arg.(value & opt float 1.1 & info [ "headroom" ] ~docv:"FACTOR" ~doc)
+  in
+  let solver_conv =
+    let parse = function
+      | "delta" -> Ok Horse_dataplane.Fluid.Delta
+      | "component" -> Ok Horse_dataplane.Fluid.Component
+      | s -> Error (`Msg (Printf.sprintf "unknown solver %S" s))
+    in
+    let print fmt = function
+      | Horse_dataplane.Fluid.Delta -> Format.pp_print_string fmt "delta"
+      | Horse_dataplane.Fluid.Component ->
+          Format.pp_print_string fmt "component"
+    in
+    Arg.conv (parse, print)
+  in
+  let solver_arg =
+    let doc = "Fair-share solver: delta (incremental) or component." in
+    Arg.(
+      value
+      & opt solver_conv Horse_dataplane.Fluid.Delta
+      & info [ "solver" ] ~docv:"SOLVER" ~doc)
+  in
+  let eager_arg =
+    let doc = "Solve on every event instead of coalescing per instant." in
+    Arg.(value & flag & info [ "eager" ] ~doc)
+  in
+  let run duration seed classes users user_demand cities sites ticks headroom
+      solver eager metrics_out report =
+    let wan =
+      Option.map
+        (fun n -> Wan.random_gnp ~seed ~n ~p:(4.0 /. float_of_int n) ())
+        cities
+    in
+    let r =
+      Scenario.run_wan_megauser ~seed ~solver ~eager ?wan ~classes ~users
+        ~user_demand ~headroom ~sites ~ticks
+        ~duration:(Time.of_sec duration) ()
+    in
+    Format.printf "%a@." Scenario.pp_megauser_result r;
+    Format.printf "@.aggregate rate (Gbps):@.";
+    Horse_stats.Ascii.plot ~height:10 Format.std_formatter
+      [
+        ( "aggregate",
+          Horse_stats.Series.map r.Scenario.mu_aggregate ~f:(fun v ->
+              v /. 1e9) );
+      ];
+    (match r.Scenario.mu_delta with
+    | Some d ->
+        Format.printf
+          "@.delta solver: %d solves, %d flows touched, %d links touched, %d \
+           expansions, %d promotions@."
+          d.Horse_dataplane.Fair_share.Delta.solves
+          d.Horse_dataplane.Fair_share.Delta.flows_touched
+          d.Horse_dataplane.Fair_share.Delta.links_touched
+          d.Horse_dataplane.Fair_share.Delta.expansions
+          d.Horse_dataplane.Fair_share.Delta.promotions
+    | None -> ());
+    emit_telemetry ~stats:r.Scenario.mu_sched_stats ~metrics_out
+      ~trace_out:None ~report r.Scenario.mu_registry
+  in
+  let doc =
+    "Run the million-user CDN/anycast workload (gravity traffic matrix, \
+     diurnal flow-class churn, mid-day replica drain) through the delta \
+     fair-share solver."
+  in
+  Cmd.v
+    (Cmd.info "megauser" ~doc)
+    Term.(
+      const run $ duration_arg $ seed_arg $ classes_arg $ users_arg
+      $ user_demand_arg $ cities_arg $ sites_arg $ ticks_arg $ headroom_arg
+      $ solver_arg $ eager_arg $ metrics_out_arg $ report_arg)
+
 (* --- topo ------------------------------------------------------------------ *)
 
 let topo_cmd =
@@ -630,4 +734,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ te_cmd; multicore_cmd; fig1_cmd; baseline_cmd; wan_cmd; topo_cmd ]))
+          [
+            te_cmd; multicore_cmd; fig1_cmd; baseline_cmd; wan_cmd;
+            megauser_cmd; topo_cmd;
+          ]))

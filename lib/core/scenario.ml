@@ -286,6 +286,328 @@ let run_fat_tree_te ?(seed = 42) ?(sample_every = Time.of_ms 500) ?config
       (match provenance with Some f -> f () | None -> []);
   }
 
+(* --- Million-user CDN/anycast workload on the WAN -------------------- *)
+
+type megauser_result = {
+  mu_cities : int;
+  mu_sites : int;
+  mu_classes_started : int;
+  mu_classes_peak : int;
+  mu_users_peak : int;
+  mu_events : int;
+  mu_reroutes : int;
+  mu_solves : int;
+  mu_solve_work : int;
+  mu_delta : Fair_share.Delta.stats option;
+  mu_setup_wall_s : float;
+  mu_run_wall_s : float;
+  mu_delivered_bits : float;
+  mu_aggregate : Series.t;
+  mu_sched_stats : Sched.stats;
+  mu_registry : Horse_telemetry.Registry.t;
+}
+
+(* One traffic-matrix cell: users in [city] consuming [content]'s
+   service, served from the anycast [served_by] replica. The cell's
+   aggregate demand is carved into [k] flow classes that arrive and
+   depart with the city's diurnal cycle. *)
+type mu_cell = {
+  mc_city : int;
+  mc_content : int;
+  mc_k : int;
+  mc_demand : float;  (* per class, bps *)
+  mc_users : int;  (* per class *)
+  mutable mc_served_by : int;
+  mutable mc_active : Flow.t list;  (* newest first *)
+  mutable mc_seq : int;
+}
+
+let run_wan_megauser ?(seed = 42) ?config ?(solver = Fluid.Delta)
+    ?(eager = false) ?wan ?(classes = 20_000) ?(users = 1_000_000)
+    ?(user_demand = 150e3) ?(headroom = 1.1) ?(sites = 3) ?(ticks = 48)
+    ?(sample_every = Time.of_ms 500) ?(duration = Time.of_sec 60.0) () =
+  let wan = match wan with Some w -> w | None -> Wan.abilene () in
+  let n_cities = Array.length wan.Wan.routers in
+  if sites < 1 || sites > n_cities then
+    invalid_arg "run_wan_megauser: sites outside [1, cities]";
+  if classes < 1 then invalid_arg "run_wan_megauser: classes < 1";
+  if ticks < 1 then invalid_arg "run_wan_megauser: ticks < 1";
+  let state, setup_wall_s =
+    Wall.time (fun () ->
+        let topo = wan.Wan.topo in
+        let hosts = Wan.attach_hosts ~capacity:40e9 wan in
+        let sched = Sched.create ?config () in
+        let fluid = Fluid.create ~eager ~solver sched topo in
+        ignore seed;
+        (* Anycast replicas: site cities spread across the index range
+           (for Abilene that is roughly west-to-east). *)
+        let site_city = Array.init sites (fun s -> s * n_cities / sites) in
+        let site_tree =
+          Array.map
+            (fun c -> Spf.shortest_tree topo ~src:hosts.(c).Topology.id)
+            site_city
+        in
+        (* Per city: replica sites ranked by shortest-path distance. *)
+        let ranked =
+          Array.init n_cities (fun c ->
+              let ds =
+                Array.mapi
+                  (fun s tree ->
+                    ( Option.value
+                        (Spf.distance tree hosts.(c).Topology.id)
+                        ~default:max_int,
+                      s ))
+                  site_tree
+              in
+              Array.sort compare ds;
+              Array.map snd ds)
+        in
+        let path_from_site s c =
+          if site_city.(s) = c then [] (* served in-city: unconstrained *)
+          else
+            Option.value
+              (Spf.first_path site_tree.(s) topo ~dst:hosts.(c).Topology.id)
+              ~default:[]
+        in
+        (* Gravity traffic matrix over the cities; cell (i, j) is city
+           i's users consuming content j, delivered from i's nearest
+           replica. *)
+        let masses = Traffic_matrix.zipf_masses n_cities in
+        let total_demand = float_of_int users *. user_demand in
+        let tm = Traffic_matrix.gravity ~total:total_demand ~masses in
+        let cells = ref [] in
+        Traffic_matrix.iter tm (fun ~src ~dst d ->
+            let k =
+              max 1
+                (int_of_float
+                   (Float.round (float_of_int classes *. d /. total_demand)))
+            in
+            cells :=
+              {
+                mc_city = src;
+                mc_content = dst;
+                mc_k = k;
+                mc_demand = d /. float_of_int k;
+                mc_users =
+                  max 1
+                    (int_of_float
+                       (Float.round
+                          (float_of_int users *. d /. total_demand
+                          /. float_of_int k)));
+                mc_served_by = ranked.(src).(0);
+                mc_active = [];
+                mc_seq = 0;
+              }
+              :: !cells);
+        let cells = Array.of_list (List.rev !cells) in
+        (* Capacity planning: size every link for its expected peak
+           load plus headroom, the way operators provision a WAN
+           against a forecast matrix. The diurnal swing then rides
+           within plan — the delta solver's fast path proves the
+           bottleneck set never moves — while the unplanned mid-day
+           site drain concentrates load onto paths sized for someone
+           else's traffic and genuinely saturates them. *)
+        let expected : (int, float) Hashtbl.t = Hashtbl.create 64 in
+        Array.iter
+          (fun (cell : mu_cell) ->
+            let agg = float_of_int cell.mc_k *. cell.mc_demand in
+            List.iter
+              (fun (l : Topology.link) ->
+                let cur =
+                  Option.value
+                    (Hashtbl.find_opt expected l.Topology.link_id)
+                    ~default:0.0
+                in
+                Hashtbl.replace expected l.Topology.link_id (cur +. agg))
+              (path_from_site cell.mc_served_by cell.mc_city))
+          cells;
+        Hashtbl.iter
+          (fun lid load ->
+            let l = Topology.link topo lid in
+            if l.Topology.capacity < headroom *. load then
+              Topology.set_capacity topo lid (headroom *. load))
+          expected;
+        let duration_s = Time.to_sec duration in
+        let phase_of c =
+          (* Time-zone spread: a quarter-cycle of phase across the
+             city list, west to east. *)
+          0.25 *. float_of_int c /. float_of_int (max 1 (n_cities - 1))
+        in
+        let reroutes = ref 0 in
+        let classes_peak = ref 0 and users_peak = ref 0 in
+        let start_class (cell : mu_cell) =
+          let city_host = hosts.(cell.mc_city) in
+          let site_host = hosts.(site_city.(cell.mc_served_by)) in
+          match (site_host.Topology.ip, city_host.Topology.ip) with
+          | Some src, Some dst ->
+              let key =
+                Flow_key.make ~src ~dst
+                  ~src_port:(8000 + (cell.mc_content mod 50000))
+                  ~dst_port:(10000 + (cell.mc_seq mod 50000))
+                  ()
+              in
+              cell.mc_seq <- cell.mc_seq + 1;
+              let path = path_from_site cell.mc_served_by cell.mc_city in
+              let f =
+                Fluid.start_flow ~demand:cell.mc_demand ~users:cell.mc_users
+                  fluid ~key ~path
+              in
+              cell.mc_active <- f :: cell.mc_active
+          | None, _ | _, None -> assert false (* WAN hosts have IPs *)
+        in
+        let stop_class (cell : mu_cell) =
+          match cell.mc_active with
+          | [] -> ()
+          | f :: rest ->
+              cell.mc_active <- rest;
+              Fluid.stop_flow fluid f
+        in
+        let tick_dt = duration_s /. float_of_int ticks in
+        let tick m =
+          let t_s = float_of_int m *. tick_dt in
+          let now = Sched.now sched in
+          Array.iter
+            (fun (cell : mu_cell) ->
+              let f =
+                Traffic_matrix.diurnal_factor ~period_s:duration_s
+                  ~phase:(phase_of cell.mc_city) t_s
+              in
+              let target =
+                max 0
+                  (int_of_float (Float.round (float_of_int cell.mc_k *. f)))
+              in
+              let cur = List.length cell.mc_active in
+              let delta = target - cur in
+              (* Spread the cell's arrivals/departures across the tick
+                 window so each is its own solve instant. *)
+              for j = 0 to abs delta - 1 do
+                let at =
+                  Time.add now
+                    (Time.of_sec
+                       (tick_dt
+                       *. float_of_int (j + 1)
+                       /. float_of_int (abs delta + 1)))
+                in
+                ignore
+                  (Sched.schedule_at sched at (fun () ->
+                       if delta > 0 then start_class cell else stop_class cell))
+              done)
+            cells;
+          classes_peak := max !classes_peak (Fluid.flow_count fluid);
+          users_peak := max !users_peak (Fluid.active_users fluid)
+        in
+        for m = 0 to ticks - 1 do
+          ignore
+            (Sched.schedule_at sched
+               (Time.of_sec (float_of_int m *. tick_dt))
+               (fun () -> tick m))
+        done;
+        (* Anycast steering: halfway through the day the busiest
+           replica drains for maintenance, and every cell it serves is
+           steered to the city's next-nearest site — a reroute storm
+           that pushes its load onto paths planned for someone else's
+           traffic. The site returns at 5/8 of the day and traffic is
+           steered home, so the congested regime is a bounded window,
+           as a real maintenance drain is. *)
+        (if sites > 1 then begin
+           let drained = ref [] in
+           let drain () =
+             let served = Array.make sites 0 in
+             Array.iter
+               (fun (c : mu_cell) ->
+                 served.(c.mc_served_by) <-
+                   served.(c.mc_served_by) + List.length c.mc_active)
+               cells;
+             let busiest = ref 0 in
+             Array.iteri
+               (fun s n -> if n > served.(!busiest) then busiest := s)
+               served;
+             Array.iter
+               (fun (cell : mu_cell) ->
+                 if cell.mc_served_by = !busiest then begin
+                   let alt =
+                     Array.fold_left
+                       (fun acc s -> if acc = -1 && s <> !busiest then s else acc)
+                       (-1) ranked.(cell.mc_city)
+                   in
+                   drained := (cell, !busiest) :: !drained;
+                   cell.mc_served_by <- alt;
+                   let path = path_from_site alt cell.mc_city in
+                   List.iter
+                     (fun f ->
+                       if f.Flow.active then begin
+                         Fluid.set_path fluid f path;
+                         incr reroutes
+                       end)
+                     cell.mc_active
+                 end)
+               cells
+           in
+           let restore () =
+             List.iter
+               (fun ((cell : mu_cell), home) ->
+                 cell.mc_served_by <- home;
+                 let path = path_from_site home cell.mc_city in
+                 List.iter
+                   (fun f ->
+                     if f.Flow.active then begin
+                       Fluid.set_path fluid f path;
+                       incr reroutes
+                     end)
+                   cell.mc_active)
+               !drained;
+             drained := []
+           in
+           ignore
+             (Sched.schedule_at sched
+                (Time.of_sec (duration_s /. 2.0))
+                (fun () -> drain ()));
+           ignore
+             (Sched.schedule_at sched
+                (Time.of_sec (duration_s *. 0.625))
+                (fun () -> restore ()))
+         end);
+        Fluid.start_sampling fluid ~every:sample_every;
+        (sched, fluid, reroutes, classes_peak, users_peak))
+  in
+  let sched, fluid, reroutes, classes_peak, users_peak = state in
+  let sched_stats, run_wall_s =
+    Wall.time (fun () -> Sched.run ~until:duration sched)
+  in
+  {
+    mu_cities = n_cities;
+    mu_sites = sites;
+    mu_classes_started =
+      Fluid.flow_count fluid + Fluid.completed_flow_count fluid;
+    mu_classes_peak = !classes_peak;
+    mu_users_peak = !users_peak;
+    mu_events = Fluid.recompute_requests fluid;
+    mu_reroutes = !reroutes;
+    mu_solves = Fluid.recompute_count fluid;
+    mu_solve_work = Fluid.solve_work fluid;
+    mu_delta = Fluid.delta_stats fluid;
+    mu_setup_wall_s = setup_wall_s;
+    mu_run_wall_s = run_wall_s;
+    mu_delivered_bits = Fluid.total_delivered_bits fluid;
+    mu_aggregate = Fluid.aggregate_series fluid;
+    mu_sched_stats = sched_stats;
+    mu_registry = Sched.registry sched;
+  }
+
+let pp_megauser_result fmt r =
+  Format.fprintf fmt
+    "@[<v>megauser: %d cities, %d sites, %d classes started (peak %d, %d \
+     users)@,\
+     %d events (%d reroutes) -> %d solves, %d flows of solve work (%.1f per \
+     event)@,\
+     setup %.3fs wall, run %.3fs wall; delivered %.4g bits, mean aggregate \
+     %.2f Gbps@]"
+    r.mu_cities r.mu_sites r.mu_classes_started r.mu_classes_peak
+    r.mu_users_peak r.mu_events r.mu_reroutes r.mu_solves r.mu_solve_work
+    (float_of_int r.mu_solve_work /. float_of_int (max 1 r.mu_events))
+    r.mu_setup_wall_s r.mu_run_wall_s r.mu_delivered_bits
+    (Series.mean r.mu_aggregate /. 1e9)
+
 let pp_result fmt r =
   Format.fprintf fmt
     "@[<v>%s pods=%d hosts=%d@,\

@@ -80,3 +80,66 @@ val run_fat_tree_te :
     non-OpenFlow scenarios). *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Million-user CDN/anycast workload}
+
+    A compressed "day" of CDN traffic on the WAN: Zipf city masses
+    feed a {!Horse_topo.Traffic_matrix.gravity} demand matrix, each
+    cell is carved into flow classes (one fluid flow standing for
+    thousands of users, {!Horse_dataplane.Flow.t}[.users]) served from
+    the city's nearest anycast replica, classes arrive and depart with
+    each city's diurnal cycle (phase-shifted by time zone), and
+    halfway through the day the busiest replica drains — steering
+    every class it serves to the next-nearest site in one reroute
+    storm. Exercises the delta fair-share solver end to end. *)
+
+type megauser_result = {
+  mu_cities : int;
+  mu_sites : int;
+  mu_classes_started : int;  (** classes ever admitted *)
+  mu_classes_peak : int;  (** max concurrent classes (sampled at ticks) *)
+  mu_users_peak : int;  (** max concurrent users represented *)
+  mu_events : int;  (** arrivals + departures + reroutes *)
+  mu_reroutes : int;
+  mu_solves : int;  (** rate solves actually executed *)
+  mu_solve_work : int;  (** total flows entering solves *)
+  mu_delta : Horse_dataplane.Fair_share.Delta.stats option;
+      (** [None] when the component solver was selected *)
+  mu_setup_wall_s : float;
+  mu_run_wall_s : float;
+  mu_delivered_bits : float;
+  mu_aggregate : Series.t;
+  mu_sched_stats : Sched.stats;
+  mu_registry : Horse_telemetry.Registry.t;
+}
+
+val run_wan_megauser :
+  ?seed:int ->
+  ?config:Sched.config ->
+  ?solver:Horse_dataplane.Fluid.solver ->
+  ?eager:bool ->
+  ?wan:Horse_topo.Wan.t ->
+  ?classes:int ->
+  ?users:int ->
+  ?user_demand:float ->
+  ?headroom:float ->
+  ?sites:int ->
+  ?ticks:int ->
+  ?sample_every:Time.t ->
+  ?duration:Time.t ->
+  unit ->
+  megauser_result
+(** Defaults: Abilene WAN, 20 000 peak flow classes standing for
+    1 000 000 users at 150 kbps each, 3 anycast sites, 48 diurnal
+    ticks over a 60 s virtual day, the incremental delta solver with
+    coalesced (non-eager) recomputes. Links are capacity-planned for
+    [headroom] (default 1.1) times their expected peak load, so the
+    diurnal swing stays within plan — the solver's O(1) fast path —
+    until the drain event concentrates load and saturates the
+    under-planned paths for real. [classes], [users] and
+    [user_demand] scale the workload; [eager] forces a solve per
+    event (used by the A/B benchmarks).
+    @raise Invalid_argument on [sites] outside [1, cities],
+    [classes < 1] or [ticks < 1]. *)
+
+val pp_megauser_result : Format.formatter -> megauser_result -> unit

@@ -215,12 +215,15 @@ let build ?(channel_latency = Time.of_ms 1) ?classifier ~cm ~fluid topo =
               | None -> 0
               | Some link_id ->
                   (* Approximate: cumulative bits of flows currently
-                     crossing the link. *)
-                  List.fold_left
-                    (fun acc f ->
-                      acc + int_of_float (Fluid.delivered_bits fluid f /. 8.0))
-                    0
-                    (Fluid.flows_on_link fluid link_id)
+                     crossing the link. Iterated, not listed — the
+                     stats poller runs every polling interval on every
+                     port, so this path stays allocation-free. *)
+                  let acc = ref 0 in
+                  Fluid.iter_flows_on_link fluid link_id (fun f ->
+                      acc :=
+                        !acc
+                        + int_of_float (Fluid.delivered_bits fluid f /. 8.0));
+                  !acc
             in
             {
               Ofmsg.ps_port = port;

@@ -5,6 +5,7 @@ type t = {
   id : int;
   key : Flow_key.t;
   demand : float;
+  users : int;
   started : Time.t;
   mutable path : Horse_topo.Spf.path;
   mutable rate : float;
@@ -25,6 +26,7 @@ let dst_node t =
 let link_ids t = List.map (fun l -> l.Horse_topo.Topology.link_id) t.path
 
 let pp fmt t =
-  Format.fprintf fmt "flow#%d %a demand=%.3gMbps rate=%.3gMbps hops=%d%s" t.id
+  Format.fprintf fmt "flow#%d %a demand=%.3gMbps rate=%.3gMbps hops=%d%s%s" t.id
     Flow_key.pp t.key (t.demand /. 1e6) (t.rate /. 1e6) (List.length t.path)
+    (if t.users = 1 then "" else Printf.sprintf " users=%d" t.users)
     (if t.active then "" else " (stopped)")

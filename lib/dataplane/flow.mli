@@ -11,7 +11,12 @@ open Horse_engine
 type t = {
   id : int;
   key : Flow_key.t;
-  demand : float;  (** offered rate, bps *)
+  demand : float;  (** aggregate offered rate of the class, bps *)
+  users : int;
+      (** multiplicity: one fluid flow standing for [users] users of a
+          service (a {e flow class}, the million-user workload unit).
+          1 for an ordinary flow; [demand] and [delivered_bits] are
+          class aggregates, so per-user figures divide by this. *)
   started : Time.t;
   mutable path : Horse_topo.Spf.path;
   mutable rate : float;  (** current allocated rate, bps *)

@@ -12,9 +12,14 @@ type metrics = {
   m_recomputes : Counter.t;
   m_recompute_requests : Counter.t;
   g_active : Gauge.t;
+  g_users : Gauge.t;
   h_duration : Histogram.t;
   h_recompute_wall : Histogram.t;
   h_recompute_flows : Histogram.t;
+  m_delta_flows_touched : Counter.t;
+  m_delta_links_touched : Counter.t;
+  m_delta_expansions : Counter.t;
+  m_delta_promotions : Counter.t;
 }
 
 let make_metrics reg =
@@ -49,6 +54,27 @@ let make_metrics reg =
       Registry.histogram reg ~subsystem:"fluid"
         ~help:"Flows touched by one fair-share recompute" ~lo:1.0 ~hi:1e6
         "recompute_flows";
+    g_users =
+      Registry.gauge reg ~subsystem:"fluid"
+        ~help:"Users represented by the active flow classes" "active_users";
+    m_delta_flows_touched =
+      Registry.counter reg ~subsystem:"fluid"
+        ~help:
+          "Flows entering a delta-scoped water fill (the incremental \
+           solver's work metric)"
+        "delta_flows_touched_total";
+    m_delta_links_touched =
+      Registry.counter reg ~subsystem:"fluid"
+        ~help:"Links entering a delta-scoped water fill"
+        "delta_links_touched_total";
+    m_delta_expansions =
+      Registry.counter reg ~subsystem:"fluid"
+        ~help:"Delta-solve fixpoint iterations beyond the first"
+        "delta_expansions_total";
+    m_delta_promotions =
+      Registry.counter reg ~subsystem:"fluid"
+        ~help:"Clamped flows promoted into a delta-solve scope"
+        "delta_promotions_total";
   }
 
 type finite_state = {
@@ -59,12 +85,15 @@ type finite_state = {
 
 module Key_tbl = Flow_key.Table
 
+type solver = Component | Delta
+
 type t = {
   sched : Sched.t;
   topo : Topology.t;
   m : metrics;
   eager : bool;
   arena : Fair_share.arena;
+  delta : Fair_share.Delta.t option;  (* Some iff solver = Delta *)
   (* Indexed flow state: stopped flows retire out of every scan
      path. *)
   active : (int, Flow.t) Hashtbl.t;  (* flow id -> active flow *)
@@ -74,9 +103,11 @@ type t = {
   dst_index : (int, (int, Flow.t) Hashtbl.t) Hashtbl.t;
       (* dst node -> active terminating flows by id *)
   mutable n_active : int;
+  mutable n_users : int;
   mutable next_id : int;
   mutable recomputes : int;
   mutable recompute_requests : int;
+  mutable solve_work : int;  (* flows entering a solve, summed *)
   (* Completed accumulators. *)
   mutable completed_bits : float;
   mutable completed_flows : int;
@@ -93,21 +124,31 @@ type t = {
   mutable sampler : Sched.recurring option;
 }
 
-let create ?(eager = false) sched topo =
+let create ?(eager = false) ?(solver = Delta) sched topo =
   {
     sched;
     topo;
     m = make_metrics (Sched.registry sched);
     eager;
     arena = Fair_share.create_arena ();
+    delta =
+      (match solver with
+      | Component -> None
+      | Delta ->
+          Some
+            (Fair_share.Delta.create
+               ~capacity:(fun l -> (Topology.link topo l).Topology.capacity)
+               ()));
     active = Hashtbl.create 256;
     by_key = Key_tbl.create 256;
     link_index = Hashtbl.create 256;
     dst_index = Hashtbl.create 64;
     n_active = 0;
+    n_users = 0;
     next_id = 0;
     recomputes = 0;
     recompute_requests = 0;
+    solve_work = 0;
     completed_bits = 0.0;
     completed_flows = 0;
     dirty = false;
@@ -209,7 +250,49 @@ let component_of t ~seed_flows ~seed_links =
   done;
   flows
 
+(* A solve either drains through the delta engine (persistent
+   bottleneck state, event-scoped water fill) or re-solves the dirty
+   component from scratch (the PR 2 path, kept for A/B benchmarks). *)
 let rec solve t =
+  match t.delta with
+  | Some d -> solve_delta t d
+  | None -> solve_component t
+
+and solve_delta t d =
+  let wall0 = Wall.now () in
+  let now = Sched.now t.sched in
+  t.dirty <- false;
+  t.dirty_flows <- [];
+  t.dirty_links <- [];
+  let before = Fair_share.Delta.stats d in
+  Fair_share.Delta.flush d;
+  let after = Fair_share.Delta.stats d in
+  let touched =
+    List.filter_map
+      (fun fid -> Hashtbl.find_opt t.active fid)
+      (Fair_share.Delta.touched d)
+  in
+  List.iter
+    (fun (f : Flow.t) ->
+      integrate_flow now f;
+      f.Flow.rate <- Fair_share.Delta.rate d ~id:f.Flow.id)
+    touched;
+  let work = after.Fair_share.Delta.flows_touched - before.Fair_share.Delta.flows_touched in
+  t.solve_work <- t.solve_work + work;
+  t.recomputes <- t.recomputes + 1;
+  Counter.incr t.m.m_recomputes;
+  Counter.add t.m.m_delta_flows_touched work;
+  Counter.add t.m.m_delta_links_touched
+    (after.Fair_share.Delta.links_touched - before.Fair_share.Delta.links_touched);
+  Counter.add t.m.m_delta_expansions
+    (after.Fair_share.Delta.expansions - before.Fair_share.Delta.expansions);
+  Counter.add t.m.m_delta_promotions
+    (after.Fair_share.Delta.promotions - before.Fair_share.Delta.promotions);
+  Histogram.add t.m.h_recompute_flows (float_of_int work);
+  List.iter (fun f -> aim_completion t f) touched;
+  Histogram.add t.m.h_recompute_wall (Wall.now () -. wall0)
+
+and solve_component t =
   let wall0 = Wall.now () in
   let now = Sched.now t.sched in
   let seed_flows = t.dirty_flows and seed_links = t.dirty_links in
@@ -241,6 +324,7 @@ let rec solve t =
       inputs
   in
   Array.iteri (fun i (f : Flow.t) -> f.Flow.rate <- rates.(i)) scope;
+  t.solve_work <- t.solve_work + Array.length scope;
   t.recomputes <- t.recomputes + 1;
   Counter.incr t.m.m_recomputes;
   Histogram.add t.m.h_recompute_flows (float_of_int (Array.length scope));
@@ -255,8 +339,11 @@ let rec solve t =
 and request_recompute t ~flows ~links =
   t.recompute_requests <- t.recompute_requests + 1;
   Counter.incr t.m.m_recompute_requests;
-  t.dirty_flows <- List.rev_append flows t.dirty_flows;
-  t.dirty_links <- List.rev_append links t.dirty_links;
+  (match t.delta with
+  | Some _ -> ()  (* the delta engine keeps its own event log *)
+  | None ->
+      t.dirty_flows <- List.rev_append flows t.dirty_flows;
+      t.dirty_links <- List.rev_append links t.dirty_links);
   if t.eager then begin
     t.dirty <- true;
     solve t
@@ -308,8 +395,13 @@ and stop_flow t (f : Flow.t) =
     f.Flow.rate <- 0.0;
     f.Flow.stopped_at <- Some (Sched.now t.sched);
     t.n_active <- t.n_active - 1;
+    t.n_users <- t.n_users - f.Flow.users;
     Counter.incr t.m.m_stopped;
     Gauge.set t.m.g_active (float_of_int t.n_active);
+    Gauge.set t.m.g_users (float_of_int t.n_users);
+    Option.iter
+      (fun d -> Fair_share.Delta.remove_flow d ~id:f.Flow.id)
+      t.delta;
     Histogram.add t.m.h_duration
       (Time.to_sec (Time.sub (Sched.now t.sched) f.Flow.started));
     t.completed_bits <- t.completed_bits +. f.Flow.delivered_bits;
@@ -344,8 +436,9 @@ let check_path path =
   if not (contiguous path) then
     invalid_arg "Fluid: discontiguous path"
 
-let start_flow ?(demand = 1e9) t ~key ~path =
+let start_flow ?(demand = 1e9) ?(users = 1) t ~key ~path =
   if demand <= 0.0 then invalid_arg "Fluid.start_flow: demand <= 0";
+  if users < 1 then invalid_arg "Fluid.start_flow: users < 1";
   check_path path;
   let now = Sched.now t.sched in
   let f =
@@ -353,6 +446,7 @@ let start_flow ?(demand = 1e9) t ~key ~path =
       Flow.id = t.next_id;
       key;
       demand;
+      users;
       started = now;
       path;
       rate = 0.0;
@@ -365,15 +459,22 @@ let start_flow ?(demand = 1e9) t ~key ~path =
   t.next_id <- t.next_id + 1;
   enroll t f;
   t.n_active <- t.n_active + 1;
+  t.n_users <- t.n_users + users;
   Counter.incr t.m.m_started;
   Gauge.set t.m.g_active (float_of_int t.n_active);
+  Gauge.set t.m.g_users (float_of_int t.n_users);
+  Option.iter
+    (fun d ->
+      Fair_share.Delta.add_flow d ~id:f.Flow.id ~demand
+        ~links:(Flow.link_ids f))
+    t.delta;
   request_recompute t ~flows:[ f ] ~links:[];
   f
 
-let start_finite_flow ?demand t ~key ~path ~size_bits ~on_complete =
+let start_finite_flow ?demand ?users t ~key ~path ~size_bits ~on_complete =
   if size_bits <= 0.0 then
     invalid_arg "Fluid.start_finite_flow: size <= 0";
-  let f = start_flow ?demand t ~key ~path in
+  let f = start_flow ?demand ?users t ~key ~path in
   Hashtbl.replace t.finite f.Flow.id
     { size = size_bits; on_complete; timer = None };
   (* Under coalescing the rate is not assigned yet; the pending solve
@@ -390,6 +491,10 @@ let set_path t (f : Flow.t) path =
   f.Flow.path <- path;
   List.iter (fun l -> index_add t.link_index l f) (Flow.link_ids f);
   Option.iter (fun dst -> index_add t.dst_index dst f) (Flow.dst_node f);
+  Option.iter
+    (fun d ->
+      Fair_share.Delta.set_links d ~id:f.Flow.id ~links:(Flow.link_ids f))
+    t.delta;
   request_recompute t ~flows:[ f ] ~links:old_links
 
 let current_rate t (f : Flow.t) =
@@ -412,6 +517,14 @@ let flows_on_link t link_id =
       Hashtbl.fold (fun _ f acc -> f :: acc) members []
       |> List.sort (fun (a : Flow.t) (b : Flow.t) ->
              Int.compare a.Flow.id b.Flow.id)
+
+(* Allocation-free variant for telemetry paths: no list, no sort —
+   iteration order is unspecified. *)
+let iter_flows_on_link t link_id fn =
+  ensure_fresh t;
+  match Hashtbl.find_opt t.link_index link_id with
+  | None -> ()
+  | Some members -> Hashtbl.iter (fun _ f -> fn f) members
 
 let link_load t link_id =
   ensure_fresh t;
@@ -464,6 +577,11 @@ let host_series t node_id = Hashtbl.find_opt t.host_series node_id
 let recompute_count t = t.recomputes
 let recompute_requests t = t.recompute_requests
 let completed_flow_count t = t.completed_flows
+let active_users t = t.n_users
+let solve_work t = t.solve_work
+
+let delta_stats t =
+  Option.map (fun d -> Fair_share.Delta.stats d) t.delta
 
 let total_delivered_bits t =
   ensure_fresh t;

@@ -39,23 +39,38 @@ open Horse_topo
 
 type t
 
-val create : ?eager:bool -> Sched.t -> Topology.t -> t
+type solver =
+  | Component
+      (** re-solve the dirty connected component from scratch on every
+          flush (the pre-delta behaviour, kept for A/B benchmarks) *)
+  | Delta
+      (** incremental {!Fair_share.Delta} solves: persistent per-link
+          bottleneck state, water filling only over links whose
+          bottleneck set changed (the default) *)
+
+val create : ?eager:bool -> ?solver:solver -> Sched.t -> Topology.t -> t
 (** [~eager:true] restores the pre-coalescing behaviour — one max-min
     solve per mutation, on the spot. Kept so benchmarks can measure
-    the coalescing win; experiments should use the default. *)
+    the coalescing win; experiments should use the default.
+    [~solver] picks the rate solver (default {!Delta}); both produce
+    max-min fair rates, differing only in per-event solve work. *)
 
 val topology : t -> Topology.t
 val scheduler : t -> Sched.t
 
-val start_flow : ?demand:float -> t -> key:Flow_key.t -> path:Spf.path -> Flow.t
+val start_flow :
+  ?demand:float -> ?users:int -> t -> key:Flow_key.t -> path:Spf.path -> Flow.t
 (** Starts a flow at the current virtual time. Default demand 1 Gbps.
     An empty path models a locally-delivered (never-constrained)
-    flow.
-    @raise Invalid_argument on non-positive demand or a discontiguous
-    path. *)
+    flow. [?users] (default 1) makes the flow a {e flow class}: one
+    fluid flow standing for that many users, with [demand] the class
+    aggregate — the million-user workload unit.
+    @raise Invalid_argument on non-positive demand, [users < 1], or a
+    discontiguous path. *)
 
 val start_finite_flow :
   ?demand:float ->
+  ?users:int ->
   t ->
   key:Flow_key.t ->
   path:Spf.path ->
@@ -92,6 +107,11 @@ val find_flow : t -> Flow_key.t -> Flow.t option
 val flows_on_link : t -> int -> Flow.t list
 (** Active flows whose path crosses the directed link, in start
     order. O(flows on that link) via the membership index. *)
+
+val iter_flows_on_link : t -> int -> (Flow.t -> unit) -> unit
+(** Like {!flows_on_link} but allocation-free: no list is built and
+    the iteration order is unspecified. The choice for telemetry hot
+    paths (e.g. per-port stats providers). *)
 
 val current_rate : t -> Flow.t -> float
 (** Allocated rate right now (0 for a stopped flow). *)
@@ -140,3 +160,17 @@ val recompute_requests : t -> int
 (** Mutations that asked for a recompute (one per flow
     start/stop/reroute). [recompute_requests / recompute_count] is
     the coalescing ratio the benchmarks report. *)
+
+val active_users : t -> int
+(** Users represented by the active flow classes (sum of
+    [Flow.users]). *)
+
+val solve_work : t -> int
+(** Flows that entered a solve, summed over all solves — the
+    solver-work metric the delta benchmarks gate. A component solve
+    counts its whole component; a delta solve counts only its scoped
+    water fills. *)
+
+val delta_stats : t -> Fair_share.Delta.stats option
+(** The incremental solver's counters ([None] under
+    {!solver.Component}). *)

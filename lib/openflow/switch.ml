@@ -17,7 +17,14 @@ type metrics = {
   g_mega : Gauge.t;
 }
 
-let make_metrics reg =
+(* Lookup counters and cache gauges carry a per-switch [dpid] label
+   plus the lookup stage as a [table] label, so one scheduler's worth
+   of switches no longer aggregates into a single opaque series;
+   summing over the labels recovers the old fleet-wide view.
+   PACKET_IN / FLOW_MOD totals stay unlabeled fleet aggregates. *)
+let make_metrics ~dpid reg =
+  let sw = [ ("dpid", string_of_int dpid) ] in
+  let staged table = ("table", table) :: sw in
   {
     m_packet_ins =
       Registry.counter reg ~subsystem:"openflow"
@@ -26,34 +33,39 @@ let make_metrics reg =
       Registry.counter reg ~subsystem:"openflow"
         ~help:"FLOW_MOD messages applied by switches" "flow_mods_total";
     g_table =
-      Registry.gauge reg ~subsystem:"openflow"
-        ~help:"Flow-table entries across all switches" "flow_table_entries";
+      Registry.gauge reg ~subsystem:"openflow" ~labels:sw
+        ~help:"Flow-table entries of one switch" "flow_table_entries";
     m_micro_hits =
       Registry.counter reg ~subsystem:"openflow"
+        ~labels:(staged "microflow")
         ~help:"Lookups answered by the exact-match microflow cache"
         "microflow_hits_total";
     m_mega_hits =
       Registry.counter reg ~subsystem:"openflow"
+        ~labels:(staged "megaflow")
         ~help:"Lookups answered by the wildcarded megaflow cache"
         "megaflow_hits_total";
     m_tss_hits =
       Registry.counter reg ~subsystem:"openflow"
+        ~labels:(staged "classifier")
         ~help:"Lookups that fell through to the slow-path classifier and hit"
         "tss_hits_total";
     m_lookup_misses =
-      Registry.counter reg ~subsystem:"openflow"
+      Registry.counter reg ~subsystem:"openflow" ~labels:sw
         ~help:"Lookups no flow entry matched (slow path included)"
         "lookup_misses_total";
     m_invalidations =
-      Registry.counter reg ~subsystem:"openflow"
+      Registry.counter reg ~subsystem:"openflow" ~labels:sw
         ~help:"Microflow/megaflow cache cells dropped by flow_mod or expiry"
         "cache_invalidations_total";
     g_micro =
       Registry.gauge reg ~subsystem:"openflow"
-        ~help:"Microflow cache cells across all switches" "microflow_cells";
+        ~labels:(staged "microflow")
+        ~help:"Microflow cache cells of one switch" "microflow_cells";
     g_mega =
       Registry.gauge reg ~subsystem:"openflow"
-        ~help:"Megaflow cache cells across all switches" "megaflow_cells";
+        ~labels:(staged "megaflow")
+        ~help:"Megaflow cache cells of one switch" "megaflow_cells";
   }
 
 (* Last published per-switch values: lookup stats are accumulated
@@ -214,7 +226,7 @@ let create ?trace ?classifier proc ~dpid ~ports endpoint =
       endpoint;
       port_to_link = ports;
       trace;
-      m = make_metrics (Sched.registry (Process.scheduler proc));
+      m = make_metrics ~dpid (Sched.registry (Process.scheduler proc));
       flow_mod_hooks = [];
       packet_out_hooks = [];
       expired_hooks = [];

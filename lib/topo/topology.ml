@@ -18,7 +18,7 @@ type link = {
   link_id : int;
   src : int;
   dst : int;
-  capacity : float;
+  mutable capacity : float;
   delay : Horse_engine.Time.t;
   peer : int;
 }
@@ -101,6 +101,10 @@ let link t id =
   if id < 0 || id >= t.nl then
     invalid_arg (Printf.sprintf "Topology.link: unknown id %d" id);
   t.link_arr.(id)
+
+let set_capacity t id capacity =
+  if capacity <= 0.0 then invalid_arg "Topology.set_capacity: capacity <= 0";
+  (link t id).capacity <- capacity
 
 let nodes t = List.init t.nn (fun i -> t.node_arr.(i))
 let links t = List.init t.nl (fun i -> t.link_arr.(i))

@@ -25,7 +25,7 @@ type link = {
   link_id : int;
   src : int;  (** node id *)
   dst : int;  (** node id *)
-  capacity : float;  (** bits per second *)
+  mutable capacity : float;  (** bits per second; see {!set_capacity} *)
   delay : Horse_engine.Time.t;  (** propagation delay *)
   peer : int;  (** link id of the reverse direction *)
 }
@@ -49,6 +49,13 @@ val node : t -> int -> node
 
 val link : t -> int -> link
 (** @raise Invalid_argument on an unknown id. *)
+
+val set_capacity : t -> int -> float -> unit
+(** Re-plan one directed link's capacity (e.g. sizing a WAN for an
+    expected traffic matrix). Must happen before the data plane caches
+    link state — change capacities before starting flows.
+    @raise Invalid_argument on an unknown id or non-positive
+    capacity. *)
 
 val nodes : t -> node list
 (** In id order. *)

@@ -297,6 +297,162 @@ let prop_fair_share_arena_reuse_stable =
       in
       Array.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-12) second fresh)
 
+(* --- Delta solver: random arrival/departure/reroute schedules ----------- *)
+
+type delta_event =
+  | Ev_add of float * int list
+  | Ev_remove of int  (* picks the k-th alive flow, mod alive count *)
+  | Ev_reroute of int * int list
+  | Ev_flush
+
+let gen_delta_schedule =
+  let open QCheck2.Gen in
+  let* n_links = int_range 1 8 in
+  let* caps = array_size (return n_links) (float_range 0.5 10.0) in
+  let* demand_pool = array_size (return 4) (float_range 0.0 6.0) in
+  let gen_links =
+    let* path_len = int_range 0 n_links in
+    let* links = list_size (return path_len) (int_range 0 (n_links - 1)) in
+    return (List.sort_uniq Int.compare links)
+  in
+  let gen_demand =
+    oneof
+      [
+        (let* i = int_range 0 3 in
+         return demand_pool.(i));
+        float_range 0.0 6.0;
+        return 0.0;
+      ]
+  in
+  let* events =
+    list_size (int_range 0 60)
+      (frequency
+         [
+           ( 4,
+             let* d = gen_demand in
+             let* ls = gen_links in
+             return (Ev_add (d, ls)) );
+           ( 2,
+             let* k = int_range 0 100 in
+             return (Ev_remove k) );
+           ( 2,
+             let* k = int_range 0 100 in
+             let* ls = gen_links in
+             return (Ev_reroute (k, ls)) );
+           (3, return Ev_flush);
+         ])
+  in
+  return (caps, events)
+
+(* Replays a schedule through Delta while mirroring the alive set, and
+   at every flush asserts (a) flows outside [Delta.touched] kept
+   bit-identical rates — the untouched region is physically unchanged
+   — and (b) the full alive state matches the progressive-filling
+   oracle. *)
+let run_delta_schedule (caps, events) =
+  let capacity l = caps.(l) in
+  let delta = Fair_share.Delta.create ~capacity () in
+  let alive : (int, Fair_share.flow_input) Hashtbl.t = Hashtbl.create 16 in
+  let next = ref 0 in
+  let ok = ref true in
+  let pick k =
+    let ids =
+      List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) alive [])
+    in
+    match ids with [] -> None | _ -> Some (List.nth ids (k mod List.length ids))
+  in
+  let flush () =
+    let before =
+      Hashtbl.fold
+        (fun id _ acc ->
+          (id, Int64.bits_of_float (Fair_share.Delta.rate delta ~id)) :: acc)
+        alive []
+    in
+    Fair_share.Delta.flush delta;
+    let touched = Fair_share.Delta.touched delta in
+    List.iter
+      (fun (id, bits) ->
+        if
+          (not (List.mem id touched))
+          && Int64.bits_of_float (Fair_share.Delta.rate delta ~id) <> bits
+        then ok := false)
+      before;
+    let ids =
+      List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) alive [])
+    in
+    let flows = Array.of_list (List.map (Hashtbl.find alive) ids) in
+    let want = Fair_share.compute_reference ~capacity flows in
+    List.iteri
+      (fun i id ->
+        if Float.abs (Fair_share.Delta.rate delta ~id -. want.(i)) > 1e-9 then
+          ok := false)
+      ids
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Ev_add (demand, links) ->
+          let id = !next in
+          incr next;
+          Hashtbl.replace alive id { Fair_share.demand; links };
+          Fair_share.Delta.add_flow delta ~id ~demand ~links
+      | Ev_remove k -> (
+          match pick k with
+          | None -> ()
+          | Some id ->
+              Hashtbl.remove alive id;
+              Fair_share.Delta.remove_flow delta ~id)
+      | Ev_reroute (k, links) -> (
+          match pick k with
+          | None -> ()
+          | Some id ->
+              let f = Hashtbl.find alive id in
+              Hashtbl.replace alive id { f with Fair_share.links };
+              Fair_share.Delta.set_links delta ~id ~links)
+      | Ev_flush -> flush ())
+    events;
+  flush ();
+  !ok
+
+let prop_fair_share_delta_schedule =
+  qtest ~count:500
+    "fair share: delta solves track the reference over random schedules"
+    gen_delta_schedule run_delta_schedule
+
+let test_delta_scoped_arrival () =
+  (* Two disjoint bottlenecks; an arrival on one must not touch the
+     other's flows. *)
+  let capacity = capacity_all 1.0 in
+  let d = Fair_share.Delta.create ~capacity () in
+  Fair_share.Delta.add_flow d ~id:0 ~demand:2.0 ~links:[ 0 ];
+  Fair_share.Delta.add_flow d ~id:1 ~demand:2.0 ~links:[ 1 ];
+  Fair_share.Delta.flush d;
+  check (Alcotest.float 1e-9) "f0 saturates" 1.0 (Fair_share.Delta.rate d ~id:0);
+  Fair_share.Delta.add_flow d ~id:2 ~demand:2.0 ~links:[ 1 ];
+  Fair_share.Delta.flush d;
+  check (Alcotest.float 1e-9) "f1 halves" 0.5 (Fair_share.Delta.rate d ~id:1);
+  check (Alcotest.float 1e-9) "f2 halves" 0.5 (Fair_share.Delta.rate d ~id:2);
+  check (Alcotest.float 1e-9) "f0 keeps its rate" 1.0
+    (Fair_share.Delta.rate d ~id:0);
+  check Alcotest.bool "f0 outside the delta scope" false
+    (List.mem 0 (Fair_share.Delta.touched d))
+
+let test_delta_departure_propagates () =
+  (* A departure frees capacity; the clamped survivors must be promoted
+     and rise to the new level. *)
+  let capacity = capacity_all 3.0 in
+  let d = Fair_share.Delta.create ~capacity () in
+  Fair_share.Delta.add_flow d ~id:0 ~demand:5.0 ~links:[ 0 ];
+  Fair_share.Delta.add_flow d ~id:1 ~demand:5.0 ~links:[ 0 ];
+  Fair_share.Delta.add_flow d ~id:2 ~demand:5.0 ~links:[ 0 ];
+  Fair_share.Delta.flush d;
+  check (Alcotest.float 1e-9) "thirds" 1.0 (Fair_share.Delta.rate d ~id:1);
+  Fair_share.Delta.remove_flow d ~id:0;
+  Fair_share.Delta.flush d;
+  check (Alcotest.float 1e-9) "f1 rises" 1.5 (Fair_share.Delta.rate d ~id:1);
+  check (Alcotest.float 1e-9) "f2 rises" 1.5 (Fair_share.Delta.rate d ~id:2);
+  check (Alcotest.float 1e-9) "f0 gone" 0.0 (Fair_share.Delta.rate d ~id:0)
+
 (* --- Fluid engine -------------------------------------------------------- *)
 
 (* A 2-host dumbbell: h0 - s0 - s1 - h1, all 1 Gbps. *)
@@ -768,6 +924,11 @@ let () =
           prop_fair_share_differential;
           prop_fair_share_differential_invariants;
           prop_fair_share_arena_reuse_stable;
+          prop_fair_share_delta_schedule;
+          Alcotest.test_case "delta: scoped arrival" `Quick
+            test_delta_scoped_arrival;
+          Alcotest.test_case "delta: departure propagates" `Quick
+            test_delta_departure_propagates;
         ] );
       ( "fluid",
         [

@@ -3,6 +3,7 @@
 
 open Horse_net
 open Horse_topo
+module Tm = Traffic_matrix
 
 let check = Alcotest.check
 let qtest ?(count = 50) name gen prop =
@@ -305,6 +306,46 @@ let test_wan_determinism () =
   check Alcotest.int "same link count" (Topology.n_links a.Wan.topo)
     (Topology.n_links b.Wan.topo)
 
+(* --- Traffic matrices -------------------------------------------------- *)
+
+let test_tm_gravity_normalises () =
+  let masses = Tm.zipf_masses 8 in
+  let tm = Tm.gravity ~total:1e9 ~masses in
+  check (Alcotest.float 1.0) "cells sum to total" 1e9 (Tm.total tm);
+  for i = 0 to Tm.n tm - 1 do
+    check (Alcotest.float 0.0) "zero diagonal" 0.0 (Tm.demand tm ~src:i ~dst:i)
+  done;
+  (* Gravity: cell ratio equals mass-product ratio. *)
+  let d01 = Tm.demand tm ~src:0 ~dst:1 and d23 = Tm.demand tm ~src:2 ~dst:3 in
+  check (Alcotest.float 1e-9) "mass-product proportionality"
+    (masses.(0) *. masses.(1) /. (masses.(2) *. masses.(3)))
+    (d01 /. d23)
+
+let test_tm_zipf_shape () =
+  let m = Tm.zipf_masses 5 in
+  check (Alcotest.float 1e-12) "rank 1" 1.0 m.(0);
+  check (Alcotest.float 1e-12) "rank 3" (1.0 /. 3.0) m.(2);
+  check Alcotest.bool "monotone" true
+    (m.(0) > m.(1) && m.(1) > m.(2) && m.(2) > m.(3) && m.(3) > m.(4))
+
+let prop_tm_diurnal_bounds =
+  qtest "tm: diurnal factor stays within [trough, 1]"
+    QCheck2.Gen.(
+      triple (float_range 0.0 86_400.0) (float_range 0.0 1.0)
+        (float_range 0.0 1.0))
+    (fun (t, phase, trough) ->
+      let f =
+        Tm.diurnal_factor ~trough ~period_s:86_400.0 ~phase t
+      in
+      f >= trough -. 1e-9 && f <= 1.0 +. 1e-9)
+
+let test_tm_diurnal_peak_at_phase () =
+  (* Phase is in cycles: the peak sits at phase × period. *)
+  let f = Tm.diurnal_factor ~period_s:100.0 ~phase:0.25 25.0 in
+  check (Alcotest.float 1e-9) "peak" 1.0 f;
+  let g = Tm.diurnal_factor ~trough:0.2 ~period_s:100.0 ~phase:0.25 75.0 in
+  check (Alcotest.float 1e-9) "trough opposite the peak" 0.2 g
+
 let () =
   Alcotest.run "horse_topo"
     [
@@ -344,5 +385,14 @@ let () =
           Alcotest.test_case "ring distances" `Quick test_wan_ring_distance;
           Alcotest.test_case "determinism" `Quick test_wan_determinism;
           prop_random_gnp_connected;
+        ] );
+      ( "traffic_matrix",
+        [
+          Alcotest.test_case "gravity normalises" `Quick
+            test_tm_gravity_normalises;
+          Alcotest.test_case "zipf masses" `Quick test_tm_zipf_shape;
+          Alcotest.test_case "diurnal peak and trough" `Quick
+            test_tm_diurnal_peak_at_phase;
+          prop_tm_diurnal_bounds;
         ] );
     ]
